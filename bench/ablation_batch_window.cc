@@ -1,0 +1,55 @@
+// Ablation (paper §5's batching-interval discussion): sweeping MinShip's
+// eager batching window between "ship every derivation" (W=1) and lazy
+// (W=inf) trades bandwidth against deletion-time work. "By changing the
+// batching interval or conditions, we can adjust how many alternate
+// derivations are propagated through the query plan."
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "engine/reachable_runtime.h"
+#include "topology/workload.h"
+
+using namespace recnet;
+using namespace recnet::bench;
+
+int main() {
+  BenchEnv env = GetBenchEnv();
+  Topology topo = DefaultTopology(/*dense=*/true, env);
+  std::printf("MinShip batching-window ablation: %d nodes, %zu link tuples; "
+              "insert all + delete 20%%\n",
+              topo.num_nodes, topo.num_link_tuples());
+  std::printf("%-12s %14s %14s %14s %14s\n", "window", "insert MB",
+              "delete MB", "insert s", "delete s");
+
+  auto run = [&](ShipMode ship, size_t window, const char* label) {
+    RuntimeOptions opts;
+    opts.prov = ProvMode::kAbsorption;
+    opts.ship = ship;
+    opts.batch_window = window;
+    opts.num_physical = 12;
+    opts.message_budget = 50'000'000;
+    opts.time_budget_s = 30;
+    ReachableRuntime rt(topo.num_nodes, opts);
+    for (const LinkTuple& l : InsertionPrefix(topo, 1.0, env.seed)) {
+      rt.InsertLink(l.src, l.dst);
+    }
+    rt.Run();
+    RunMetrics insert = rt.Metrics();
+    rt.ResetMetrics();
+    for (const LinkTuple& l : DeletionSequence(topo, 0.2, env.seed)) {
+      rt.DeleteLink(l.src, l.dst);
+      if (!rt.Run()) break;
+    }
+    RunMetrics del = rt.Metrics();
+    std::printf("%-12s %14.3f %14.3f %14.3f %14.3f\n", label, insert.comm_mb,
+                del.comm_mb, insert.wall_seconds, del.wall_seconds);
+  };
+
+  run(ShipMode::kEager, 128, "eager W=128");
+  run(ShipMode::kEager, 256, "eager W=256");
+  run(ShipMode::kEager, 512, "eager W=512");
+  run(ShipMode::kEager, 2048, "eager W=2048");
+  run(ShipMode::kLazy, 0, "lazy (W=inf)");
+  return 0;
+}

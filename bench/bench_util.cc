@@ -1,0 +1,121 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "topology/transit_stub.h"
+
+namespace recnet {
+namespace bench {
+
+BenchEnv GetBenchEnv() {
+  BenchEnv env;
+  const char* scale = std::getenv("RECNET_PAPER_SCALE");
+  env.paper_scale = scale != nullptr && scale[0] == '1';
+  const char* seed = std::getenv("RECNET_SEED");
+  if (seed != nullptr) env.seed = std::strtoull(seed, nullptr, 10);
+  return env;
+}
+
+Topology DefaultTopology(bool dense, const BenchEnv& env) {
+  if (env.paper_scale) {
+    TransitStubOptions options;
+    options.dense = dense;
+    options.seed = env.seed;
+    return MakeTransitStub(options);  // 100 nodes, ~200 links.
+  }
+  return MakeTransitStubWithTargetLinks(dense ? 100 : 55, dense, env.seed);
+}
+
+std::vector<Strategy> AllStrategies() {
+  return {
+      {"DRed", ProvMode::kSet, ShipMode::kDirect},
+      {"Relative Eager", ProvMode::kRelative, ShipMode::kEager},
+      {"Relative Lazy", ProvMode::kRelative, ShipMode::kLazy},
+      {"Absorption Eager", ProvMode::kAbsorption, ShipMode::kEager},
+      {"Absorption Lazy", ProvMode::kAbsorption, ShipMode::kLazy},
+  };
+}
+
+std::vector<Strategy> RegionStrategies() {
+  return {
+      {"DRed", ProvMode::kSet, ShipMode::kDirect},
+      {"Absorption Eager", ProvMode::kAbsorption, ShipMode::kEager},
+      {"Absorption Lazy", ProvMode::kAbsorption, ShipMode::kLazy},
+  };
+}
+
+RuntimeOptions MakeOptions(const Strategy& strategy, int num_physical,
+                           uint64_t budget) {
+  RuntimeOptions opts;
+  opts.prov = strategy.prov;
+  opts.ship = strategy.ship;
+  opts.num_physical = num_physical;
+  opts.message_budget = budget;
+  // Wall-clock cap per fixpoint run (the paper's 5-minute cap, scaled to
+  // the reduced default topology); capped cells print as ">" values.
+  opts.time_budget_s = 45;
+  return opts;
+}
+
+FigurePrinter::FigurePrinter(std::string figure, std::string title,
+                             std::string x_label,
+                             std::vector<std::string> series)
+    : figure_(std::move(figure)),
+      title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      series_(std::move(series)) {}
+
+void FigurePrinter::Add(const std::string& series, double x,
+                        const RunMetrics& m) {
+  if (std::find(xs_.begin(), xs_.end(), x) == xs_.end()) xs_.push_back(x);
+  cells_[{series, x}] = m;
+}
+
+void FigurePrinter::PrintPanel(const std::string& panel_title,
+                               double (*extract)(const RunMetrics&),
+                               const char* format) const {
+  std::printf("\n%s\n", panel_title.c_str());
+  std::printf("%-18s", x_label_.c_str());
+  for (const std::string& s : series_) std::printf(" %18s", s.c_str());
+  std::printf("\n");
+  for (double x : xs_) {
+    std::printf("%-18g", x);
+    for (const std::string& s : series_) {
+      auto it = cells_.find({s, x});
+      if (it == cells_.end()) {
+        std::printf(" %18s", "-");
+        continue;
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), format, extract(it->second));
+      if (!it->second.converged) {
+        // The paper reports these as ">5min" / off-scale arrows.
+        char capped[64];
+        std::snprintf(capped, sizeof(capped), ">%s", buf);
+        std::printf(" %18s", capped);
+      } else {
+        std::printf(" %18s", buf);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+void FigurePrinter::PrintAll() const {
+  std::printf("==== %s: %s ====\n", figure_.c_str(), title_.c_str());
+  PrintPanel("(a) Per-tuple provenance overhead (B)",
+             [](const RunMetrics& m) { return m.per_tuple_prov_bytes; },
+             "%.1f");
+  PrintPanel("(b) Communication overhead (MB)",
+             [](const RunMetrics& m) { return m.comm_mb; }, "%.3f");
+  PrintPanel("(c) State within operators (MB)",
+             [](const RunMetrics& m) { return m.state_mb; }, "%.3f");
+  PrintPanel("(d) Convergence time (s)",
+             [](const RunMetrics& m) { return m.wall_seconds; }, "%.3f");
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace recnet

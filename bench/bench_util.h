@@ -1,0 +1,71 @@
+#ifndef RECNET_BENCH_BENCH_UTIL_H_
+#define RECNET_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "engine/metrics.h"
+#include "engine/runtime_base.h"
+#include "topology/topology.h"
+
+namespace recnet {
+namespace bench {
+
+// Experiment scale. The default runs a reduced topology so the whole bench
+// suite completes in minutes on one core; RECNET_PAPER_SCALE=1 switches to
+// the paper's 100-node / ~200-bidirectional-link GT-ITM default.
+struct BenchEnv {
+  bool paper_scale = false;
+  uint64_t seed = 1;
+};
+
+BenchEnv GetBenchEnv();
+
+// The figure-7/8/13/14 base topology at the chosen scale.
+Topology DefaultTopology(bool dense, const BenchEnv& env);
+
+// A named maintenance strategy (series in the figures).
+struct Strategy {
+  std::string name;
+  ProvMode prov;
+  ShipMode ship;
+};
+
+// The five series of Figures 7-8.
+std::vector<Strategy> AllStrategies();
+// DRed + the two absorption variants (Figures 9-10).
+std::vector<Strategy> RegionStrategies();
+
+RuntimeOptions MakeOptions(const Strategy& strategy, int num_physical,
+                           uint64_t budget);
+
+// Collects one RunMetrics per (series, x) cell and prints the figure's four
+// panels — (a) per-tuple provenance overhead (B), (b) communication
+// overhead (MB), (c) state within operators (MB), (d) convergence time (s)
+// — as aligned text tables matching the paper's layout.
+class FigurePrinter {
+ public:
+  FigurePrinter(std::string figure, std::string title, std::string x_label,
+                std::vector<std::string> series);
+
+  void Add(const std::string& series, double x, const RunMetrics& m);
+  void PrintAll() const;
+
+ private:
+  void PrintPanel(const std::string& panel_title,
+                  double (*extract)(const RunMetrics&),
+                  const char* format) const;
+
+  std::string figure_;
+  std::string title_;
+  std::string x_label_;
+  std::vector<std::string> series_;
+  std::vector<double> xs_;
+  std::map<std::pair<std::string, double>, RunMetrics> cells_;
+};
+
+}  // namespace bench
+}  // namespace recnet
+
+#endif  // RECNET_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,46 @@
+// Figure 7: `reachable` view computation as insertions are performed.
+// Series: DRed, Relative Eager/Lazy, Absorption Eager/Lazy.
+// X axis: insertion ratio (fraction of link tuples inserted).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "engine/reachable_runtime.h"
+#include "topology/workload.h"
+
+using namespace recnet;
+using namespace recnet::bench;
+
+int main() {
+  BenchEnv env = GetBenchEnv();
+  Topology topo = DefaultTopology(/*dense=*/true, env);
+  std::printf(
+      "Figure 7 workload: transit-stub topology, %d nodes, %zu link tuples"
+      "%s\n",
+      topo.num_nodes, topo.num_link_tuples(),
+      env.paper_scale ? " (paper scale)" : " (reduced scale; "
+                                           "RECNET_PAPER_SCALE=1 for 100 "
+                                           "nodes)");
+
+  FigurePrinter fig("Figure 7", "reachable query, insertion workload",
+                    "insertion ratio",
+                    {"DRed", "Relative Eager", "Relative Lazy",
+                     "Absorption Eager", "Absorption Lazy"});
+
+  for (const Strategy& strategy : AllStrategies()) {
+    for (double ratio : {0.5, 0.75, 1.0}) {
+      ReachableRuntime rt(topo.num_nodes,
+                          MakeOptions(strategy, 12, 30'000'000));
+      for (const LinkTuple& l : InsertionPrefix(topo, ratio, env.seed)) {
+        rt.InsertLink(l.src, l.dst);
+      }
+      rt.Run();
+      fig.Add(strategy.name, ratio, rt.Metrics());
+      std::fprintf(stderr, "  [fig7] %s ratio=%.2f done (%llu msgs)\n",
+                   strategy.name.c_str(), ratio,
+                   static_cast<unsigned long long>(rt.Metrics().messages));
+    }
+  }
+  fig.PrintAll();
+  return 0;
+}

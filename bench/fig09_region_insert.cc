@@ -1,0 +1,62 @@
+// Figure 9: `region` query computation as insertions (sensor triggers) are
+// performed. Workload per the paper: a 100-sensor grid with 5 seed groups;
+// all seeds trigger, then half of the remaining sensors trigger. The X axis
+// is the fraction of those triggers applied.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "engine/region_runtime.h"
+#include "topology/sensor_grid.h"
+
+using namespace recnet;
+using namespace recnet::bench;
+
+namespace {
+
+// Seeds first, then a shuffled half of the remaining sensors.
+std::vector<int> TriggerPool(const SensorField& field, uint64_t seed) {
+  std::vector<int> pool = field.seed_sensors;
+  std::vector<int> rest;
+  for (int s = 0; s < field.num_sensors; ++s) {
+    if (std::find(pool.begin(), pool.end(), s) == pool.end()) {
+      rest.push_back(s);
+    }
+  }
+  Rng rng(seed);
+  rng.Shuffle(&rest);
+  rest.resize(rest.size() / 2);
+  pool.insert(pool.end(), rest.begin(), rest.end());
+  return pool;
+}
+
+}  // namespace
+
+int main() {
+  BenchEnv env = GetBenchEnv();
+  SensorGridOptions grid;
+  grid.seed = env.seed;
+  SensorField field = MakeSensorGrid(grid);
+  std::vector<int> pool = TriggerPool(field, env.seed);
+  std::printf("Figure 9 workload: %d sensors, %zu regions, %zu triggers\n",
+              field.num_sensors, field.seed_sensors.size(), pool.size());
+
+  FigurePrinter fig("Figure 9", "region query, insertion workload",
+                    "insertion ratio",
+                    {"DRed", "Absorption Eager", "Absorption Lazy"});
+
+  for (const Strategy& strategy : RegionStrategies()) {
+    for (double ratio : {0.5, 0.75, 1.0}) {
+      RegionRuntime rt(field, MakeOptions(strategy, 12, 30'000'000));
+      size_t count = static_cast<size_t>(ratio * pool.size());
+      for (size_t i = 0; i < count; ++i) rt.Trigger(pool[i]);
+      rt.Run();
+      fig.Add(strategy.name, ratio, rt.Metrics());
+    }
+  }
+  fig.PrintAll();
+  return 0;
+}

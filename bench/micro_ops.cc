@@ -1,0 +1,147 @@
+// Micro-benchmarks (google-benchmark) for the substrates: BDD algebra,
+// provenance composition, operator hot paths.
+
+#include <benchmark/benchmark.h>
+
+#include "bdd/bdd.h"
+#include "common/rng.h"
+#include "operators/fixpoint.h"
+#include "operators/hash_join.h"
+#include "operators/min_ship.h"
+#include "provenance/prov.h"
+
+namespace recnet {
+namespace {
+
+void BM_BddAndChain(benchmark::State& state) {
+  bdd::Manager mgr;
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    // Bdd handles pin intermediates: long benchmark loops accumulate
+    // garbage and trigger collections.
+    bdd::Bdd f(&mgr, mgr.True());
+    for (int v = 0; v < n; ++v) {
+      f = f.And(bdd::Bdd(&mgr, mgr.MakeVar(v)));
+    }
+    benchmark::DoNotOptimize(f.index());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BddAndChain)->Arg(8)->Arg(64)->Arg(256)->Iterations(5000);
+
+void BM_BddOrOfProducts(benchmark::State& state) {
+  bdd::Manager mgr;
+  const int terms = static_cast<int>(state.range(0));
+  Rng rng(7);
+  for (auto _ : state) {
+    bdd::Bdd f(&mgr, mgr.False());
+    for (int t = 0; t < terms; ++t) {
+      // Products over a contiguous variable window: path-provenance-like
+      // locality (random sparse DNF would be an exponential worst case for
+      // ROBDDs and measure nothing useful).
+      bdd::Var base = static_cast<bdd::Var>(rng.NextBounded(20));
+      bdd::Bdd p(&mgr, mgr.True());
+      for (bdd::Var j = 0; j < 4; ++j) {
+        p = p.And(bdd::Bdd(&mgr, mgr.MakeVar(base + j)));
+      }
+      f = f.Or(p);
+    }
+    benchmark::DoNotOptimize(f.index());
+  }
+  state.SetItemsProcessed(state.iterations() * terms);
+}
+BENCHMARK(BM_BddOrOfProducts)->Arg(16)->Arg(128)->Iterations(1000);
+
+void BM_BddRestrict(benchmark::State& state) {
+  bdd::Manager mgr;
+  Rng rng(11);
+  bdd::Bdd f(&mgr, mgr.False());
+  for (int t = 0; t < 64; ++t) {
+    bdd::Var base = static_cast<bdd::Var>(rng.NextBounded(28));
+    bdd::Bdd p(&mgr, mgr.True());
+    for (bdd::Var j = 0; j < 4; ++j) {
+      p = p.And(bdd::Bdd(&mgr, mgr.MakeVar(base + j)));
+    }
+    f = f.Or(p);
+  }
+  bdd::Var v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.Restrict(f.index(), v, false));
+    v = (v + 1) % 32;
+  }
+}
+BENCHMARK(BM_BddRestrict)->Iterations(50000);
+
+void BM_FixpointInsertAbsorption(benchmark::State& state) {
+  bdd::Manager mgr;
+  Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Fixpoint fix(ProvMode::kAbsorption);
+    state.ResumeTiming();
+    for (int i = 0; i < 512; ++i) {
+      Tuple t = Tuple::OfInts({static_cast<int64_t>(rng.NextBounded(64)),
+                               static_cast<int64_t>(rng.NextBounded(64))});
+      Prov pv = Prov::BaseVar(ProvMode::kAbsorption, &mgr,
+                              static_cast<bdd::Var>(rng.NextBounded(256)));
+      benchmark::DoNotOptimize(fix.ProcessInsert(t, pv));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_FixpointInsertAbsorption)->Iterations(200);
+
+void BM_PipelinedHashJoinProbe(benchmark::State& state) {
+  bdd::Manager mgr;
+  PipelinedHashJoin join(ProvMode::kAbsorption, {1}, {0},
+                         [](const Tuple& l, const Tuple& r) {
+                           return Tuple::OfInts({l.IntAt(0), r.IntAt(1)});
+                         });
+  for (int64_t i = 0; i < 64; ++i) {
+    join.ProcessInsert(PipelinedHashJoin::kLeft, Tuple::OfInts({i, 0}),
+                       Prov::BaseVar(ProvMode::kAbsorption, &mgr,
+                                     static_cast<bdd::Var>(i)));
+  }
+  int64_t next = 0;
+  for (auto _ : state) {
+    Tuple probe = Tuple::OfInts({0, next});
+    benchmark::DoNotOptimize(join.ProcessInsert(
+        PipelinedHashJoin::kRight, probe,
+        Prov::BaseVar(ProvMode::kAbsorption, &mgr,
+                      static_cast<bdd::Var>(1000 + (next % 512)))));
+    ++next;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_PipelinedHashJoinProbe)->Iterations(10000);
+
+void BM_MinShipLazyAbsorbs(benchmark::State& state) {
+  bdd::Manager mgr;
+  size_t sent = 0;
+  MinShip ship(ProvMode::kAbsorption, ShipMode::kLazy, 8,
+               [&sent](const Tuple&, const Prov&) { ++sent; });
+  Rng rng(5);
+  for (auto _ : state) {
+    Tuple t = Tuple::OfInts({static_cast<int64_t>(rng.NextBounded(32)), 1});
+    ship.ProcessInsert(t, Prov::BaseVar(ProvMode::kAbsorption, &mgr,
+                                        static_cast<bdd::Var>(
+                                            rng.NextBounded(512))));
+  }
+  benchmark::DoNotOptimize(sent);
+}
+BENCHMARK(BM_MinShipLazyAbsorbs)->Iterations(50000);
+
+void BM_RelativeProvCompose(benchmark::State& state) {
+  bdd::Manager mgr;
+  Prov a = Prov::BaseVar(ProvMode::kRelative, &mgr, 1);
+  Prov b = Prov::BaseVar(ProvMode::kRelative, &mgr, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.And(b).Or(a));
+  }
+}
+BENCHMARK(BM_RelativeProvCompose)->Iterations(50000);
+
+}  // namespace
+}  // namespace recnet
+
+BENCHMARK_MAIN();

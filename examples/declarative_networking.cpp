@@ -1,0 +1,65 @@
+// Declarative networking scenario (paper Section 2, Queries 1-2): build a
+// GT-ITM-style transit-stub Internet topology, maintain shortest/cheapest
+// paths with multi-aggregate selection, and react to a link failure.
+//
+// Usage: example_declarative_networking [target_links]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "engine/views.h"
+#include "topology/transit_stub.h"
+#include "topology/workload.h"
+
+int main(int argc, char** argv) {
+  int target_links = argc > 1 ? std::atoi(argv[1]) : 60;
+
+  recnet::Topology topo =
+      recnet::MakeTransitStubWithTargetLinks(target_links, /*dense=*/true, 1);
+  std::printf("topology: %d routers, %zu bidirectional links\n",
+              topo.num_nodes, topo.links.size());
+
+  recnet::RuntimeOptions options;
+  options.prov = recnet::ProvMode::kAbsorption;
+  options.ship = recnet::ShipMode::kLazy;
+  options.num_physical = 12;  // Paper default cluster size.
+
+  recnet::ShortestPathView paths(topo.num_nodes, options,
+                                 recnet::AggSelPolicy::kMulti);
+  for (const recnet::LinkTuple& l : recnet::DirectedLinks(topo)) {
+    paths.InsertLink(l.src, l.dst, l.cost_ms);
+  }
+  if (!paths.Apply().ok()) {
+    std::fprintf(stderr, "budget exceeded\n");
+    return 1;
+  }
+
+  // Inspect a transit-to-stub route: node 0 is a transit router; the last
+  // node is deep inside a stub domain.
+  int src = 0;
+  int dst = topo.num_nodes - 1;
+  auto cost = paths.MinCost(src, dst);
+  auto hops = paths.MinHops(src, dst);
+  if (cost && hops) {
+    std::printf("route %d -> %d: cheapest %.0f ms via %s (%lld hops min)\n",
+                src, dst, *cost, paths.CheapestPath(src, dst)->c_str(),
+                static_cast<long long>(*hops));
+  }
+
+  // Fail the first link on the cheapest path's first hop and re-converge.
+  recnet::TopoLink failed = topo.links.front();
+  std::printf("failing link %d <-> %d ...\n", failed.a, failed.b);
+  paths.DeleteLink(failed.a, failed.b);
+  paths.DeleteLink(failed.b, failed.a);
+  if (!paths.Apply().ok()) return 1;
+  cost = paths.MinCost(src, dst);
+  if (cost) {
+    std::printf("route %d -> %d after failure: %.0f ms via %s\n", src, dst,
+                *cost, paths.CheapestPath(src, dst)->c_str());
+  } else {
+    std::printf("route %d -> %d is gone after failure\n", src, dst);
+  }
+
+  std::printf("totals: %s\n", paths.Metrics().ToString().c_str());
+  return 0;
+}

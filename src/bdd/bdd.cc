@@ -1,0 +1,361 @@
+#include "bdd/bdd.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/value.h"
+
+namespace recnet {
+namespace bdd {
+
+size_t Manager::NodeKeyHash::operator()(const NodeKey& k) const {
+  uint64_t h = Mix64(k.var);
+  h = Mix64(h ^ k.low);
+  h = Mix64(h ^ k.high);
+  return static_cast<size_t>(h);
+}
+
+Manager::Manager(const Options& options)
+    : options_(options), gc_threshold_(options.gc_threshold) {
+  RECNET_CHECK((options.cache_size & (options.cache_size - 1)) == 0);
+  // Terminals. They are permanently referenced and never collected.
+  nodes_.push_back(Node{kTerminalVar, kFalse, kFalse});  // FALSE
+  nodes_.push_back(Node{kTerminalVar, kTrue, kTrue});    // TRUE
+  refcount_.assign(2, 1);
+  live_nodes_ = 2;
+  op_cache_.assign(options_.cache_size, CacheEntry{});
+}
+
+bool Manager::CacheLookup(uint64_t key, NodeIndex* out) {
+  ++cache_lookups_;
+  const CacheEntry& e = op_cache_[Mix64(key) & (op_cache_.size() - 1)];
+  if (e.key == key) {
+    ++cache_hits_;
+    *out = e.result;
+    return true;
+  }
+  return false;
+}
+
+void Manager::CacheStore(uint64_t key, NodeIndex result) {
+  CacheEntry& e = op_cache_[Mix64(key) & (op_cache_.size() - 1)];
+  e.key = key;
+  e.result = result;
+}
+
+NodeIndex Manager::MakeNode(Var var, NodeIndex low, NodeIndex high) {
+  if (low == high) return low;  // Reduction rule: redundant test.
+  NodeKey key{var, low, high};
+  auto it = unique_table_.find(key);
+  if (it != unique_table_.end()) return it->second;
+  NodeIndex idx;
+  if (!free_list_.empty()) {
+    idx = free_list_.back();
+    free_list_.pop_back();
+    nodes_[idx] = Node{var, low, high};
+    refcount_[idx] = 0;
+  } else {
+    idx = static_cast<NodeIndex>(nodes_.size());
+    nodes_.push_back(Node{var, low, high});
+    refcount_.push_back(0);
+  }
+  ++live_nodes_;
+  unique_table_.emplace(key, idx);
+  return idx;
+}
+
+NodeIndex Manager::MakeVar(Var v) {
+  RECNET_CHECK_NE(v, kTerminalVar);
+  MaybeGc();
+  return MakeNode(v, kFalse, kTrue);
+}
+
+NodeIndex Manager::And(NodeIndex a, NodeIndex b) {
+  MaybeGc();
+  in_operation_ = true;
+  NodeIndex r = ApplyAndOr(Op::kAnd, a, b);
+  in_operation_ = false;
+  return r;
+}
+
+NodeIndex Manager::Or(NodeIndex a, NodeIndex b) {
+  MaybeGc();
+  in_operation_ = true;
+  NodeIndex r = ApplyAndOr(Op::kOr, a, b);
+  in_operation_ = false;
+  return r;
+}
+
+NodeIndex Manager::Not(NodeIndex a) {
+  MaybeGc();
+  in_operation_ = true;
+  NodeIndex r = NotRec(a);
+  in_operation_ = false;
+  return r;
+}
+
+NodeIndex Manager::Restrict(NodeIndex f, Var v, bool value) {
+  MaybeGc();
+  in_operation_ = true;
+  NodeIndex r = RestrictRec(f, v, value);
+  in_operation_ = false;
+  return r;
+}
+
+NodeIndex Manager::Diff(NodeIndex a, NodeIndex b) {
+  // Pin the intermediate: And() may garbage-collect on entry, and the
+  // complement of b has no external reference yet.
+  NodeIndex not_b = Not(b);
+  Ref(not_b);
+  NodeIndex r = And(a, not_b);
+  Deref(not_b);
+  return r;
+}
+
+NodeIndex Manager::RestrictAllFalse(NodeIndex f,
+                                    const std::vector<Var>& vars) {
+  // Pin each intermediate result across the next Restrict (which may GC).
+  NodeIndex r = f;
+  Ref(r);
+  for (Var v : vars) {
+    NodeIndex next = Restrict(r, v, false);
+    Ref(next);
+    Deref(r);
+    r = next;
+  }
+  Deref(r);
+  return r;
+}
+
+NodeIndex Manager::ApplyAndOr(Op op, NodeIndex a, NodeIndex b) {
+  // Terminal cases.
+  if (op == Op::kAnd) {
+    if (a == kFalse || b == kFalse) return kFalse;
+    if (a == kTrue) return b;
+    if (b == kTrue) return a;
+    if (a == b) return a;
+  } else {
+    if (a == kTrue || b == kTrue) return kTrue;
+    if (a == kFalse) return b;
+    if (b == kFalse) return a;
+    if (a == b) return a;
+  }
+  // AND/OR are commutative: normalize operand order for cache locality.
+  if (a > b) std::swap(a, b);
+  uint64_t key = CacheKey(op, a, b);
+  NodeIndex cached;
+  if (CacheLookup(key, &cached)) return cached;
+
+  const Node& na = nodes_[a];
+  const Node& nb = nodes_[b];
+  Var top = std::min(na.var, nb.var);
+  NodeIndex a_lo = (na.var == top) ? na.low : a;
+  NodeIndex a_hi = (na.var == top) ? na.high : a;
+  NodeIndex b_lo = (nb.var == top) ? nb.low : b;
+  NodeIndex b_hi = (nb.var == top) ? nb.high : b;
+
+  NodeIndex lo = ApplyAndOr(op, a_lo, b_lo);
+  NodeIndex hi = ApplyAndOr(op, a_hi, b_hi);
+  NodeIndex r = MakeNode(top, lo, hi);
+  CacheStore(key, r);
+  return r;
+}
+
+NodeIndex Manager::NotRec(NodeIndex a) {
+  if (a == kFalse) return kTrue;
+  if (a == kTrue) return kFalse;
+  uint64_t key = CacheKey(Op::kNot, a, 0);
+  NodeIndex cached;
+  if (CacheLookup(key, &cached)) return cached;
+  // Copy: recursive calls may grow (reallocate) the node store.
+  Node n = nodes_[a];
+  NodeIndex lo = NotRec(n.low);
+  NodeIndex hi = NotRec(n.high);
+  NodeIndex r = MakeNode(n.var, lo, hi);
+  CacheStore(key, r);
+  return r;
+}
+
+NodeIndex Manager::RestrictRec(NodeIndex f, Var v, bool value) {
+  if (IsTerminal(f)) return f;
+  // Copy: recursive calls may grow (reallocate) the node store.
+  Node n = nodes_[f];
+  if (n.var > v) return f;  // Ordered: v cannot appear below.
+  if (n.var == v) return value ? n.high : n.low;
+  uint64_t key =
+      CacheKey(Op::kRestrict, f,
+               (static_cast<uint64_t>(v) << 1) | (value ? 1u : 0u));
+  NodeIndex cached;
+  if (CacheLookup(key, &cached)) return cached;
+  NodeIndex lo = RestrictRec(n.low, v, value);
+  NodeIndex hi = RestrictRec(n.high, v, value);
+  NodeIndex r = MakeNode(n.var, lo, hi);
+  CacheStore(key, r);
+  return r;
+}
+
+size_t Manager::CountNodes(NodeIndex f) const {
+  if (IsTerminal(f)) return 0;
+  std::unordered_set<NodeIndex> seen;
+  std::vector<NodeIndex> stack{f};
+  while (!stack.empty()) {
+    NodeIndex n = stack.back();
+    stack.pop_back();
+    if (IsTerminal(n) || !seen.insert(n).second) continue;
+    stack.push_back(nodes_[n].low);
+    stack.push_back(nodes_[n].high);
+  }
+  return seen.size();
+}
+
+void Manager::Support(NodeIndex f, std::vector<Var>* vars) const {
+  std::unordered_set<NodeIndex> seen;
+  std::unordered_set<Var> found;
+  std::vector<NodeIndex> stack{f};
+  while (!stack.empty()) {
+    NodeIndex n = stack.back();
+    stack.pop_back();
+    if (IsTerminal(n) || !seen.insert(n).second) continue;
+    found.insert(nodes_[n].var);
+    stack.push_back(nodes_[n].low);
+    stack.push_back(nodes_[n].high);
+  }
+  vars->insert(vars->end(), found.begin(), found.end());
+  std::sort(vars->begin(), vars->end());
+  vars->erase(std::unique(vars->begin(), vars->end()), vars->end());
+}
+
+bool Manager::DependsOn(NodeIndex f, Var v) const {
+  std::unordered_set<NodeIndex> seen;
+  std::vector<NodeIndex> stack{f};
+  while (!stack.empty()) {
+    NodeIndex n = stack.back();
+    stack.pop_back();
+    if (IsTerminal(n) || !seen.insert(n).second) continue;
+    if (nodes_[n].var == v) return true;
+    if (nodes_[n].var > v) continue;  // Ordered: v cannot appear below.
+    stack.push_back(nodes_[n].low);
+    stack.push_back(nodes_[n].high);
+  }
+  return false;
+}
+
+bool Manager::AnyWitness(NodeIndex f,
+                         std::vector<std::pair<Var, bool>>* assignment) const {
+  assignment->clear();
+  if (f == kFalse) return false;
+  NodeIndex n = f;
+  while (!IsTerminal(n)) {
+    const Node& node = nodes_[n];
+    // Prefer the high branch (variable true) when it can reach TRUE; for
+    // monotone provenance functions this yields a minimal witness of
+    // present base tuples.
+    if (node.high != kFalse) {
+      assignment->emplace_back(node.var, true);
+      n = node.high;
+    } else {
+      assignment->emplace_back(node.var, false);
+      n = node.low;
+    }
+  }
+  RECNET_CHECK_EQ(n, kTrue);
+  return true;
+}
+
+bool Manager::Evaluate(NodeIndex f,
+                       const std::unordered_map<Var, bool>& truth) const {
+  NodeIndex n = f;
+  while (!IsTerminal(n)) {
+    const Node& node = nodes_[n];
+    auto it = truth.find(node.var);
+    bool value = (it != truth.end()) && it->second;
+    n = value ? node.high : node.low;
+  }
+  return n == kTrue;
+}
+
+std::string Manager::ToDot(NodeIndex f) const {
+  std::ostringstream os;
+  os << "digraph bdd {\n";
+  os << "  f [shape=none,label=\"f\"];\n  f -> n" << f << ";\n";
+  os << "  n0 [shape=box,label=\"0\"];\n  n1 [shape=box,label=\"1\"];\n";
+  std::unordered_set<NodeIndex> seen;
+  std::vector<NodeIndex> stack{f};
+  while (!stack.empty()) {
+    NodeIndex n = stack.back();
+    stack.pop_back();
+    if (IsTerminal(n) || !seen.insert(n).second) continue;
+    const Node& node = nodes_[n];
+    os << "  n" << n << " [label=\"x" << node.var << "\"];\n";
+    os << "  n" << n << " -> n" << node.low << " [style=dashed];\n";
+    os << "  n" << n << " -> n" << node.high << ";\n";
+    stack.push_back(node.low);
+    stack.push_back(node.high);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void Manager::Ref(NodeIndex n) {
+  RECNET_DCHECK(n < refcount_.size());
+  ++refcount_[n];
+}
+
+void Manager::Deref(NodeIndex n) {
+  RECNET_DCHECK(n < refcount_.size());
+  RECNET_DCHECK(refcount_[n] > 0);
+  --refcount_[n];
+}
+
+void Manager::MaybeGc() {
+  if (in_operation_) return;
+  if (live_nodes_ < gc_threshold_) return;
+  size_t freed = GarbageCollect();
+  // If the collection recovered little, grow the threshold so we do not
+  // thrash on workloads whose live set is genuinely large.
+  if (freed * 4 < live_nodes_ + freed) gc_threshold_ *= 2;
+}
+
+size_t Manager::GarbageCollect() {
+  ++gc_runs_;
+  std::vector<bool> marked(nodes_.size(), false);
+  marked[kFalse] = marked[kTrue] = true;
+  std::vector<NodeIndex> stack;
+  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+    if (refcount_[i] > 0 && !marked[i]) {
+      stack.push_back(i);
+      marked[i] = true;
+    }
+  }
+  while (!stack.empty()) {
+    NodeIndex n = stack.back();
+    stack.pop_back();
+    for (NodeIndex child : {nodes_[n].low, nodes_[n].high}) {
+      if (!marked[child]) {
+        marked[child] = true;
+        stack.push_back(child);
+      }
+    }
+  }
+  // Sweep: drop dead nodes from the unique table, recycle their slots.
+  size_t freed = 0;
+  std::unordered_set<NodeIndex> already_free(free_list_.begin(),
+                                             free_list_.end());
+  for (NodeIndex i = 2; i < nodes_.size(); ++i) {
+    if (marked[i] || already_free.count(i) > 0) continue;
+    unique_table_.erase(NodeKey{nodes_[i].var, nodes_[i].low, nodes_[i].high});
+    free_list_.push_back(i);
+    ++freed;
+  }
+  live_nodes_ -= freed;
+  ClearCaches();
+  return freed;
+}
+
+void Manager::ClearCaches() {
+  std::fill(op_cache_.begin(), op_cache_.end(), CacheEntry{});
+}
+
+}  // namespace bdd
+}  // namespace recnet

@@ -1,0 +1,38 @@
+#ifndef RECNET_COMMON_LOGGING_H_
+#define RECNET_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Lightweight assertion macros in the style of glog/absl CHECK.
+//
+// RECNET_CHECK(cond) aborts with a diagnostic when `cond` is false. These
+// guards stay enabled in release builds: the engine's invariants (canonical
+// BDD nodes, FIFO delivery, provenance bookkeeping) are cheap to test and
+// catastrophic to violate silently.
+
+#define RECNET_CHECK(cond)                                                 \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "RECNET_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define RECNET_CHECK_EQ(a, b) RECNET_CHECK((a) == (b))
+#define RECNET_CHECK_NE(a, b) RECNET_CHECK((a) != (b))
+#define RECNET_CHECK_LT(a, b) RECNET_CHECK((a) < (b))
+#define RECNET_CHECK_LE(a, b) RECNET_CHECK((a) <= (b))
+#define RECNET_CHECK_GT(a, b) RECNET_CHECK((a) > (b))
+#define RECNET_CHECK_GE(a, b) RECNET_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define RECNET_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define RECNET_DCHECK(cond) RECNET_CHECK(cond)
+#endif
+
+#endif  // RECNET_COMMON_LOGGING_H_

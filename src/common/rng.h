@@ -1,0 +1,45 @@
+#ifndef RECNET_COMMON_RNG_H_
+#define RECNET_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace recnet {
+
+// Deterministic pseudo-random generator (xoshiro256**). Every workload and
+// topology generator takes an explicit seed so that experiments are exactly
+// reproducible run-to-run — the paper averages across 10 runs; we expose the
+// seed as the run index instead.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Returns true with probability p.
+  bool NextBool(double p);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace recnet
+
+#endif  // RECNET_COMMON_RNG_H_

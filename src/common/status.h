@@ -1,0 +1,116 @@
+#ifndef RECNET_COMMON_STATUS_H_
+#define RECNET_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace recnet {
+
+// Error codes used across the library. The set mirrors the subset of
+// canonical codes (as used by RocksDB/Arrow-style Status types) that recnet
+// actually needs.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kResourceExhausted,
+};
+
+// A Status describes the result of an operation that can fail.
+//
+// recnet does not use exceptions (per the project style rules); fallible
+// public APIs return Status or StatusOr<T>. Hot-path internal invariants use
+// RECNET_CHECK instead.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable rendering, e.g. "InvalidArgument: bad arity".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// StatusOr<T> holds either a value or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so `return value;` and `return status;` both work
+  // inside functions returning StatusOr<T>, matching absl::StatusOr usage.
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    RECNET_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    RECNET_CHECK(ok());
+    return value_;
+  }
+  T& value() & {
+    RECNET_CHECK(ok());
+    return value_;
+  }
+  T&& value() && {
+    RECNET_CHECK(ok());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+#define RECNET_RETURN_IF_ERROR(expr)         \
+  do {                                       \
+    ::recnet::Status _st = (expr);           \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace recnet
+
+#endif  // RECNET_COMMON_STATUS_H_

@@ -1,0 +1,64 @@
+#include "common/value.h"
+
+#include <functional>
+#include <sstream>
+
+namespace recnet {
+
+size_t Value::WireSizeBytes() const {
+  if (is_string()) return 4 + AsString().size();
+  return 8;
+}
+
+std::string Value::ToString() const {
+  if (is_int()) return std::to_string(AsInt());
+  if (is_double()) {
+    std::ostringstream os;
+    os << AsDouble();
+    return os.str();
+  }
+  return AsString();
+}
+
+size_t Value::Hash() const {
+  if (is_int()) return static_cast<size_t>(Mix64(0x11 ^ AsInt()));
+  if (is_double()) {
+    double d = AsDouble();
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    return static_cast<size_t>(Mix64(0x22 ^ bits));
+  }
+  return HashCombine(0x33, std::hash<std::string>()(AsString()));
+}
+
+Tuple Tuple::OfInts(std::initializer_list<int64_t> ints) {
+  std::vector<Value> values;
+  values.reserve(ints.size());
+  for (int64_t v : ints) values.emplace_back(v);
+  return Tuple(std::move(values));
+}
+
+size_t Tuple::WireSizeBytes() const {
+  size_t bytes = 2;  // arity
+  for (const Value& v : values_) bytes += v.WireSizeBytes();
+  return bytes;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+size_t Tuple::Hash() const {
+  size_t h = 0x9e3779b9;
+  for (const Value& v : values_) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+}  // namespace recnet

@@ -1,0 +1,113 @@
+#ifndef RECNET_COMMON_VALUE_H_
+#define RECNET_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace recnet {
+
+// Identifier of a logical query-processing node (a partition owner). The
+// paper horizontally partitions every relation by its first attribute; that
+// attribute's value names the node that stores the partition.
+using LogicalNode = int32_t;
+
+// A single attribute value. Network-state relations carry node ids and
+// costs; path relations additionally carry path vectors rendered as strings
+// (the `vec` attribute of Query 2).
+class Value {
+ public:
+  Value() : rep_(int64_t{0}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(double v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_double() const { return std::holds_alternative<double>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const { return std::get<double>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  // Bytes this value occupies in a wire message (used by the bandwidth
+  // accounting that backs the paper's "communication overhead" metric).
+  size_t WireSizeBytes() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.rep_ < b.rep_;
+  }
+
+  size_t Hash() const;
+
+ private:
+  std::variant<int64_t, double, std::string> rep_;
+};
+
+// A tuple is an ordered list of values. Equality and hashing are structural,
+// so tuples can key the provenance hash tables of Algorithms 1-4.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  // Convenience constructors for the common network-relation shapes.
+  static Tuple OfInts(std::initializer_list<int64_t> ints);
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  int64_t IntAt(size_t i) const { return values_[i].AsInt(); }
+  double DoubleAt(size_t i) const { return values_[i].AsDouble(); }
+  const std::string& StringAt(size_t i) const {
+    return values_[i].AsString();
+  }
+
+  size_t WireSizeBytes() const;
+  std::string ToString() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.values_ == b.values_;
+  }
+  friend bool operator!=(const Tuple& a, const Tuple& b) { return !(a == b); }
+  friend bool operator<(const Tuple& a, const Tuple& b) {
+    return a.values_ < b.values_;
+  }
+
+  size_t Hash() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+// 64-bit mixing (splitmix64 finalizer); used for hash combining everywhere.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline size_t HashCombine(size_t seed, size_t v) {
+  return static_cast<size_t>(Mix64(seed * 0x100000001b3ULL ^ v));
+}
+
+}  // namespace recnet
+
+#endif  // RECNET_COMMON_VALUE_H_

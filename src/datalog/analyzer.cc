@@ -1,0 +1,126 @@
+#include "datalog/analyzer.h"
+
+namespace recnet {
+namespace datalog {
+namespace {
+
+Status CheckAritiesAndCollect(const Program& program, ProgramInfo* info) {
+  auto check = [&](const Atom& atom) -> Status {
+    auto [it, inserted] = info->arity.emplace(atom.predicate, atom.args.size());
+    if (!inserted && it->second != atom.args.size()) {
+      return Status::InvalidArgument("predicate '" + atom.predicate +
+                                     "' used with inconsistent arity");
+    }
+    return Status::OK();
+  };
+  for (const Rule& rule : program.rules) {
+    RECNET_RETURN_IF_ERROR(check(rule.head));
+    info->idb.insert(rule.head.predicate);
+    for (const Atom& atom : rule.body) {
+      RECNET_RETURN_IF_ERROR(check(atom));
+    }
+  }
+  for (const Rule& rule : program.rules) {
+    for (const Atom& atom : rule.body) {
+      if (info->idb.find(atom.predicate) == info->idb.end()) {
+        info->edb.insert(atom.predicate);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckSafety(const Rule& rule) {
+  std::set<std::string> bound;
+  for (const Atom& atom : rule.body) {
+    for (const Term& term : atom.args) {
+      if (term.kind == Term::Kind::kVariable) bound.insert(term.name);
+    }
+  }
+  for (const Term& term : rule.head.args) {
+    if (term.kind == Term::Kind::kVariable &&
+        bound.find(term.name) == bound.end() && !rule.IsFact()) {
+      return Status::InvalidArgument("unsafe rule: head variable '" +
+                                     term.name + "' not bound in body of " +
+                                     rule.ToString());
+    }
+    if (term.kind == Term::Kind::kAggregate &&
+        bound.find(term.name) == bound.end()) {
+      return Status::InvalidArgument("unsafe rule: aggregated variable '" +
+                                     term.name + "' not bound in body of " +
+                                     rule.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+// Computes the set of predicates on a dependency cycle by iterating
+// "depends, transitively" until fixpoint (programs are small).
+std::set<std::string> FindRecursive(const Program& program) {
+  // deps[p] = predicates appearing in bodies of rules with head p.
+  std::map<std::string, std::set<std::string>> deps;
+  for (const Rule& rule : program.rules) {
+    for (const Atom& atom : rule.body) {
+      deps[rule.head.predicate].insert(atom.predicate);
+    }
+  }
+  // Transitive closure.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [head, body] : deps) {
+      std::set<std::string> grown = body;
+      for (const std::string& p : body) {
+        auto it = deps.find(p);
+        if (it == deps.end()) continue;
+        grown.insert(it->second.begin(), it->second.end());
+      }
+      if (grown.size() != body.size()) {
+        body = std::move(grown);
+        changed = true;
+      }
+    }
+  }
+  std::set<std::string> recursive;
+  for (const auto& [head, reach] : deps) {
+    if (reach.find(head) != reach.end()) recursive.insert(head);
+  }
+  return recursive;
+}
+
+}  // namespace
+
+StatusOr<ProgramInfo> Analyze(const Program& program) {
+  ProgramInfo info;
+  RECNET_RETURN_IF_ERROR(CheckAritiesAndCollect(program, &info));
+  for (const Rule& rule : program.rules) {
+    RECNET_RETURN_IF_ERROR(CheckSafety(rule));
+  }
+  info.recursive = FindRecursive(program);
+
+  for (const Rule& rule : program.rules) {
+    bool head_recursive =
+        info.recursive.find(rule.head.predicate) != info.recursive.end();
+    if (!head_recursive) continue;
+    // Aggregates inside the recursion are not supported (the paper pushes
+    // aggregate *selections* into recursion but defines aggregate views
+    // outside it).
+    for (const Term& term : rule.head.args) {
+      if (term.kind == Term::Kind::kAggregate) {
+        return Status::Unimplemented(
+            "aggregate in recursive rule head: " + rule.ToString());
+      }
+    }
+    int recursive_atoms = 0;
+    for (const Atom& atom : rule.body) {
+      if (info.recursive.find(atom.predicate) != info.recursive.end()) {
+        ++recursive_atoms;
+      }
+    }
+    if (recursive_atoms > 1) info.linear_recursion = false;
+  }
+  return info;
+}
+
+}  // namespace datalog
+}  // namespace recnet

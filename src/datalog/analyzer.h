@@ -1,0 +1,40 @@
+#ifndef RECNET_DATALOG_ANALYZER_H_
+#define RECNET_DATALOG_ANALYZER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace recnet {
+namespace datalog {
+
+// Semantic facts the planner needs about a program.
+struct ProgramInfo {
+  // Predicates defined by some rule head (IDB); everything else referenced
+  // only in bodies is base data (EDB).
+  std::set<std::string> idb;
+  std::set<std::string> edb;
+  // Predicates involved in recursion (their own [mutual] dependency cycle).
+  std::set<std::string> recursive;
+  // True iff every recursive rule is linear: at most one body atom is
+  // mutually recursive with the head (SQL-99's restriction, which the paper
+  // notes "comprises a bulk of network queries of interest").
+  bool linear_recursion = true;
+  // Arity of each predicate.
+  std::map<std::string, size_t> arity;
+};
+
+// Validates the program and derives ProgramInfo. Errors:
+//  * unsafe rules (head variable or aggregated variable not bound in body);
+//  * inconsistent predicate arity;
+//  * aggregates in recursive rule heads (not supported).
+StatusOr<ProgramInfo> Analyze(const Program& program);
+
+}  // namespace datalog
+}  // namespace recnet
+
+#endif  // RECNET_DATALOG_ANALYZER_H_

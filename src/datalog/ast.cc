@@ -1,0 +1,72 @@
+#include "datalog/ast.h"
+
+#include <sstream>
+
+namespace recnet {
+namespace datalog {
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kNone:
+      return "none";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+  }
+  return "?";
+}
+
+std::string Term::ToString() const {
+  switch (kind) {
+    case Kind::kVariable:
+      return name;
+    case Kind::kNumber: {
+      std::ostringstream os;
+      os << number;
+      return os.str();
+    }
+    case Kind::kString:
+      return "\"" + text + "\"";
+    case Kind::kAggregate:
+      return std::string(AggKindName(agg)) + "<" + name + ">";
+  }
+  return "?";
+}
+
+std::string Atom::ToString() const {
+  std::string out = predicate + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ",";
+    out += args[i].ToString();
+  }
+  return out + ")";
+}
+
+std::string Rule::ToString() const {
+  std::string out = head.ToString();
+  if (!body.empty()) {
+    out += " :- ";
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += body[i].ToString();
+    }
+  }
+  return out + ".";
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Rule& rule : rules) {
+    out += rule.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace datalog
+}  // namespace recnet

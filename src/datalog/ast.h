@@ -1,0 +1,68 @@
+#ifndef RECNET_DATALOG_AST_H_
+#define RECNET_DATALOG_AST_H_
+
+#include <string>
+#include <vector>
+
+namespace recnet {
+namespace datalog {
+
+// Aggregate functions allowed in head terms, e.g. minCost(x,y,min<c>).
+enum class AggKind { kNone, kMin, kMax, kCount, kSum };
+
+// A term in an atom: variable, constant, or (head-only) aggregate over a
+// body variable.
+struct Term {
+  enum class Kind { kVariable, kNumber, kString, kAggregate };
+  Kind kind = Kind::kVariable;
+  std::string name;         // Variable name / aggregated variable.
+  double number = 0;        // kNumber.
+  std::string text;         // kString.
+  AggKind agg = AggKind::kNone;  // kAggregate.
+
+  static Term Variable(std::string n) {
+    Term t;
+    t.kind = Kind::kVariable;
+    t.name = std::move(n);
+    return t;
+  }
+  static Term Aggregate(AggKind agg, std::string over) {
+    Term t;
+    t.kind = Kind::kAggregate;
+    t.agg = agg;
+    t.name = std::move(over);
+    return t;
+  }
+
+  std::string ToString() const;
+};
+
+// predicate(term, term, ...).
+struct Atom {
+  std::string predicate;
+  std::vector<Term> args;
+
+  std::string ToString() const;
+};
+
+// head :- body_0, ..., body_n.   (facts have an empty body)
+struct Rule {
+  Atom head;
+  std::vector<Atom> body;
+
+  bool IsFact() const { return body.empty(); }
+  std::string ToString() const;
+};
+
+struct Program {
+  std::vector<Rule> rules;
+
+  std::string ToString() const;
+};
+
+const char* AggKindName(AggKind kind);
+
+}  // namespace datalog
+}  // namespace recnet
+
+#endif  // RECNET_DATALOG_AST_H_

@@ -1,0 +1,143 @@
+#include "datalog/lexer.h"
+
+#include <cctype>
+
+namespace recnet {
+namespace datalog {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Lex(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+  auto make = [&](TokenKind kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    t.column = column;
+    return t;
+  };
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++column;
+      ++i;
+      continue;
+    }
+    if (c == '%') {  // Comment to end of line.
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      Token t = make(TokenKind::kIdent);
+      size_t start = i;
+      while (i < source.size() && IsIdentChar(source[i])) {
+        ++i;
+        ++column;
+      }
+      t.text = source.substr(start, i - start);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      Token t = make(TokenKind::kNumber);
+      size_t start = i;
+      while (i < source.size() &&
+             (std::isdigit(static_cast<unsigned char>(source[i])) ||
+              source[i] == '.')) {
+        // A period followed by a non-digit terminates the number (it is the
+        // rule terminator).
+        if (source[i] == '.' &&
+            (i + 1 >= source.size() ||
+             !std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+          break;
+        }
+        ++i;
+        ++column;
+      }
+      t.text = source.substr(start, i - start);
+      t.number = std::stod(t.text);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      Token t = make(TokenKind::kString);
+      ++i;
+      ++column;
+      size_t start = i;
+      while (i < source.size() && source[i] != '"') {
+        if (source[i] == '\n') {
+          return Status::InvalidArgument(
+              "unterminated string literal at line " + std::to_string(line));
+        }
+        ++i;
+        ++column;
+      }
+      if (i >= source.size()) {
+        return Status::InvalidArgument(
+            "unterminated string literal at line " + std::to_string(line));
+      }
+      t.text = source.substr(start, i - start);
+      ++i;  // Closing quote.
+      ++column;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == ':' && i + 1 < source.size() && source[i + 1] == '-') {
+      tokens.push_back(make(TokenKind::kColonDash));
+      i += 2;
+      column += 2;
+      continue;
+    }
+    TokenKind kind;
+    switch (c) {
+      case '(':
+        kind = TokenKind::kLParen;
+        break;
+      case ')':
+        kind = TokenKind::kRParen;
+        break;
+      case ',':
+        kind = TokenKind::kComma;
+        break;
+      case '.':
+        kind = TokenKind::kPeriod;
+        break;
+      case '<':
+        kind = TokenKind::kLAngle;
+        break;
+      case '>':
+        kind = TokenKind::kRAngle;
+        break;
+      default:
+        return Status::InvalidArgument(
+            std::string("unexpected character '") + c + "' at line " +
+            std::to_string(line) + ", column " + std::to_string(column));
+    }
+    tokens.push_back(make(kind));
+    ++i;
+    ++column;
+  }
+  tokens.push_back(Token{TokenKind::kEnd, "", 0, line, column});
+  return tokens;
+}
+
+}  // namespace datalog
+}  // namespace recnet

@@ -1,0 +1,19 @@
+#ifndef RECNET_DATALOG_LEXER_H_
+#define RECNET_DATALOG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/token.h"
+
+namespace recnet {
+namespace datalog {
+
+// Tokenizes a Datalog program. `%`-to-end-of-line comments are skipped.
+StatusOr<std::vector<Token>> Lex(const std::string& source);
+
+}  // namespace datalog
+}  // namespace recnet
+
+#endif  // RECNET_DATALOG_LEXER_H_

@@ -1,0 +1,145 @@
+#include "datalog/parser.h"
+
+#include "datalog/lexer.h"
+
+namespace recnet {
+namespace datalog {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<Program> ParseProgram() {
+    Program program;
+    while (!At(TokenKind::kEnd)) {
+      StatusOr<Rule> rule = ParseRule();
+      if (!rule.ok()) return rule.status();
+      program.rules.push_back(std::move(rule.value()));
+    }
+    return program;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool At(TokenKind kind) const { return Peek().kind == kind; }
+  Token Advance() { return tokens_[pos_++]; }
+
+  Status Expect(TokenKind kind) {
+    if (!At(kind)) {
+      return Status::InvalidArgument(
+          std::string("expected ") + TokenKindName(kind) + " but found " +
+          TokenKindName(Peek().kind) + " at line " +
+          std::to_string(Peek().line));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  StatusOr<Rule> ParseRule() {
+    Rule rule;
+    StatusOr<Atom> head = ParseAtom(/*allow_aggregates=*/true);
+    if (!head.ok()) return head.status();
+    rule.head = std::move(head.value());
+    if (At(TokenKind::kColonDash)) {
+      Advance();
+      while (true) {
+        StatusOr<Atom> atom = ParseAtom(/*allow_aggregates=*/false);
+        if (!atom.ok()) return atom.status();
+        rule.body.push_back(std::move(atom.value()));
+        if (At(TokenKind::kComma)) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    RECNET_RETURN_IF_ERROR(Expect(TokenKind::kPeriod));
+    return rule;
+  }
+
+  StatusOr<Atom> ParseAtom(bool allow_aggregates) {
+    Atom atom;
+    if (!At(TokenKind::kIdent)) {
+      return Status::InvalidArgument(
+          std::string("expected predicate name but found ") +
+          TokenKindName(Peek().kind) + " at line " +
+          std::to_string(Peek().line));
+    }
+    atom.predicate = Advance().text;
+    RECNET_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    if (!At(TokenKind::kRParen)) {
+      while (true) {
+        StatusOr<Term> term = ParseTerm(allow_aggregates);
+        if (!term.ok()) return term.status();
+        atom.args.push_back(std::move(term.value()));
+        if (At(TokenKind::kComma)) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    RECNET_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    return atom;
+  }
+
+  StatusOr<Term> ParseTerm(bool allow_aggregates) {
+    if (At(TokenKind::kNumber)) {
+      Term t;
+      t.kind = Term::Kind::kNumber;
+      t.number = Advance().number;
+      return t;
+    }
+    if (At(TokenKind::kString)) {
+      Term t;
+      t.kind = Term::Kind::kString;
+      t.text = Advance().text;
+      return t;
+    }
+    if (!At(TokenKind::kIdent)) {
+      return Status::InvalidArgument(
+          std::string("expected term but found ") +
+          TokenKindName(Peek().kind) + " at line " +
+          std::to_string(Peek().line));
+    }
+    Token ident = Advance();
+    AggKind agg = AggKind::kNone;
+    if (ident.text == "min") agg = AggKind::kMin;
+    if (ident.text == "max") agg = AggKind::kMax;
+    if (ident.text == "count") agg = AggKind::kCount;
+    if (ident.text == "sum") agg = AggKind::kSum;
+    if (agg != AggKind::kNone && At(TokenKind::kLAngle)) {
+      if (!allow_aggregates) {
+        return Status::InvalidArgument(
+            "aggregate term not allowed in rule body (line " +
+            std::to_string(ident.line) + ")");
+      }
+      Advance();  // <
+      if (!At(TokenKind::kIdent)) {
+        return Status::InvalidArgument(
+            "expected variable inside aggregate at line " +
+            std::to_string(Peek().line));
+      }
+      std::string over = Advance().text;
+      RECNET_RETURN_IF_ERROR(Expect(TokenKind::kRAngle));
+      return Term::Aggregate(agg, std::move(over));
+    }
+    return Term::Variable(std::move(ident.text));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Program> Parse(const std::string& source) {
+  StatusOr<std::vector<Token>> tokens = Lex(source);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens.value()));
+  return parser.ParseProgram();
+}
+
+}  // namespace datalog
+}  // namespace recnet

@@ -1,0 +1,26 @@
+#ifndef RECNET_DATALOG_PARSER_H_
+#define RECNET_DATALOG_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace recnet {
+namespace datalog {
+
+// Parses a Datalog program in the paper's dialect:
+//
+//   reachable(x,y) :- link(x,y).
+//   reachable(x,y) :- link(x,z), reachable(z,y).
+//   minCost(x,y,min<c>) :- path(x,y,p,c,l).
+//
+// Bare identifiers in argument position are variables; numbers and quoted
+// strings are constants; head terms may be aggregates (min/max/count/sum
+// over a body variable).
+StatusOr<Program> Parse(const std::string& source);
+
+}  // namespace datalog
+}  // namespace recnet
+
+#endif  // RECNET_DATALOG_PARSER_H_

@@ -1,0 +1,189 @@
+#include "datalog/planner.h"
+
+#include <optional>
+#include <sstream>
+
+#include "datalog/parser.h"
+
+namespace recnet {
+namespace datalog {
+namespace {
+
+bool SameVariable(const Term& a, const Term& b) {
+  return a.kind == Term::Kind::kVariable && b.kind == Term::Kind::kVariable &&
+         a.name == b.name;
+}
+
+// Matches `view(x, y) :- edb(x, y).` (base rule: head vars = body vars in
+// order).
+bool MatchesBaseRule(const Rule& rule, const std::string& view,
+                     const std::string& edb) {
+  if (rule.head.predicate != view || rule.body.size() != 1) return false;
+  const Atom& body = rule.body[0];
+  if (body.predicate != edb) return false;
+  if (body.args.size() != rule.head.args.size()) return false;
+  for (size_t i = 0; i < body.args.size(); ++i) {
+    if (!SameVariable(rule.head.args[i], body.args[i])) return false;
+  }
+  return true;
+}
+
+// Matches `view(x, y) :- edb(x, z), view(z, y).` up to variable renaming
+// and body-atom order; fills the join columns.
+bool MatchesRecursiveRule(const Rule& rule, const std::string& view,
+                          const std::string& edb, PlanSpec* spec) {
+  if (rule.head.predicate != view || rule.body.size() != 2) return false;
+  const Atom* edb_atom = nullptr;
+  const Atom* view_atom = nullptr;
+  for (const Atom& atom : rule.body) {
+    if (atom.predicate == edb) edb_atom = &atom;
+    if (atom.predicate == view) view_atom = &atom;
+  }
+  if (edb_atom == nullptr || view_atom == nullptr) return false;
+  if (edb_atom->args.size() != 2 || view_atom->args.size() != 2 ||
+      rule.head.args.size() != 2) {
+    return false;
+  }
+  // head.0 comes from the edb atom, head.1 from the view atom, and the
+  // remaining edb/view positions join.
+  if (!SameVariable(rule.head.args[0], edb_atom->args[0])) return false;
+  if (!SameVariable(rule.head.args[1], view_atom->args[1])) return false;
+  if (!SameVariable(edb_atom->args[1], view_atom->args[0])) return false;
+  spec->edb_join_col = 1;
+  spec->view_join_col = 0;
+  return true;
+}
+
+std::optional<AggViewSpec> MatchAggView(const Rule& rule,
+                                        const std::string& view) {
+  if (rule.body.size() != 1 || rule.body[0].predicate != view) {
+    return std::nullopt;
+  }
+  const Atom& body = rule.body[0];
+  AggViewSpec spec;
+  spec.name = rule.head.predicate;
+  bool has_agg = false;
+  for (const Term& term : rule.head.args) {
+    if (term.kind == Term::Kind::kAggregate) {
+      if (has_agg) return std::nullopt;  // One aggregate per view.
+      has_agg = true;
+      spec.agg = term.agg;
+      for (size_t i = 0; i < body.args.size(); ++i) {
+        if (body.args[i].kind == Term::Kind::kVariable &&
+            body.args[i].name == term.name) {
+          spec.value_col = i;
+        }
+      }
+    } else if (term.kind == Term::Kind::kVariable) {
+      for (size_t i = 0; i < body.args.size(); ++i) {
+        if (SameVariable(term, body.args[i])) spec.group_cols.push_back(i);
+      }
+    }
+  }
+  if (!has_agg) return std::nullopt;
+  return spec;
+}
+
+}  // namespace
+
+std::string PlanSpec::ToString() const {
+  std::ostringstream os;
+  os << "Plan[view=" << view << " edb=" << edb << " join(" << edb << "."
+     << edb_join_col << "=" << view << "." << view_join_col << ")";
+  for (const AggViewSpec& agg : agg_views) {
+    os << " agg:" << agg.name << "=" << AggKindName(agg.agg) << "(col"
+       << agg.value_col << ")";
+  }
+  os << "]";
+  return os.str();
+}
+
+StatusOr<PlanSpec> PlanProgram(const Program& program,
+                               const ProgramInfo& info) {
+  if (info.recursive.empty()) {
+    return Status::Unimplemented(
+        "program has no recursive view; nothing to plan");
+  }
+  if (info.recursive.size() != 1) {
+    return Status::Unimplemented(
+        "mutual recursion between multiple predicates is not supported");
+  }
+  if (!info.linear_recursion) {
+    return Status::Unimplemented(
+        "non-linear recursion is not supported (SQL-99 restriction)");
+  }
+  PlanSpec spec;
+  spec.view = *info.recursive.begin();
+  auto arity_it = info.arity.find(spec.view);
+  RECNET_CHECK(arity_it != info.arity.end());
+  spec.arity = arity_it->second;
+  if (spec.arity != 2) {
+    return Status::Unimplemented(
+        "only binary recursive views lower onto the reachability plan");
+  }
+
+  // Identify the EDB from the recursive rule(s).
+  bool base_seen = false;
+  bool recursive_seen = false;
+  for (const Rule& rule : program.rules) {
+    if (rule.head.predicate != spec.view) {
+      std::optional<AggViewSpec> agg = MatchAggView(rule, spec.view);
+      if (agg.has_value()) spec.agg_views.push_back(std::move(*agg));
+      continue;
+    }
+    bool is_recursive = false;
+    for (const Atom& atom : rule.body) {
+      if (atom.predicate == spec.view) is_recursive = true;
+    }
+    if (is_recursive) {
+      std::string edb;
+      for (const Atom& atom : rule.body) {
+        if (atom.predicate != spec.view) edb = atom.predicate;
+      }
+      if (edb.empty() || (spec.edb != "" && spec.edb != edb)) {
+        return Status::Unimplemented(
+            "unsupported recursive rule shape: " + rule.ToString());
+      }
+      spec.edb = edb;
+      if (!MatchesRecursiveRule(rule, spec.view, spec.edb, &spec)) {
+        return Status::Unimplemented(
+            "recursive rule does not match the link/reachable join shape: " +
+            rule.ToString());
+      }
+      recursive_seen = true;
+    }
+  }
+  if (!recursive_seen) {
+    return Status::Unimplemented("no recursive rule found for " + spec.view);
+  }
+  for (const Rule& rule : program.rules) {
+    if (rule.head.predicate == spec.view && !rule.IsFact()) {
+      bool is_recursive = false;
+      for (const Atom& atom : rule.body) {
+        if (atom.predicate == spec.view) is_recursive = true;
+      }
+      if (!is_recursive) {
+        if (!MatchesBaseRule(rule, spec.view, spec.edb)) {
+          return Status::Unimplemented(
+              "base rule does not copy the EDB: " + rule.ToString());
+        }
+        base_seen = true;
+      }
+    }
+  }
+  if (!base_seen) {
+    return Status::Unimplemented("no base rule found for " + spec.view);
+  }
+  return spec;
+}
+
+StatusOr<PlanSpec> PlanSource(const std::string& source) {
+  StatusOr<Program> program = Parse(source);
+  if (!program.ok()) return program.status();
+  StatusOr<ProgramInfo> info = Analyze(program.value());
+  if (!info.ok()) return info.status();
+  return PlanProgram(program.value(), info.value());
+}
+
+}  // namespace datalog
+}  // namespace recnet

@@ -1,0 +1,58 @@
+#ifndef RECNET_DATALOG_PLANNER_H_
+#define RECNET_DATALOG_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/analyzer.h"
+#include "datalog/ast.h"
+
+namespace recnet {
+namespace datalog {
+
+// A derived (non-recursive) aggregate view over the recursive view, e.g.
+// regionSizes(rid, count<x>) :- activeRegion(rid, x).
+struct AggViewSpec {
+  std::string name;
+  std::vector<size_t> group_cols;  // Positions in the recursive view.
+  AggKind agg = AggKind::kNone;
+  size_t value_col = 0;
+};
+
+// The distributed plan shape the planner recognized. The recnet operator
+// library executes transitive-closure-shaped linear recursion (the paper's
+// Figure 4 plan); richer recursion is reported as Unimplemented.
+struct PlanSpec {
+  // Recursive view name (e.g. "reachable") and the EDB it closes over
+  // (e.g. "link").
+  std::string view;
+  std::string edb;
+  size_t arity = 2;
+  // Positions joined in the recursive rule: edb.dst = view.src.
+  size_t edb_join_col = 1;
+  size_t view_join_col = 0;
+  std::vector<AggViewSpec> agg_views;
+
+  std::string ToString() const;
+};
+
+// Lowers a parsed + analyzed program onto the operator library's
+// transitive-closure plan (paper Figure 4):
+//
+//   view(x, y) :- edb(x, y).
+//   view(x, y) :- edb(x, z), view(z, y).
+//   [optional aggregate views over `view`]
+//
+// Variable names are arbitrary; the shape is matched structurally. Returns
+// Unimplemented for recursion the engine cannot execute.
+StatusOr<PlanSpec> PlanProgram(const Program& program,
+                               const ProgramInfo& info);
+
+// Convenience: parse, analyze and plan in one call.
+StatusOr<PlanSpec> PlanSource(const std::string& source);
+
+}  // namespace datalog
+}  // namespace recnet
+
+#endif  // RECNET_DATALOG_PLANNER_H_

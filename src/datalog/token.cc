@@ -1,0 +1,35 @@
+#include "datalog/token.h"
+
+namespace recnet {
+namespace datalog {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kPeriod:
+      return "'.'";
+    case TokenKind::kColonDash:
+      return "':-'";
+    case TokenKind::kLAngle:
+      return "'<'";
+    case TokenKind::kRAngle:
+      return "'>'";
+    case TokenKind::kEnd:
+      return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace datalog
+}  // namespace recnet

@@ -1,0 +1,39 @@
+#ifndef RECNET_DATALOG_TOKEN_H_
+#define RECNET_DATALOG_TOKEN_H_
+
+#include <string>
+
+namespace recnet {
+namespace datalog {
+
+// Lexical tokens of the paper's Datalog dialect, e.g.
+//   reachable(x,y) :- link(x,z), reachable(z,y).
+//   minCost(x,y,min<c>) :- path(x,y,p,c,l).
+enum class TokenKind {
+  kIdent,     // reachable, x, min (aggregates resolved by the parser)
+  kNumber,    // 42, 3.5
+  kString,    // "foo"
+  kLParen,    // (
+  kRParen,    // )
+  kComma,     // ,
+  kPeriod,    // .
+  kColonDash, // :-
+  kLAngle,    // <
+  kRAngle,    // >
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  double number = 0;
+  int line = 1;
+  int column = 1;
+};
+
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace datalog
+}  // namespace recnet
+
+#endif  // RECNET_DATALOG_TOKEN_H_

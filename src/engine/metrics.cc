@@ -1,0 +1,25 @@
+#include "engine/metrics.h"
+
+#include <sstream>
+
+namespace recnet {
+
+std::string RunMetrics::ToString() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << "prov_B/tuple=" << per_tuple_prov_bytes << " comm_MB=" << comm_mb
+     << " state_MB=" << state_mb << " time_s=" << wall_seconds
+     << " sim_s=" << sim_seconds << " msgs=" << messages
+     << (converged ? "" : " [budget exceeded]");
+  return os.str();
+}
+
+double EstimateSimSeconds(double wall_seconds, uint64_t cross_messages,
+                          int num_physical, double per_msg_latency_s) {
+  double compute = wall_seconds / num_physical;
+  double latency = per_msg_latency_s * static_cast<double>(cross_messages) /
+                   num_physical;
+  return compute + latency;
+}
+
+}  // namespace recnet

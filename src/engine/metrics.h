@@ -1,0 +1,42 @@
+#ifndef RECNET_ENGINE_METRICS_H_
+#define RECNET_ENGINE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/router.h"
+
+namespace recnet {
+
+// Metrics of one experiment run, matching the four panels that every figure
+// in the paper's evaluation reports (Section 7.1).
+struct RunMetrics {
+  // (a) Per-tuple provenance overhead, bytes.
+  double per_tuple_prov_bytes = 0;
+  // (b) Communication overhead, MB (cross-physical-peer traffic).
+  double comm_mb = 0;
+  // (c) State within operators, MB.
+  double state_mb = 0;
+  // (d) Convergence time, seconds. Wall-clock of the single-threaded
+  // simulation (the dominating compute cost), plus a simulated
+  // parallel-time estimate when physical peers vary (Figure 13).
+  double wall_seconds = 0;
+  double sim_seconds = 0;
+
+  uint64_t messages = 0;
+  uint64_t kill_messages = 0;
+  bool converged = true;
+
+  std::string ToString() const;
+};
+
+// Derives a parallel-convergence estimate from traffic accounting: the
+// single-threaded work divides across `num_physical` peers, while every
+// cross-peer message adds latency (`per_msg_latency_s`) amortized across
+// peers that communicate concurrently.
+double EstimateSimSeconds(double wall_seconds, uint64_t cross_messages,
+                          int num_physical, double per_msg_latency_s);
+
+}  // namespace recnet
+
+#endif  // RECNET_ENGINE_METRICS_H_

@@ -1,0 +1,104 @@
+#ifndef RECNET_ENGINE_REGION_RUNTIME_H_
+#define RECNET_ENGINE_REGION_RUNTIME_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/runtime_base.h"
+#include "operators/fixpoint.h"
+#include "operators/group_by.h"
+#include "topology/sensor_grid.h"
+
+namespace recnet {
+
+// Distributed maintenance of the paper's Query 3 (Largest Region): the
+// recursive view activeRegion(rid, sensor) grows a contiguous region of
+// triggered sensors outward from each seed, and the aggregate views
+// regionSizes / largestRegion(s) are layered on top.
+//
+// Partitioning: activeRegion tuples live at the member sensor's node (one
+// logical node per sensor, co-located onto physical peers). Region-size
+// counts live at the node owning the region id; the global largest-region
+// view lives at node 0. View membership changes ship count deltas upward,
+// so aggregate traffic is part of the measured communication, as in the
+// paper's region experiments (Figures 9-10).
+//
+// Rules (paper Query 3):
+//   activeRegion(r, x) :- seed(r, x), isTriggered(x).           [pv = t_x]
+//   activeRegion(r, y) :- activeRegion(r, x), isTriggered(x),
+//                         distance(x, y) < k.                   [pv ∧ t_x]
+class RegionRuntime : public RuntimeBase {
+ public:
+  RegionRuntime(const SensorField& field, const RuntimeOptions& options);
+
+  // Marks sensor as triggered / untriggered (inserts or deletes the
+  // isTriggered(sensor) base fact). Call Run() to propagate.
+  void Trigger(int sensor);
+  void Untrigger(int sensor);
+  bool IsTriggered(int sensor) const;
+
+  // --- View access ----------------------------------------------------------
+
+  bool InRegion(int region, int sensor) const;
+  std::set<int> RegionMembers(int region) const;
+  size_t ViewSize() const;
+
+  // regionSizes(region): current member count, from the distributed count
+  // view (0 when the region is empty).
+  int64_t RegionSize(int region) const;
+  // largestRegion(): max over regionSizes; 0 when all regions are empty.
+  int64_t LargestRegionSize() const;
+  // largestRegions(): regions whose size equals the maximum.
+  std::vector<int> LargestRegions() const;
+
+  int num_regions() const { return static_cast<int>(field_.seed_sensors.size()); }
+
+ protected:
+  void HandleEnvelope(const Envelope& env) override;
+  bool AfterQuiescent() override;
+  size_t StateSizeBytes() const override;
+
+ private:
+  struct NodeState {
+    std::unique_ptr<Fixpoint> fix;
+    std::unique_ptr<MinShip> ship;
+    // Aggregator state for regions owned by this node: region -> count.
+    std::unique_ptr<GroupByAggregate> region_sizes;
+  };
+
+  NodeState& node(LogicalNode n) { return nodes_[static_cast<size_t>(n)]; }
+  const NodeState& node(LogicalNode n) const {
+    return nodes_[static_cast<size_t>(n)];
+  }
+
+  LogicalNode AggOwner(int region) const {
+    return static_cast<LogicalNode>(region % num_logical());
+  }
+
+  void HandleActiveInsert(LogicalNode at, const Tuple& tuple, const Prov& pv);
+  void HandleActiveDelete(LogicalNode at, const Tuple& tuple);
+  void HandleKill(LogicalNode at, const std::vector<bdd::Var>& killed);
+  // Derives neighbors of x from activeRegion(r, x), given x is triggered.
+  void ExpandFrom(LogicalNode x, const Tuple& active, const Prov& pv);
+  void NotifyViewInsert(LogicalNode at, const Tuple& active);
+  void NotifyViewDelete(LogicalNode at, const Tuple& active);
+  void SeedRederivation();
+
+  SensorField field_;
+  std::vector<NodeState> nodes_;
+  // Trigger fact variable per sensor (nullopt = not triggered).
+  std::vector<std::optional<bdd::Var>> trig_var_;
+  // seeds_of_[x] = region ids whose main sensor is x.
+  std::vector<std::vector<int>> seeds_of_;
+  // Node 0's largestRegion state: region -> size.
+  std::unordered_map<int, int64_t> sizes_at_root_;
+  bool rederive_pending_ = false;
+  bool relative_check_pending_ = false;
+};
+
+}  // namespace recnet
+
+#endif  // RECNET_ENGINE_REGION_RUNTIME_H_

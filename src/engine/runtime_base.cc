@@ -1,0 +1,208 @@
+#include "engine/runtime_base.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace recnet {
+
+RuntimeBase::RuntimeBase(int num_logical, const RuntimeOptions& options)
+    : opts_(options),
+      router_(num_logical, std::min(num_logical, options.num_physical)) {
+  router_.set_handler([this](const Envelope& env) { HandleEnvelope(env); });
+  subs_.resize(static_cast<size_t>(num_logical));
+  kills_done_.resize(static_cast<size_t>(num_logical));
+}
+
+bool RuntimeBase::Run() {
+  auto start = std::chrono::steady_clock::now();
+  bool ok = true;
+  uint64_t processed = 0;
+  do {
+    while (router_.pending() > 0) {
+      router_.Step();
+      ++processed;
+      if (processed >= opts_.message_budget) {
+        ok = false;
+        break;
+      }
+      if (opts_.time_budget_s > 0 && (processed & 31) == 0) {
+        double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+        if (elapsed > opts_.time_budget_s) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) break;
+  } while (AfterQuiescent());
+  auto end = std::chrono::steady_clock::now();
+  wall_seconds_ += std::chrono::duration<double>(end - start).count();
+  if (!ok) converged_ = false;
+  return ok;
+}
+
+RunMetrics RuntimeBase::Metrics() const {
+  const NetworkStats& s = router_.stats();
+  RunMetrics m;
+  m.per_tuple_prov_bytes = s.AvgProvBytesPerTuple();
+  m.comm_mb = s.CommMB();
+  m.state_mb = static_cast<double>(StateSizeBytes()) / (1024.0 * 1024.0);
+  m.wall_seconds = wall_seconds_;
+  m.sim_seconds = EstimateSimSeconds(wall_seconds_, s.messages,
+                                     router_.num_physical(),
+                                     opts_.per_msg_latency_s);
+  m.messages = s.messages;
+  m.kill_messages = s.kill_messages;
+  m.converged = converged_;
+  return m;
+}
+
+void RuntimeBase::ResetMetrics() {
+  router_.stats().Reset();
+  wall_seconds_ = 0;
+  converged_ = true;
+}
+
+bdd::Var RuntimeBase::AllocVar() {
+  bdd::Var v = static_cast<bdd::Var>(dead_.size());
+  dead_.push_back(false);
+  return v;
+}
+
+void RuntimeBase::MarkDead(bdd::Var v) {
+  RECNET_CHECK_LT(v, dead_.size());
+  if (!dead_[v]) {
+    dead_[v] = true;
+    ++num_dead_;
+  }
+}
+
+Prov RuntimeBase::GuardIncoming(const Prov& pv) const {
+  if (num_dead_ == 0 || opts_.prov == ProvMode::kSet) return pv;
+  std::vector<bdd::Var> support;
+  pv.SupportVars(&support);
+  std::vector<bdd::Var> dead_in_support;
+  for (bdd::Var v : support) {
+    if (dead_[v]) dead_in_support.push_back(v);
+  }
+  if (dead_in_support.empty()) return pv;
+  return pv.RestrictFalse(dead_in_support);
+}
+
+void RuntimeBase::ShipInsert(LogicalNode from, LogicalNode to, int port,
+                             Tuple tuple, Prov pv) {
+  if (opts_.prov != ProvMode::kSet && from != to) {
+    std::vector<bdd::Var> support;
+    pv.SupportVars(&support);
+    auto& from_subs = subs_[static_cast<size_t>(from)];
+    for (bdd::Var v : support) {
+      std::vector<LogicalNode>& dests = from_subs[v];
+      if (std::find(dests.begin(), dests.end(), to) == dests.end()) {
+        dests.push_back(to);
+      }
+    }
+  }
+  router_.Send(from, to, port, Update::Insert(std::move(tuple), std::move(pv)));
+}
+
+void RuntimeBase::StartKill(LogicalNode origin, std::vector<bdd::Var> killed) {
+  for (bdd::Var v : killed) MarkDead(v);
+  router_.Send(origin, origin, kPortKill, Update::Kill(std::move(killed)));
+}
+
+std::vector<bdd::Var> RuntimeBase::AcceptKill(
+    LogicalNode at, const std::vector<bdd::Var>& killed) {
+  auto& done = kills_done_[static_cast<size_t>(at)];
+  std::vector<bdd::Var> fresh;
+  for (bdd::Var v : killed) {
+    if (done.insert(v).second) fresh.push_back(v);
+  }
+  if (fresh.empty()) return fresh;
+  // Forward along subscription edges, grouped per destination so each
+  // neighbor receives one kill message for this batch.
+  std::unordered_map<LogicalNode, std::vector<bdd::Var>> forward;
+  auto& at_subs = subs_[static_cast<size_t>(at)];
+  for (bdd::Var v : fresh) {
+    auto it = at_subs.find(v);
+    if (it == at_subs.end()) continue;
+    for (LogicalNode dest : it->second) forward[dest].push_back(v);
+  }
+  for (auto& [dest, vars] : forward) {
+    router_.Send(at, dest, kPortKill, Update::Kill(std::move(vars)));
+  }
+  return fresh;
+}
+
+bdd::Var RuntimeBase::TupleVar(const Tuple& t) {
+  auto it = tuple_vars_.find(t);
+  if (it != tuple_vars_.end()) return it->second;
+  bdd::Var v = AllocVar();
+  tuple_vars_.emplace(t, v);
+  var_tuples_.emplace(v, t);
+  return v;
+}
+
+Prov RuntimeBase::RefProv(const Tuple& t) {
+  return Prov::BaseVar(opts_.prov, &bdd_, TupleVar(t));
+}
+
+void RuntimeBase::OnTupleRemoved(LogicalNode owner, const Tuple& t) {
+  if (opts_.prov != ProvMode::kRelative) return;
+  auto it = tuple_vars_.find(t);
+  if (it == tuple_vars_.end()) return;
+  bdd::Var v = it->second;
+  tuple_vars_.erase(it);
+  // Keep the reverse entry: annotations in flight may still mention v, and
+  // the dead-variable guard needs to classify it. The variable is dead and
+  // never reused.
+  StartKill(owner, {v});
+}
+
+std::vector<std::pair<LogicalNode, Tuple>> RuntimeBase::FindUnderivable(
+    const std::vector<ViewEntry>& view) const {
+  // Least fixpoint: a tuple is derivable iff some derivation references
+  // only live base variables and derivable antecedent tuples. Tuples
+  // supported only through cycles never enter the fixpoint.
+  std::unordered_map<Tuple, size_t, TupleHash> index;
+  index.reserve(view.size());
+  for (size_t i = 0; i < view.size(); ++i) index.emplace(*view[i].tuple, i);
+  std::vector<bool> derivable(view.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < view.size(); ++i) {
+      if (derivable[i]) continue;
+      for (const auto& derivation : view[i].pv->rel().derivations) {
+        bool valid = true;
+        for (bdd::Var v : derivation) {
+          if (v < dead_.size() && dead_[v]) {
+            valid = false;
+            break;
+          }
+          auto vt = var_tuples_.find(v);
+          if (vt != var_tuples_.end()) {
+            auto idx = index.find(vt->second);
+            if (idx == index.end() || !derivable[idx->second]) {
+              valid = false;
+              break;
+            }
+          }
+        }
+        if (valid) {
+          derivable[i] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  std::vector<std::pair<LogicalNode, Tuple>> underivable;
+  for (size_t i = 0; i < view.size(); ++i) {
+    if (!derivable[i]) underivable.emplace_back(view[i].owner, *view[i].tuple);
+  }
+  return underivable;
+}
+
+}  // namespace recnet

@@ -1,0 +1,339 @@
+#include "engine/shortest_path_runtime.h"
+
+#include <limits>
+
+namespace recnet {
+namespace {
+
+// path tuple layout: (src, dst, vec, cost, length).
+constexpr size_t kSrc = 0;
+constexpr size_t kDst = 1;
+constexpr size_t kVec = 2;
+constexpr size_t kCost = 3;
+constexpr size_t kLen = 4;
+
+Tuple MakePath(int64_t src, int64_t dst, std::string vec, double cost,
+               int64_t len) {
+  std::vector<Value> values;
+  values.reserve(5);
+  values.emplace_back(src);
+  values.emplace_back(dst);
+  values.emplace_back(std::move(vec));
+  values.emplace_back(cost);
+  values.emplace_back(len);
+  return Tuple(std::move(values));
+}
+
+// link(x, z, c0) ⋈ path(z, y, vec, c1, l1)
+//   -> path(x, y, x|'.'|vec, c0+c1, l1+1)            (paper Query 2)
+Tuple CombineLinkPath(const Tuple& link, const Tuple& path) {
+  return MakePath(link.IntAt(0), path.IntAt(kDst),
+                  std::to_string(link.IntAt(0)) + "." + path.StringAt(kVec),
+                  link.DoubleAt(2) + path.DoubleAt(kCost),
+                  path.IntAt(kLen) + 1);
+}
+
+}  // namespace
+
+const char* AggSelPolicyName(AggSelPolicy policy) {
+  switch (policy) {
+    case AggSelPolicy::kMulti:
+      return "multi";
+    case AggSelPolicy::kCost:
+      return "cost";
+    case AggSelPolicy::kHops:
+      return "hops";
+    case AggSelPolicy::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+ShortestPathRuntime::ShortestPathRuntime(int num_nodes,
+                                         const RuntimeOptions& options,
+                                         AggSelPolicy policy)
+    : RuntimeBase(num_nodes, options), policy_(policy) {
+  // The shortest-path family runs under absorption provenance (the paper's
+  // Figure 14 evaluates aggregate selection with the main scheme only).
+  RECNET_CHECK(opts_.prov == ProvMode::kAbsorption);
+  nodes_.resize(static_cast<size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) {
+    NodeState& state = nodes_[static_cast<size_t>(n)];
+    state.fix = std::make_unique<Fixpoint>(opts_.prov);
+    state.join = std::make_unique<PipelinedHashJoin>(
+        opts_.prov, std::vector<size_t>{1}, std::vector<size_t>{kSrc},
+        CombineLinkPath);
+    state.ship = std::make_unique<MinShip>(
+        opts_.prov, opts_.ship, opts_.batch_window,
+        [this, n](const Tuple& tuple, const Prov& pv) {
+          LogicalNode dest = static_cast<LogicalNode>(tuple.IntAt(kSrc));
+          ShipInsert(n, dest, kPortFix, tuple, pv);
+        });
+    if (policy_ != AggSelPolicy::kNone) {
+      state.agg_fix = std::make_unique<AggSel>(
+          opts_.prov, std::vector<size_t>{kSrc, kDst}, AggSpecs());
+      state.agg_ship = std::make_unique<AggSel>(
+          opts_.prov, std::vector<size_t>{kSrc, kDst}, AggSpecs());
+    }
+  }
+}
+
+std::vector<AggSpec> ShortestPathRuntime::AggSpecs() const {
+  std::vector<AggSpec> specs;
+  if (policy_ == AggSelPolicy::kMulti || policy_ == AggSelPolicy::kCost) {
+    specs.push_back(AggSpec{AggFn::kMin, kCost});
+  }
+  if (policy_ == AggSelPolicy::kMulti || policy_ == AggSelPolicy::kHops) {
+    specs.push_back(AggSpec{AggFn::kMin, kLen});
+  }
+  return specs;
+}
+
+void ShortestPathRuntime::InsertLink(LogicalNode src, LogicalNode dst,
+                                     double cost) {
+  std::vector<Value> link_values;
+  link_values.emplace_back(static_cast<int64_t>(src));
+  link_values.emplace_back(static_cast<int64_t>(dst));
+  link_values.emplace_back(cost);
+  Tuple link(std::move(link_values));
+  if (link_vars_.find(link) != link_vars_.end()) return;
+  bdd::Var v = AllocVar();
+  link_vars_.emplace(link, v);
+  Prov pv = VarProv(v);
+  // Base case: path(src, dst, src|'.'|dst, cost, 1).
+  Tuple base = MakePath(src, dst,
+                        std::to_string(src) + "." + std::to_string(dst), cost,
+                        1);
+  router_.Send(src, src, kPortFix, Update::Insert(std::move(base), pv));
+  // Distributed join: ship the link to its dst partition.
+  ShipInsert(src, dst, kPortJoinBuild, link, pv);
+}
+
+void ShortestPathRuntime::DeleteLink(LogicalNode src, LogicalNode dst) {
+  for (auto it = link_vars_.begin(); it != link_vars_.end(); ++it) {
+    if (it->first.IntAt(0) == src && it->first.IntAt(1) == dst) {
+      bdd::Var v = it->second;
+      link_vars_.erase(it);
+      StartKill(src, {v});
+      return;
+    }
+  }
+}
+
+void ShortestPathRuntime::ShipPath(LogicalNode at, const Tuple& tuple,
+                                   const Prov& pv) {
+  if (node(at).agg_ship != nullptr) {
+    // Aggregate selection pushed into MinShip (Algorithm 3 lines 4-8).
+    for (Update& u : node(at).agg_ship->ProcessInsert(tuple, pv)) {
+      if (u.type == UpdateType::kInsert) {
+        node(at).ship->ProcessInsert(u.tuple, u.pv);
+      } else {
+        ShipRetraction(at, std::move(u.tuple));
+      }
+    }
+    return;
+  }
+  node(at).ship->ProcessInsert(tuple, pv);
+}
+
+void ShortestPathRuntime::ShipRetraction(LogicalNode at, Tuple tuple) {
+  LogicalNode dest = static_cast<LogicalNode>(tuple.IntAt(kSrc));
+  node(at).ship->ProcessDelete(tuple);
+  router_.Send(at, dest, kPortFix, Update::Delete(std::move(tuple)));
+}
+
+void ShortestPathRuntime::ApplyFixInsert(LogicalNode at, const Tuple& tuple,
+                                         const Prov& pv) {
+  std::optional<Prov> delta = node(at).fix->ProcessInsert(tuple, pv);
+  if (!delta.has_value()) return;
+  for (Update& out : node(at).join->ProcessInsert(PipelinedHashJoin::kRight,
+                                                  tuple, *delta)) {
+    if (out.type == UpdateType::kInsert) {
+      ShipPath(at, out.tuple, out.pv);
+    } else {
+      ShipRetraction(at, std::move(out.tuple));
+    }
+  }
+}
+
+void ShortestPathRuntime::ApplyFixDelete(LogicalNode at, const Tuple& tuple) {
+  if (!node(at).fix->ProcessDelete(tuple)) return;
+  for (Update& out :
+       node(at).join->ProcessDelete(PipelinedHashJoin::kRight, tuple)) {
+    // Retractions of this path's extensions cascade through the shipping
+    // aggregate selection (replacement winners may be promoted).
+    if (node(at).agg_ship != nullptr) {
+      for (Update& agg_out : node(at).agg_ship->ProcessDelete(out.tuple)) {
+        if (agg_out.type == UpdateType::kInsert) {
+          node(at).ship->ProcessInsert(agg_out.tuple, agg_out.pv);
+        } else {
+          ShipRetraction(at, std::move(agg_out.tuple));
+        }
+      }
+    } else {
+      ShipRetraction(at, std::move(out.tuple));
+    }
+  }
+}
+
+void ShortestPathRuntime::HandleFixStream(LogicalNode at, const Update& u) {
+  if (u.type == UpdateType::kInsert) {
+    Prov guarded = GuardIncoming(u.pv);
+    if (guarded.IsFalse()) return;
+    if (node(at).agg_fix != nullptr) {
+      // Aggregate selection pushed into the Fixpoint (Algorithm 1
+      // lines 2-8).
+      for (Update& out : node(at).agg_fix->ProcessInsert(u.tuple, guarded)) {
+        if (out.type == UpdateType::kInsert) {
+          ApplyFixInsert(at, out.tuple, out.pv);
+        } else {
+          ApplyFixDelete(at, out.tuple);
+        }
+      }
+    } else {
+      ApplyFixInsert(at, u.tuple, guarded);
+    }
+    return;
+  }
+  // Retraction stream (displaced aggregate winners).
+  if (node(at).agg_fix != nullptr) {
+    for (Update& out : node(at).agg_fix->ProcessDelete(u.tuple)) {
+      if (out.type == UpdateType::kInsert) {
+        ApplyFixInsert(at, out.tuple, out.pv);
+      } else {
+        ApplyFixDelete(at, out.tuple);
+      }
+    }
+  } else {
+    ApplyFixDelete(at, u.tuple);
+  }
+}
+
+void ShortestPathRuntime::HandleKill(LogicalNode at,
+                                     const std::vector<bdd::Var>& killed) {
+  std::vector<bdd::Var> fresh = AcceptKill(at, killed);
+  if (fresh.empty()) return;
+  node(at).fix->ProcessKill(fresh);
+  node(at).join->ProcessKill(fresh);
+  if (node(at).agg_fix != nullptr) {
+    // Replacement winners re-enter the local fixpoint.
+    for (Update& out : node(at).agg_fix->ProcessKill(fresh)) {
+      RECNET_CHECK(out.type == UpdateType::kInsert);
+      ApplyFixInsert(at, out.tuple, out.pv);
+    }
+  }
+  if (node(at).agg_ship != nullptr) {
+    for (Update& out : node(at).agg_ship->ProcessKill(fresh)) {
+      RECNET_CHECK(out.type == UpdateType::kInsert);
+      node(at).ship->ProcessInsert(out.tuple, out.pv);
+    }
+  }
+  node(at).ship->ProcessKill(fresh);
+}
+
+void ShortestPathRuntime::HandleEnvelope(const Envelope& env) {
+  LogicalNode at = env.dst;
+  const Update& u = env.update;
+  switch (env.port) {
+    case kPortJoinBuild: {
+      RECNET_CHECK(u.type == UpdateType::kInsert);
+      Prov guarded = GuardIncoming(u.pv);
+      if (guarded.IsFalse()) return;
+      for (Update& out : node(at).join->ProcessInsert(PipelinedHashJoin::kLeft,
+                                                      u.tuple, guarded)) {
+        RECNET_CHECK(out.type == UpdateType::kInsert);
+        ShipPath(at, out.tuple, out.pv);
+      }
+      return;
+    }
+    case kPortFix:
+      HandleFixStream(at, u);
+      return;
+    case kPortKill:
+      HandleKill(at, u.killed);
+      return;
+    default:
+      RECNET_CHECK(false);
+  }
+}
+
+std::optional<double> ShortestPathRuntime::MinCost(LogicalNode src,
+                                                   LogicalNode dst) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& [tuple, pv] : node(src).fix->contents()) {
+    if (tuple.IntAt(kDst) != dst) continue;
+    best = std::min(best, tuple.DoubleAt(kCost));
+  }
+  if (best == std::numeric_limits<double>::infinity()) return std::nullopt;
+  return best;
+}
+
+std::optional<int64_t> ShortestPathRuntime::MinHops(LogicalNode src,
+                                                    LogicalNode dst) const {
+  int64_t best = std::numeric_limits<int64_t>::max();
+  for (const auto& [tuple, pv] : node(src).fix->contents()) {
+    if (tuple.IntAt(kDst) != dst) continue;
+    best = std::min(best, tuple.IntAt(kLen));
+  }
+  if (best == std::numeric_limits<int64_t>::max()) return std::nullopt;
+  return best;
+}
+
+std::optional<std::string> ShortestPathRuntime::CheapestPathVec(
+    LogicalNode src, LogicalNode dst) const {
+  std::optional<double> best = MinCost(src, dst);
+  if (!best.has_value()) return std::nullopt;
+  for (const auto& [tuple, pv] : node(src).fix->contents()) {
+    if (tuple.IntAt(kDst) == dst && tuple.DoubleAt(kCost) == *best) {
+      return tuple.StringAt(kVec);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ShortestPathRuntime::FewestHopsVec(
+    LogicalNode src, LogicalNode dst) const {
+  std::optional<int64_t> best = MinHops(src, dst);
+  if (!best.has_value()) return std::nullopt;
+  for (const auto& [tuple, pv] : node(src).fix->contents()) {
+    if (tuple.IntAt(kDst) == dst && tuple.IntAt(kLen) == *best) {
+      return tuple.StringAt(kVec);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ShortestPathRuntime::ShortestCheapest>
+ShortestPathRuntime::ShortestCheapestPath(LogicalNode src,
+                                          LogicalNode dst) const {
+  std::optional<double> cost = MinCost(src, dst);
+  std::optional<int64_t> hops = MinHops(src, dst);
+  std::optional<std::string> cheapest = CheapestPathVec(src, dst);
+  std::optional<std::string> fewest = FewestHopsVec(src, dst);
+  if (!cost || !hops || !cheapest || !fewest) return std::nullopt;
+  ShortestCheapest out;
+  out.cheapest_vec = *cheapest;
+  out.cost = *cost;
+  out.fewest_vec = *fewest;
+  out.length = *hops;
+  return out;
+}
+
+size_t ShortestPathRuntime::ViewSize() const {
+  size_t total = 0;
+  for (const NodeState& state : nodes_) total += state.fix->size();
+  return total;
+}
+
+size_t ShortestPathRuntime::StateSizeBytes() const {
+  size_t bytes = 0;
+  for (const NodeState& state : nodes_) {
+    bytes += state.fix->StateSizeBytes() + state.join->StateSizeBytes() +
+             state.ship->StateSizeBytes();
+    if (state.agg_fix != nullptr) bytes += state.agg_fix->StateSizeBytes();
+    if (state.agg_ship != nullptr) bytes += state.agg_ship->StateSizeBytes();
+  }
+  return bytes;
+}
+
+}  // namespace recnet

@@ -1,0 +1,104 @@
+#ifndef RECNET_ENGINE_SHORTEST_PATH_RUNTIME_H_
+#define RECNET_ENGINE_SHORTEST_PATH_RUNTIME_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/runtime_base.h"
+#include "operators/agg_sel.h"
+#include "operators/fixpoint.h"
+#include "operators/hash_join.h"
+
+namespace recnet {
+
+// Which aggregate selections are pushed into the path recursion (paper
+// Section 6 / Figure 14):
+//   * kMulti  — prune on MIN(cost) and MIN(length) simultaneously
+//               ("Multi AggSel").
+//   * kCost   — prune on MIN(cost) only ("Single AggSel").
+//   * kHops   — prune on MIN(length) only (the symmetric single run).
+//   * kNone   — no aggregate selection: path enumerates all paths and "may
+//               not terminate" (paper §2); runs are budget-capped.
+enum class AggSelPolicy { kMulti, kCost, kHops, kNone };
+
+const char* AggSelPolicyName(AggSelPolicy policy);
+
+// Distributed maintenance of the paper's Query 2 (Shortest Path): the
+// recursive view path(src, dst, vec, cost, length) plus the derived views
+// minCost, minHops, cheapestPath, fewestHops and shortestCheapestPath.
+//
+// The plan mirrors ReachableRuntime's (Figure 4) with path tuples instead
+// of reachable tuples; the AggSel module (Algorithm 4) is embedded at the
+// Fixpoint input and at the MinShip input (Algorithm 1 lines 2-8,
+// Algorithm 3 lines 4-8), so tuples that cannot affect any group aggregate
+// are suppressed before they are stored or shipped.
+class ShortestPathRuntime : public RuntimeBase {
+ public:
+  ShortestPathRuntime(int num_nodes, const RuntimeOptions& options,
+                      AggSelPolicy policy);
+
+  void InsertLink(LogicalNode src, LogicalNode dst, double cost);
+  void DeleteLink(LogicalNode src, LogicalNode dst);
+
+  // --- Derived views (computed at the src partition) -------------------------
+
+  // minCost(src, dst): cheapest path cost.
+  std::optional<double> MinCost(LogicalNode src, LogicalNode dst) const;
+  // minHops(src, dst): fewest-hop path length.
+  std::optional<int64_t> MinHops(LogicalNode src, LogicalNode dst) const;
+  // cheapestPath(src, dst): vec of a cost-minimal path.
+  std::optional<std::string> CheapestPathVec(LogicalNode src,
+                                             LogicalNode dst) const;
+  // fewestHops(src, dst): vec of a length-minimal path.
+  std::optional<std::string> FewestHopsVec(LogicalNode src,
+                                           LogicalNode dst) const;
+
+  struct ShortestCheapest {
+    std::string cheapest_vec;
+    double cost = 0;
+    std::string fewest_vec;
+    int64_t length = 0;
+  };
+  // shortestCheapestPath(src, dst): join of cheapestPath and fewestHops.
+  std::optional<ShortestCheapest> ShortestCheapestPath(LogicalNode src,
+                                                       LogicalNode dst) const;
+
+  size_t ViewSize() const;
+
+ protected:
+  void HandleEnvelope(const Envelope& env) override;
+  size_t StateSizeBytes() const override;
+
+ private:
+  struct NodeState {
+    std::unique_ptr<Fixpoint> fix;
+    std::unique_ptr<PipelinedHashJoin> join;
+    std::unique_ptr<MinShip> ship;
+    std::unique_ptr<AggSel> agg_fix;   // Pushed into the Fixpoint.
+    std::unique_ptr<AggSel> agg_ship;  // Pushed into MinShip.
+  };
+
+  NodeState& node(LogicalNode n) { return nodes_[static_cast<size_t>(n)]; }
+  const NodeState& node(LogicalNode n) const {
+    return nodes_[static_cast<size_t>(n)];
+  }
+
+  std::vector<AggSpec> AggSpecs() const;
+  void HandleFixStream(LogicalNode at, const Update& u);
+  void ApplyFixInsert(LogicalNode at, const Tuple& tuple, const Prov& pv);
+  void ApplyFixDelete(LogicalNode at, const Tuple& tuple);
+  void ShipPath(LogicalNode at, const Tuple& tuple, const Prov& pv);
+  void ShipRetraction(LogicalNode at, Tuple tuple);
+  void HandleKill(LogicalNode at, const std::vector<bdd::Var>& killed);
+
+  AggSelPolicy policy_;
+  std::vector<NodeState> nodes_;
+  std::unordered_map<Tuple, bdd::Var, TupleHash> link_vars_;
+};
+
+}  // namespace recnet
+
+#endif  // RECNET_ENGINE_SHORTEST_PATH_RUNTIME_H_

@@ -1,0 +1,79 @@
+#ifndef RECNET_ENGINE_SOFT_STATE_H_
+#define RECNET_ENGINE_SOFT_STATE_H_
+
+#include <map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/value.h"
+
+namespace recnet {
+
+// Soft-state window over base tuples (paper §3.1): every base tuple carries
+// a time-to-live; advancing the clock past a tuple's deadline expires it,
+// and the expiration is processed as an ordinary deletion ("a base tuple
+// that results from an insertion may receive an associated timeout, after
+// which the tuple gets deleted"). Windows apply to base data only, never to
+// derived tuples (§4.3.3).
+//
+// SoftStateClock tracks (tuple -> deadline) and hands back the expired
+// tuples as the clock advances; the owner turns them into DeleteLink /
+// Untrigger calls. Renewing (re-inserting) a live tuple extends its
+// deadline, the soft-state refresh idiom of [26].
+class SoftStateClock {
+ public:
+  SoftStateClock() = default;
+
+  double now() const { return now_; }
+  size_t live() const { return deadline_of_.size(); }
+
+  // Registers (or renews) `tuple` to expire at now + ttl.
+  void Insert(const Tuple& tuple, double ttl) {
+    RECNET_CHECK_GT(ttl, 0.0);
+    Remove(tuple);
+    double deadline = now_ + ttl;
+    deadline_of_[tuple] = deadline;
+    by_deadline_.emplace(deadline, tuple);
+  }
+
+  // Explicit deletion before expiry.
+  void Remove(const Tuple& tuple) {
+    auto it = deadline_of_.find(tuple);
+    if (it == deadline_of_.end()) return;
+    auto range = by_deadline_.equal_range(it->second);
+    for (auto dit = range.first; dit != range.second; ++dit) {
+      if (dit->second == tuple) {
+        by_deadline_.erase(dit);
+        break;
+      }
+    }
+    deadline_of_.erase(it);
+  }
+
+  bool Contains(const Tuple& tuple) const {
+    return deadline_of_.find(tuple) != deadline_of_.end();
+  }
+
+  // Advances the clock and returns the tuples whose windows closed, in
+  // deadline order (deterministic for equal deadlines by insertion order).
+  std::vector<Tuple> AdvanceTo(double t) {
+    RECNET_CHECK_GE(t, now_);
+    now_ = t;
+    std::vector<Tuple> expired;
+    while (!by_deadline_.empty() && by_deadline_.begin()->first <= now_) {
+      expired.push_back(by_deadline_.begin()->second);
+      deadline_of_.erase(by_deadline_.begin()->second);
+      by_deadline_.erase(by_deadline_.begin());
+    }
+    return expired;
+  }
+
+ private:
+  double now_ = 0;
+  std::map<Tuple, double> deadline_of_;
+  std::multimap<double, Tuple> by_deadline_;
+};
+
+}  // namespace recnet
+
+#endif  // RECNET_ENGINE_SOFT_STATE_H_

@@ -1,0 +1,72 @@
+#include "net/router.h"
+
+#include "common/logging.h"
+
+namespace recnet {
+
+void NetworkStats::Reset() {
+  messages = 0;
+  bytes = 0;
+  local_messages = 0;
+  insert_messages = 0;
+  delete_messages = 0;
+  kill_messages = 0;
+  prov_bytes = 0;
+  prov_samples = 0;
+  std::fill(per_peer_bytes.begin(), per_peer_bytes.end(), 0);
+}
+
+Router::Router(int num_logical, int num_physical)
+    : num_logical_(num_logical), num_physical_(num_physical) {
+  RECNET_CHECK_GT(num_logical, 0);
+  RECNET_CHECK_GT(num_physical, 0);
+  stats_.per_peer_bytes.assign(static_cast<size_t>(num_physical), 0);
+}
+
+void Router::Send(LogicalNode src, LogicalNode dst, int port, Update update) {
+  RECNET_DCHECK(src >= 0 && src < num_logical_);
+  RECNET_DCHECK(dst >= 0 && dst < num_logical_);
+  if (PhysicalOf(src) == PhysicalOf(dst)) {
+    ++stats_.local_messages;
+  } else {
+    size_t wire = update.WireSizeBytes();
+    ++stats_.messages;
+    stats_.bytes += wire;
+    stats_.per_peer_bytes[PhysicalOf(src)] += wire;
+    switch (update.type) {
+      case UpdateType::kInsert:
+        ++stats_.insert_messages;
+        stats_.prov_bytes += update.pv.WireSizeBytes();
+        ++stats_.prov_samples;
+        break;
+      case UpdateType::kDelete:
+        ++stats_.delete_messages;
+        break;
+      case UpdateType::kKill:
+        ++stats_.kill_messages;
+        break;
+    }
+  }
+  queue_.push_back(Envelope{src, dst, port, std::move(update)});
+}
+
+bool Router::Step() {
+  if (queue_.empty()) return false;
+  Envelope env = std::move(queue_.front());
+  queue_.pop_front();
+  ++delivered_;
+  RECNET_CHECK(handler_ != nullptr);
+  handler_(env);
+  return true;
+}
+
+bool Router::RunUntilQuiescent(uint64_t max_messages) {
+  uint64_t start = delivered_;
+  while (!queue_.empty()) {
+    if (delivered_ - start >= max_messages) return false;
+    Step();
+  }
+  return true;
+}
+
+}  // namespace recnet

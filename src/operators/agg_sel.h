@@ -1,0 +1,76 @@
+#ifndef RECNET_OPERATORS_AGG_SEL_H_
+#define RECNET_OPERATORS_AGG_SEL_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "operators/update.h"
+
+namespace recnet {
+
+// Aggregate functions supported by aggregate selection. COUNT and SUM are
+// handled by the final GroupByAggregate (every tuple contributes to them, so
+// there is nothing for aggregate selection to prune, as the paper notes by
+// pruning only on "better" comparisons).
+enum class AggFn { kMin, kMax };
+
+struct AggSpec {
+  AggFn fn;
+  size_t value_col;  // Attribute holding the aggregated value.
+};
+
+// The aggregate-selection module of the paper's Algorithm 4, extended to
+// streams of insertions and deletions.
+//
+// Embedded in Fixpoint and MinShip (Algorithm 1 lines 2-8; Algorithm 3
+// lines 4-8), it suppresses tuples that cannot affect any of the group's
+// aggregate values, while *buffering* every tuple (tables H and P) so that
+// when the current winner of a group is deleted, the runner-up can be found
+// and propagated (Algorithm 4 lines 39-53).
+class AggSel {
+ public:
+  AggSel(ProvMode mode, std::vector<size_t> group_cols,
+         std::vector<AggSpec> aggs);
+
+  // Insertion path (Algorithm 4 lines 6-29). Returns the updates to
+  // propagate: possibly DELs of displaced winners followed by the INS of
+  // the new tuple; empty if the tuple affects no aggregate.
+  std::vector<Update> ProcessInsert(const Tuple& tuple, const Prov& pv);
+
+  // Retraction path (Algorithm 4 lines 30-56), used by set-semantics
+  // cascades. Returns INSs of replacement winners plus the DEL itself when
+  // the retracted tuple was a winner; empty otherwise.
+  std::vector<Update> ProcessDelete(const Tuple& tuple);
+
+  // Base-deletion path for the provenance models: restricts all buffered
+  // annotations; buffered tuples whose annotation dies are removed, and for
+  // every group whose winner died the surviving runner-up is emitted as an
+  // insertion. (Downstream removes the dead winner via the same kill.)
+  std::vector<Update> ProcessKill(const std::vector<bdd::Var>& killed);
+
+  size_t StateSizeBytes() const;
+  size_t buffered_tuples() const { return prov_.size(); }
+
+ private:
+  struct GroupState {
+    std::vector<Tuple> members;               // Table H for this group.
+    std::vector<std::optional<Tuple>> best;   // Table B: winner per agg.
+  };
+
+  Tuple GroupOf(const Tuple& t) const;
+  // True iff a is strictly better than b under agg i.
+  bool Better(const Tuple& a, const Tuple& b, size_t i) const;
+  // Recomputes the winner of agg i for `group` by scanning its members.
+  std::optional<Tuple> Rescan(const GroupState& g, size_t i) const;
+
+  ProvMode mode_;
+  std::vector<size_t> group_cols_;
+  std::vector<AggSpec> aggs_;
+  std::unordered_map<Tuple, GroupState, TupleHash> groups_;
+  std::unordered_map<Tuple, Prov, TupleHash> prov_;  // Table P.
+};
+
+}  // namespace recnet
+
+#endif  // RECNET_OPERATORS_AGG_SEL_H_

@@ -1,0 +1,59 @@
+#include "operators/fixpoint.h"
+
+namespace recnet {
+
+std::optional<Prov> Fixpoint::ProcessInsert(const Tuple& tuple,
+                                            const Prov& pv) {
+  if (pv.IsFalse()) return std::nullopt;
+  auto it = view_.find(tuple);
+  if (it == view_.end()) {
+    // Algorithm 1 lines 12-15: first derivation; store and propagate as-is.
+    view_.emplace(tuple, pv);
+    return pv;
+  }
+  // Algorithm 1 lines 17-25: merge and propagate the non-absorbed delta.
+  Prov old_pv = it->second;
+  Prov merged = old_pv.Or(pv);
+  if (merged == old_pv) return std::nullopt;  // Fully absorbed.
+  it->second = merged;
+  return merged.DeltaOver(old_pv);
+}
+
+Fixpoint::KillResult Fixpoint::ProcessKill(
+    const std::vector<bdd::Var>& killed) {
+  KillResult result;
+  for (auto it = view_.begin(); it != view_.end();) {
+    Prov next = it->second.RestrictFalse(killed);
+    if (next.IsFalse()) {
+      result.removed.push_back(it->first);
+      result.changed = true;
+      it = view_.erase(it);
+      continue;
+    }
+    if (!(next == it->second)) {
+      result.changed = true;
+      it->second = next;
+    }
+    ++it;
+  }
+  return result;
+}
+
+bool Fixpoint::ProcessDelete(const Tuple& tuple) {
+  return view_.erase(tuple) > 0;
+}
+
+const Prov* Fixpoint::Lookup(const Tuple& tuple) const {
+  auto it = view_.find(tuple);
+  return it == view_.end() ? nullptr : &it->second;
+}
+
+size_t Fixpoint::StateSizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& [tuple, pv] : view_) {
+    bytes += tuple.WireSizeBytes() + pv.WireSizeBytes();
+  }
+  return bytes;
+}
+
+}  // namespace recnet

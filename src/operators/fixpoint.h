@@ -1,0 +1,73 @@
+#ifndef RECNET_OPERATORS_FIXPOINT_H_
+#define RECNET_OPERATORS_FIXPOINT_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "operators/update.h"
+
+namespace recnet {
+
+// The Fixpoint operator (paper Algorithm 1).
+//
+// Maintains the hash map P: tuple -> absorption provenance for one partition
+// of a recursive view, merges every incoming derivation with OR, and reports
+// the provenance *delta* that must be propagated to the recursive subplan.
+// The recursion reaches fixpoint when no update changes any stored
+// annotation (paper §4.2), which the caller observes as a sequence of
+// ProcessInsert calls that all return nullopt.
+//
+// Deletions:
+//  * Provenance modes use ProcessKill: every stored annotation has the
+//    killed base variables restricted to false; annotations that become
+//    false leave the view (Algorithm 1 lines 27-35).
+//  * Set mode (DRed) uses ProcessDelete, which removes the exact tuple
+//    (the over-deletion phase retracts tuples one by one).
+class Fixpoint {
+ public:
+  explicit Fixpoint(ProvMode mode) : mode_(mode) {}
+
+  ProvMode mode() const { return mode_; }
+
+  // Handles an insertion u = (tuple, pv). Returns the delta provenance to
+  // propagate (the whole pv for a first derivation; newPv ∧ ¬oldPv for a
+  // merged one), or nullopt when the new derivation was fully absorbed.
+  std::optional<Prov> ProcessInsert(const Tuple& tuple, const Prov& pv);
+
+  struct KillResult {
+    // Tuples whose provenance became false and were removed from the view.
+    std::vector<Tuple> removed;
+    // Whether any stored annotation changed at all.
+    bool changed = false;
+  };
+
+  // Zeroes out `killed` base variables across all stored annotations.
+  KillResult ProcessKill(const std::vector<bdd::Var>& killed);
+
+  // Set-mode retraction. Returns true if the tuple was present (and is now
+  // removed), i.e. the retraction must cascade.
+  bool ProcessDelete(const Tuple& tuple);
+
+  bool Contains(const Tuple& tuple) const {
+    return view_.find(tuple) != view_.end();
+  }
+  const Prov* Lookup(const Tuple& tuple) const;
+
+  const std::unordered_map<Tuple, Prov, TupleHash>& contents() const {
+    return view_;
+  }
+  size_t size() const { return view_.size(); }
+
+  // Bytes of operator state (tuples + annotations); backs the paper's
+  // "state within operators" metric.
+  size_t StateSizeBytes() const;
+
+ private:
+  ProvMode mode_;
+  std::unordered_map<Tuple, Prov, TupleHash> view_;
+};
+
+}  // namespace recnet
+
+#endif  // RECNET_OPERATORS_FIXPOINT_H_

@@ -1,0 +1,100 @@
+#include "operators/group_by.h"
+
+#include "common/logging.h"
+
+namespace recnet {
+namespace {
+
+double NumericOf(const Value& v) {
+  return v.is_double() ? v.AsDouble() : static_cast<double>(v.AsInt());
+}
+
+}  // namespace
+
+GroupByAggregate::GroupByAggregate(std::vector<size_t> group_cols,
+                                   std::vector<GroupAggSpec> aggs)
+    : group_cols_(std::move(group_cols)), aggs_(std::move(aggs)) {
+  RECNET_CHECK(!aggs_.empty());
+}
+
+Tuple GroupByAggregate::GroupOf(const Tuple& t) const {
+  std::vector<Value> values;
+  values.reserve(group_cols_.size());
+  for (size_t i : group_cols_) values.push_back(t.at(i));
+  return Tuple(std::move(values));
+}
+
+void GroupByAggregate::OnInsert(const Tuple& tuple) {
+  GroupState& g = groups_[GroupOf(tuple)];
+  if (g.values.empty()) {
+    g.values.resize(aggs_.size());
+    g.sum.assign(aggs_.size(), 0.0);
+  }
+  ++g.count;
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    if (aggs_[i].fn == GroupAggFn::kCount) continue;
+    double v = NumericOf(tuple.at(aggs_[i].value_col));
+    g.values[i][v] += 1;
+    g.sum[i] += v;
+  }
+}
+
+void GroupByAggregate::OnDelete(const Tuple& tuple) {
+  auto it = groups_.find(GroupOf(tuple));
+  if (it == groups_.end()) return;
+  GroupState& g = it->second;
+  --g.count;
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    if (aggs_[i].fn == GroupAggFn::kCount) continue;
+    double v = NumericOf(tuple.at(aggs_[i].value_col));
+    auto vit = g.values[i].find(v);
+    RECNET_CHECK(vit != g.values[i].end());
+    if (--vit->second == 0) g.values[i].erase(vit);
+    g.sum[i] -= v;
+  }
+  if (g.count == 0) groups_.erase(it);
+}
+
+std::optional<std::vector<Value>> GroupByAggregate::Result(
+    const Tuple& group) const {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) return std::nullopt;
+  const GroupState& g = it->second;
+  std::vector<Value> out;
+  out.reserve(aggs_.size());
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    switch (aggs_[i].fn) {
+      case GroupAggFn::kMin:
+        out.emplace_back(g.values[i].begin()->first);
+        break;
+      case GroupAggFn::kMax:
+        out.emplace_back(g.values[i].rbegin()->first);
+        break;
+      case GroupAggFn::kCount:
+        out.emplace_back(static_cast<int64_t>(g.count));
+        break;
+      case GroupAggFn::kSum:
+        out.emplace_back(g.sum[i]);
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Tuple> GroupByAggregate::Groups() const {
+  std::vector<Tuple> out;
+  out.reserve(groups_.size());
+  for (const auto& [group, state] : groups_) out.push_back(group);
+  return out;
+}
+
+size_t GroupByAggregate::StateSizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& [group, g] : groups_) {
+    bytes += group.WireSizeBytes() + 16;
+    for (const auto& m : g.values) bytes += 12 * m.size();
+  }
+  return bytes;
+}
+
+}  // namespace recnet

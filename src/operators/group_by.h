@@ -1,0 +1,68 @@
+#ifndef RECNET_OPERATORS_GROUP_BY_H_
+#define RECNET_OPERATORS_GROUP_BY_H_
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+
+namespace recnet {
+
+// Aggregate function of the final (windowed) group-by computation that the
+// paper layers on top of recursive views (minCost, regionSizes,
+// largestRegion...). AVERAGE is derivable from SUM and COUNT as the paper
+// notes (§6, footnote 3).
+enum class GroupAggFn { kMin, kMax, kCount, kSum };
+
+struct GroupAggSpec {
+  GroupAggFn fn;
+  // Attribute aggregated over; ignored for kCount.
+  size_t value_col = 0;
+};
+
+// GroupByAggregate maintains MIN/MAX/COUNT/SUM per group under a stream of
+// tuple-level insertions and deletions (revisions), the "final aggregation
+// computation done at the end" of the paper's split aggregate scheme (§6).
+//
+// Each distinct tuple contributes once (set semantics; callers feed it from
+// view-level membership changes). Deleting a group's extreme value falls
+// back to the next value, which is why full value multisets are kept.
+class GroupByAggregate {
+ public:
+  GroupByAggregate(std::vector<size_t> group_cols,
+                   std::vector<GroupAggSpec> aggs);
+
+  void OnInsert(const Tuple& tuple);
+  void OnDelete(const Tuple& tuple);
+
+  // Current aggregate values for `group` (one per spec), or nullopt if the
+  // group is empty.
+  std::optional<std::vector<Value>> Result(const Tuple& group) const;
+
+  // All non-empty groups.
+  std::vector<Tuple> Groups() const;
+
+  size_t StateSizeBytes() const;
+
+ private:
+  struct GroupState {
+    // Per aggregate: ordered multiset of contributing values (value ->
+    // multiplicity). MIN/MAX read the ends; SUM/COUNT use the running
+    // accumulators below.
+    std::vector<std::map<double, int>> values;
+    std::vector<double> sum;
+    int64_t count = 0;
+  };
+
+  Tuple GroupOf(const Tuple& t) const;
+
+  std::vector<size_t> group_cols_;
+  std::vector<GroupAggSpec> aggs_;
+  std::unordered_map<Tuple, GroupState, TupleHash> groups_;
+};
+
+}  // namespace recnet
+
+#endif  // RECNET_OPERATORS_GROUP_BY_H_

@@ -1,0 +1,81 @@
+#ifndef RECNET_OPERATORS_HASH_JOIN_H_
+#define RECNET_OPERATORS_HASH_JOIN_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "operators/update.h"
+
+namespace recnet {
+
+// The provenance-aware pipelined (symmetric) hash join of the paper's
+// Algorithm 2.
+//
+// Both inputs are stored: hash tables h{L,R} index tuples by join key, and
+// provenance tables p{L,R} map each distinct tuple to its merged annotation.
+// An insertion on one side probes the other side and emits joined tuples
+// whose annotation is the AND of the incoming *delta* provenance and the
+// stored annotation of the match (HalfPipeIns line 12).
+//
+// Deletions:
+//  * Set mode (DRed) retracts an exact tuple and emits retractions of all
+//    join results it participated in (HalfPipeDel).
+//  * Provenance modes restrict killed base variables across both sides'
+//    stored annotations (the join's part of "zeroing out" a deleted base
+//    tuple); downstream operators restrict their own state when the kill
+//    reaches them, so no per-result messages are needed.
+class PipelinedHashJoin {
+ public:
+  enum Side { kLeft = 0, kRight = 1 };
+
+  using CombineFn = std::function<Tuple(const Tuple& left, const Tuple& right)>;
+
+  // `left_key` / `right_key` are attribute positions forming the join key.
+  PipelinedHashJoin(ProvMode mode, std::vector<size_t> left_key,
+                    std::vector<size_t> right_key, CombineFn combine);
+
+  // Inserts (tuple, delta_pv) on `side`; returns joined insertions.
+  std::vector<Update> ProcessInsert(Side side, const Tuple& tuple,
+                                    const Prov& delta_pv);
+
+  // Set-mode retraction on `side`; returns joined retractions.
+  std::vector<Update> ProcessDelete(Side side, const Tuple& tuple);
+
+  // Restricts killed variables across both sides; drops dead entries.
+  void ProcessKill(const std::vector<bdd::Var>& killed);
+
+  // Re-emits the join results of `tuple` (which must be present on `side`)
+  // without changing state. DRed's re-derivation phase uses this to re-fire
+  // rule bodies over surviving tuples (paper Figure 5, steps 5-8).
+  std::vector<Update> Refire(Side side, const Tuple& tuple) const;
+
+  bool Contains(Side side, const Tuple& tuple) const;
+  size_t StateSizeBytes() const;
+  size_t size(Side side) const { return side_[side].prov.size(); }
+
+  // All tuples currently stored on `side` (used by re-derivation sweeps).
+  std::vector<Tuple> TuplesOn(Side side) const;
+
+ private:
+  struct SideState {
+    std::vector<size_t> key;
+    // Join key -> distinct tuples with that key.
+    std::unordered_map<Tuple, std::vector<Tuple>, TupleHash> index;
+    // Tuple -> merged provenance.
+    std::unordered_map<Tuple, Prov, TupleHash> prov;
+  };
+
+  Tuple KeyOf(const SideState& s, const Tuple& t) const;
+  void RemoveFromIndex(SideState* s, const Tuple& t);
+  std::vector<Update> Probe(Side probe_side, const Tuple& tuple,
+                            const Prov& pv, UpdateType out_type) const;
+
+  ProvMode mode_;
+  CombineFn combine_;
+  SideState side_[2];
+};
+
+}  // namespace recnet
+
+#endif  // RECNET_OPERATORS_HASH_JOIN_H_

@@ -1,0 +1,116 @@
+#include "operators/min_ship.h"
+
+namespace recnet {
+
+const char* ShipModeName(ShipMode mode) {
+  switch (mode) {
+    case ShipMode::kDirect:
+      return "direct";
+    case ShipMode::kEager:
+      return "eager";
+    case ShipMode::kLazy:
+      return "lazy";
+  }
+  return "?";
+}
+
+MinShip::MinShip(ProvMode prov_mode, ShipMode ship_mode, size_t batch_window,
+                 SendFn send)
+    : prov_mode_(prov_mode),
+      ship_mode_(ship_mode),
+      batch_window_(batch_window),
+      send_(std::move(send)) {
+  RECNET_CHECK(send_ != nullptr);
+}
+
+void MinShip::ProcessInsert(const Tuple& tuple, const Prov& pv) {
+  auto sent = bsent_.find(tuple);
+  if (sent == bsent_.end()) {
+    // Algorithm 3 lines 11-13: first derivation ships right away.
+    bsent_.emplace(tuple, pv);
+    send_(tuple, pv);
+  } else if (ship_mode_ == ShipMode::kDirect) {
+    // Conventional Ship: forward every non-absorbed derivation.
+    Prov merged = sent->second.Or(pv);
+    if (!(merged == sent->second)) {
+      sent->second = merged;
+      send_(tuple, pv);
+    }
+  } else {
+    // Lines 15-18: buffer unless already absorbed by what was shipped.
+    Prov merged = sent->second.Or(pv);
+    if (!(merged == sent->second)) {
+      auto [it, inserted] = pins_.emplace(tuple, pv);
+      if (!inserted) it->second = it->second.Or(pv);
+    }
+  }
+  if (ship_mode_ == ShipMode::kEager && ++since_flush_ >= batch_window_) {
+    Flush();
+  }
+}
+
+void MinShip::ProcessKill(const std::vector<bdd::Var>& killed) {
+  // Restrict the buffered (unshipped) derivations first (Algorithm 3
+  // lines 20-25).
+  for (auto it = pins_.begin(); it != pins_.end();) {
+    Prov next = it->second.RestrictFalse(killed);
+    if (next.IsFalse()) {
+      it = pins_.erase(it);
+    } else {
+      it->second = next;
+      ++it;
+    }
+  }
+  // A shipped derivation that dies is replaced by a surviving buffered
+  // alternative, shipped immediately so downstream can re-derive
+  // (BatchShipLazy lines 6-12 applied at deletion time).
+  for (auto it = bsent_.begin(); it != bsent_.end();) {
+    Prov next = it->second.RestrictFalse(killed);
+    if (!next.IsFalse()) {
+      it->second = next;
+      ++it;
+      continue;
+    }
+    auto buffered = pins_.find(it->first);
+    if (buffered != pins_.end()) {
+      it->second = buffered->second;
+      send_(it->first, buffered->second);
+      pins_.erase(buffered);
+      ++it;
+    } else {
+      it = bsent_.erase(it);
+    }
+  }
+}
+
+void MinShip::ProcessDelete(const Tuple& tuple) {
+  bsent_.erase(tuple);
+  pins_.erase(tuple);
+}
+
+void MinShip::Flush() {
+  since_flush_ = 0;
+  for (auto& [tuple, pv] : pins_) {
+    auto sent = bsent_.find(tuple);
+    if (sent == bsent_.end()) {
+      bsent_.emplace(tuple, pv);
+    } else {
+      sent->second = sent->second.Or(pv);
+    }
+    send_(tuple, pv);
+  }
+  pins_.clear();
+}
+
+size_t MinShip::StateSizeBytes() const {
+  size_t bytes = 0;
+  for (const auto& [tuple, pv] : bsent_) {
+    bytes += tuple.WireSizeBytes() + pv.WireSizeBytes();
+  }
+  for (const auto& [tuple, pv] : pins_) {
+    bytes += tuple.WireSizeBytes() + pv.WireSizeBytes();
+  }
+  return bytes;
+}
+
+}  // namespace recnet

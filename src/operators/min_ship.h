@@ -1,0 +1,77 @@
+#ifndef RECNET_OPERATORS_MIN_SHIP_H_
+#define RECNET_OPERATORS_MIN_SHIP_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "operators/update.h"
+
+namespace recnet {
+
+// Shipping policy of the MinShip operator (paper Section 5).
+enum class ShipMode {
+  // Conventional Ship: every derivation is forwarded immediately. Used as
+  // the no-MinShip ablation and by maintenance schemes without buffering.
+  kDirect,
+  // Buffer alternate derivations and flush them every `batch_window`
+  // processed updates (the paper's eager strategy: "propagate state from
+  // MinShip once a second").
+  kEager,
+  // Lazy provenance propagation: infinite batching interval; buffered
+  // derivations are shipped only when the previously shipped derivation of
+  // the same tuple is deleted (paper: "alternate derivations of a tuple
+  // will only be propagated when they affect downstream results").
+  kLazy,
+};
+
+const char* ShipModeName(ShipMode mode);
+
+// The MinShip operator (paper Algorithm 3).
+//
+// Always forwards the first derivation of each tuple; subsequent derivations
+// are merged (with absorption) into a buffer (Pins). Bsent tracks what has
+// been shipped so far. When a kill makes a shipped annotation false, the
+// buffered alternative — if any survives — is promoted and shipped, so
+// downstream state stays correct without eager propagation of every
+// derivation.
+class MinShip {
+ public:
+  // `send` forwards an update towards its destination (routing by tuple is
+  // the runtime's job).
+  using SendFn = std::function<void(const Tuple&, const Prov&)>;
+
+  MinShip(ProvMode prov_mode, ShipMode ship_mode, size_t batch_window,
+          SendFn send);
+
+  // Algorithm 3 main loop body for an insertion.
+  void ProcessInsert(const Tuple& tuple, const Prov& pv);
+
+  // Restricts killed variables across Bsent and Pins. Shipped annotations
+  // that die are replaced by surviving buffered derivations, which are sent
+  // (BatchShipLazy semantics). The kill itself is forwarded by the runtime.
+  void ProcessKill(const std::vector<bdd::Var>& killed);
+
+  // Set-mode retraction passthrough (DRed ships directly).
+  void ProcessDelete(const Tuple& tuple);
+
+  // Ships all buffered derivations (end-of-stream / timer flush,
+  // Algorithm 3 line 33).
+  void Flush();
+
+  size_t StateSizeBytes() const;
+  size_t buffered() const { return pins_.size(); }
+
+ private:
+  ProvMode prov_mode_;
+  ShipMode ship_mode_;
+  size_t batch_window_;
+  SendFn send_;
+  size_t since_flush_ = 0;
+  std::unordered_map<Tuple, Prov, TupleHash> bsent_;
+  std::unordered_map<Tuple, Prov, TupleHash> pins_;
+};
+
+}  // namespace recnet
+
+#endif  // RECNET_OPERATORS_MIN_SHIP_H_

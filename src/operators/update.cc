@@ -1,0 +1,39 @@
+#include "operators/update.h"
+
+namespace recnet {
+
+size_t Update::WireSizeBytes() const {
+  size_t bytes = 16;  // Message header: type, relation id, lengths.
+  switch (type) {
+    case UpdateType::kInsert:
+      bytes += tuple.WireSizeBytes() + pv.WireSizeBytes();
+      break;
+    case UpdateType::kDelete:
+      bytes += tuple.WireSizeBytes();
+      break;
+    case UpdateType::kKill:
+      bytes += 4 * killed.size();
+      break;
+  }
+  return bytes;
+}
+
+std::string Update::ToString() const {
+  switch (type) {
+    case UpdateType::kInsert:
+      return "+" + tuple.ToString() + "@" + pv.ToString();
+    case UpdateType::kDelete:
+      return "-" + tuple.ToString();
+    case UpdateType::kKill: {
+      std::string out = "kill{";
+      for (size_t i = 0; i < killed.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "p" + std::to_string(killed[i]);
+      }
+      return out + "}";
+    }
+  }
+  return "?";
+}
+
+}  // namespace recnet

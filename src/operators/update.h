@@ -1,0 +1,66 @@
+#ifndef RECNET_OPERATORS_UPDATE_H_
+#define RECNET_OPERATORS_UPDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "provenance/prov.h"
+
+namespace recnet {
+
+// The kind of an update flowing through the stream query plan (paper §3.1:
+// inputs are streams of insertions and deletions over base data).
+enum class UpdateType {
+  // A tuple insertion (or an additional derivation of an existing tuple)
+  // annotated with provenance.
+  kInsert,
+  // A retraction of a specific tuple. Used by set-semantics maintenance
+  // (DRed's over-deletion phase) and by aggregate selection when a group's
+  // winning tuple is displaced (Algorithm 4 lines 20-23).
+  kDelete,
+  // A base-tuple deletion in the provenance models: carries the set of base
+  // variables being zeroed out. Every provenance-bearing operator restricts
+  // these variables to false across its state (paper §4: "zero out p4 in
+  // the provenance expressions of all reachable tuples").
+  kKill,
+};
+
+// One element of an update stream.
+struct Update {
+  UpdateType type = UpdateType::kInsert;
+  Tuple tuple;                    // kInsert / kDelete
+  Prov pv;                        // kInsert
+  std::vector<bdd::Var> killed;   // kKill
+
+  static Update Insert(Tuple t, Prov pv) {
+    Update u;
+    u.type = UpdateType::kInsert;
+    u.tuple = std::move(t);
+    u.pv = std::move(pv);
+    return u;
+  }
+  static Update Delete(Tuple t) {
+    Update u;
+    u.type = UpdateType::kDelete;
+    u.tuple = std::move(t);
+    return u;
+  }
+  static Update Kill(std::vector<bdd::Var> killed) {
+    Update u;
+    u.type = UpdateType::kKill;
+    u.killed = std::move(killed);
+    return u;
+  }
+
+  // Wire size when shipped between physical peers: header + tuple values +
+  // provenance annotation (+ killed variable list). Backs the paper's
+  // communication-overhead and per-tuple-provenance metrics.
+  size_t WireSizeBytes() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace recnet
+
+#endif  // RECNET_OPERATORS_UPDATE_H_

@@ -1,0 +1,137 @@
+#include "queries/reference.h"
+
+#include <limits>
+#include <queue>
+
+namespace recnet {
+
+std::vector<std::set<int>> ReferenceReachability(
+    int num_nodes, const std::vector<LinkTuple>& links) {
+  std::vector<std::vector<int>> adj(static_cast<size_t>(num_nodes));
+  for (const LinkTuple& link : links) {
+    adj[static_cast<size_t>(link.src)].push_back(link.dst);
+  }
+  std::vector<std::set<int>> out(static_cast<size_t>(num_nodes));
+  for (int src = 0; src < num_nodes; ++src) {
+    // BFS from each successor of src (>= 1 hop reachability, so src itself
+    // is included only when it lies on a cycle).
+    std::vector<bool> seen(static_cast<size_t>(num_nodes), false);
+    std::queue<int> frontier;
+    for (int next : adj[static_cast<size_t>(src)]) {
+      if (!seen[static_cast<size_t>(next)]) {
+        seen[static_cast<size_t>(next)] = true;
+        frontier.push(next);
+      }
+    }
+    while (!frontier.empty()) {
+      int n = frontier.front();
+      frontier.pop();
+      out[static_cast<size_t>(src)].insert(n);
+      for (int next : adj[static_cast<size_t>(n)]) {
+        if (!seen[static_cast<size_t>(next)]) {
+          seen[static_cast<size_t>(next)] = true;
+          frontier.push(next);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ReferenceShortestPaths ReferenceShortest(int num_nodes,
+                                         const std::vector<LinkTuple>& links) {
+  std::vector<std::vector<std::pair<int, double>>> adj(
+      static_cast<size_t>(num_nodes));
+  for (const LinkTuple& link : links) {
+    adj[static_cast<size_t>(link.src)].emplace_back(link.dst, link.cost_ms);
+  }
+  ReferenceShortestPaths result;
+  result.min_cost.assign(
+      static_cast<size_t>(num_nodes),
+      std::vector<std::optional<double>>(static_cast<size_t>(num_nodes)));
+  result.min_hops.assign(
+      static_cast<size_t>(num_nodes),
+      std::vector<std::optional<int64_t>>(static_cast<size_t>(num_nodes)));
+
+  for (int src = 0; src < num_nodes; ++src) {
+    // Dijkstra for cost. Distances are for paths of >= 1 hop, so dist[src]
+    // is the cheapest cycle through src (may stay unset).
+    std::vector<double> dist(static_cast<size_t>(num_nodes),
+                             std::numeric_limits<double>::infinity());
+    using Entry = std::pair<double, int>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+    for (const auto& [next, cost] : adj[static_cast<size_t>(src)]) {
+      if (cost < dist[static_cast<size_t>(next)]) {
+        dist[static_cast<size_t>(next)] = cost;
+        pq.push({cost, next});
+      }
+    }
+    while (!pq.empty()) {
+      auto [d, n] = pq.top();
+      pq.pop();
+      if (d > dist[static_cast<size_t>(n)]) continue;
+      for (const auto& [next, cost] : adj[static_cast<size_t>(n)]) {
+        if (d + cost < dist[static_cast<size_t>(next)]) {
+          dist[static_cast<size_t>(next)] = d + cost;
+          pq.push({d + cost, next});
+        }
+      }
+    }
+    // BFS for hops, same >= 1 hop convention.
+    std::vector<int64_t> hops(static_cast<size_t>(num_nodes), -1);
+    std::queue<int> frontier;
+    for (const auto& [next, cost] : adj[static_cast<size_t>(src)]) {
+      if (hops[static_cast<size_t>(next)] < 0) {
+        hops[static_cast<size_t>(next)] = 1;
+        frontier.push(next);
+      }
+    }
+    while (!frontier.empty()) {
+      int n = frontier.front();
+      frontier.pop();
+      for (const auto& [next, cost] : adj[static_cast<size_t>(n)]) {
+        if (hops[static_cast<size_t>(next)] < 0) {
+          hops[static_cast<size_t>(next)] = hops[static_cast<size_t>(n)] + 1;
+          frontier.push(next);
+        }
+      }
+    }
+    for (int dst = 0; dst < num_nodes; ++dst) {
+      if (dist[static_cast<size_t>(dst)] !=
+          std::numeric_limits<double>::infinity()) {
+        result.min_cost[static_cast<size_t>(src)][static_cast<size_t>(dst)] =
+            dist[static_cast<size_t>(dst)];
+      }
+      if (hops[static_cast<size_t>(dst)] >= 0) {
+        result.min_hops[static_cast<size_t>(src)][static_cast<size_t>(dst)] =
+            hops[static_cast<size_t>(dst)];
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::set<int>> ReferenceRegions(
+    const SensorField& field, const std::vector<bool>& triggered) {
+  std::vector<std::set<int>> regions(field.seed_sensors.size());
+  for (size_t r = 0; r < field.seed_sensors.size(); ++r) {
+    int seed = field.seed_sensors[r];
+    if (!triggered[static_cast<size_t>(seed)]) continue;
+    // Grow: members whose (triggered) presence admits neighbors.
+    std::set<int>& members = regions[r];
+    members.insert(seed);
+    std::queue<int> frontier;
+    frontier.push(seed);
+    while (!frontier.empty()) {
+      int x = frontier.front();
+      frontier.pop();
+      if (!triggered[static_cast<size_t>(x)]) continue;  // Cannot expand.
+      for (int y : field.neighbors[static_cast<size_t>(x)]) {
+        if (members.insert(y).second) frontier.push(y);
+      }
+    }
+  }
+  return regions;
+}
+
+}  // namespace recnet

@@ -1,0 +1,41 @@
+#ifndef RECNET_QUERIES_REFERENCE_H_
+#define RECNET_QUERIES_REFERENCE_H_
+
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "topology/sensor_grid.h"
+#include "topology/workload.h"
+
+namespace recnet {
+
+// Centralized, from-scratch oracle implementations of the paper's queries.
+// The distributed engines are validated against these in tests and in
+// EXPERIMENTS.md: after any sequence of insertions and deletions, the
+// incrementally maintained views must equal a from-scratch recomputation.
+
+// Query 1: reachable(x, y) — transitive closure of the directed link set.
+// reachable[x] is the set of nodes reachable from x in >= 1 hop.
+std::vector<std::set<int>> ReferenceReachability(
+    int num_nodes, const std::vector<LinkTuple>& links);
+
+// Query 2 aggregates: min path cost and min hop count per (src, dst) pair,
+// via Dijkstra / BFS over the directed links. Unreachable pairs are
+// nullopt. Paths with >= 1 hop only (matching the view's base case).
+struct ReferenceShortestPaths {
+  std::vector<std::vector<std::optional<double>>> min_cost;
+  std::vector<std::vector<std::optional<int64_t>>> min_hops;
+};
+ReferenceShortestPaths ReferenceShortest(int num_nodes,
+                                         const std::vector<LinkTuple>& links);
+
+// Query 3: activeRegion(r, x) — for each region r, the contiguous set of
+// sensors grown from the (triggered) seed: y joins if some member x is
+// triggered and distance(x, y) < k.
+std::vector<std::set<int>> ReferenceRegions(
+    const SensorField& field, const std::vector<bool>& triggered);
+
+}  // namespace recnet
+
+#endif  // RECNET_QUERIES_REFERENCE_H_

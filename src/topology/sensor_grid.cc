@@ -1,0 +1,45 @@
+#include "topology/sensor_grid.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace recnet {
+
+SensorField MakeSensorGrid(const SensorGridOptions& options) {
+  RECNET_CHECK_GT(options.grid_dim, 0);
+  SensorField field;
+  field.num_sensors = options.grid_dim * options.grid_dim;
+  field.k = options.k;
+  field.positions.reserve(static_cast<size_t>(field.num_sensors));
+  for (int r = 0; r < options.grid_dim; ++r) {
+    for (int c = 0; c < options.grid_dim; ++c) {
+      field.positions.emplace_back(c * options.spacing_m,
+                                   r * options.spacing_m);
+    }
+  }
+  field.neighbors.resize(static_cast<size_t>(field.num_sensors));
+  for (int a = 0; a < field.num_sensors; ++a) {
+    for (int b = 0; b < field.num_sensors; ++b) {
+      if (a == b) continue;
+      double dx = field.positions[a].first - field.positions[b].first;
+      double dy = field.positions[a].second - field.positions[b].second;
+      if (std::sqrt(dx * dx + dy * dy) < options.k) {
+        field.neighbors[a].push_back(b);
+      }
+    }
+  }
+  RECNET_CHECK_LE(options.num_seeds, field.num_sensors);
+  Rng rng(options.seed);
+  std::unordered_set<int> chosen;
+  while (static_cast<int>(chosen.size()) < options.num_seeds) {
+    chosen.insert(
+        static_cast<int>(rng.NextBounded(static_cast<uint64_t>(field.num_sensors))));
+  }
+  field.seed_sensors.assign(chosen.begin(), chosen.end());
+  return field;
+}
+
+}  // namespace recnet

@@ -1,0 +1,41 @@
+#ifndef RECNET_TOPOLOGY_SENSOR_GRID_H_
+#define RECNET_TOPOLOGY_SENSOR_GRID_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace recnet {
+
+// A simulated sensor deployment (paper Workload 2): sensors on a bounded
+// field, a proximity threshold k defining which sensors are "contiguous",
+// and seed sensors anchoring the regions of Query 3 (one region per seed).
+struct SensorField {
+  int num_sensors = 0;
+  std::vector<std::pair<double, double>> positions;
+  double k = 20.0;
+  // seed_sensors[r] is the main sensor of region r.
+  std::vector<int> seed_sensors;
+  // neighbors[x] = sensors y != x with distance(x, y) < k.
+  std::vector<std::vector<int>> neighbors;
+};
+
+struct SensorGridOptions {
+  // Sensors are placed on a grid_dim x grid_dim lattice.
+  int grid_dim = 10;
+  // Lattice spacing in meters (10 x 10 m over 100 m x 100 m by default).
+  double spacing_m = 10.0;
+  // Contiguity threshold (paper default k = 20 m).
+  double k = 20.0;
+  // Number of seed groups (paper default 5).
+  int num_seeds = 5;
+  uint64_t seed = 1;
+};
+
+// Builds the lattice field with `num_seeds` distinct random seed sensors and
+// precomputed proximity neighbor lists.
+SensorField MakeSensorGrid(const SensorGridOptions& options);
+
+}  // namespace recnet
+
+#endif  // RECNET_TOPOLOGY_SENSOR_GRID_H_

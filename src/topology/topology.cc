@@ -1,0 +1,33 @@
+#include "topology/topology.h"
+
+#include <queue>
+
+namespace recnet {
+
+bool IsConnected(const Topology& topo) {
+  if (topo.num_nodes == 0) return true;
+  std::vector<std::vector<int>> adj(static_cast<size_t>(topo.num_nodes));
+  for (const TopoLink& link : topo.links) {
+    adj[static_cast<size_t>(link.a)].push_back(link.b);
+    adj[static_cast<size_t>(link.b)].push_back(link.a);
+  }
+  std::vector<bool> seen(static_cast<size_t>(topo.num_nodes), false);
+  std::queue<int> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  int visited = 1;
+  while (!frontier.empty()) {
+    int n = frontier.front();
+    frontier.pop();
+    for (int next : adj[static_cast<size_t>(n)]) {
+      if (!seen[static_cast<size_t>(next)]) {
+        seen[static_cast<size_t>(next)] = true;
+        ++visited;
+        frontier.push(next);
+      }
+    }
+  }
+  return visited == topo.num_nodes;
+}
+
+}  // namespace recnet

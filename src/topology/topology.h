@@ -1,0 +1,34 @@
+#ifndef RECNET_TOPOLOGY_TOPOLOGY_H_
+#define RECNET_TOPOLOGY_TOPOLOGY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace recnet {
+
+// An undirected network link with a latency cost (the paper's link(src,
+// dst, cost); each undirected link yields two link tuples).
+struct TopoLink {
+  int a = 0;
+  int b = 0;
+  double cost_ms = 1.0;
+};
+
+// A generated network topology: `num_nodes` routers and a set of undirected
+// links. The engines insert both directed link tuples per entry, matching
+// the paper's "approximately 200 bidirectional links (hence 400 link
+// tuples)".
+struct Topology {
+  int num_nodes = 0;
+  std::vector<TopoLink> links;
+
+  size_t num_link_tuples() const { return 2 * links.size(); }
+};
+
+// True iff the undirected graph is connected (generators guarantee this).
+bool IsConnected(const Topology& topo);
+
+}  // namespace recnet
+
+#endif  // RECNET_TOPOLOGY_TOPOLOGY_H_

@@ -1,0 +1,95 @@
+#include "topology/transit_stub.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace recnet {
+namespace {
+
+constexpr double kTransitTransitMs = 50.0;
+constexpr double kTransitStubMs = 10.0;
+constexpr double kIntraStubMs = 2.0;
+
+// Adds a ring plus `extra_chords` random chords over nodes [first,
+// first+count), all with the given latency. Ring guarantees connectivity
+// inside the domain.
+void AddDomain(Topology* topo, int first, int count, int extra_chords,
+               double latency, Rng* rng) {
+  std::set<std::pair<int, int>> present;
+  auto add = [&](int a, int b) {
+    if (a == b) return false;
+    auto key = std::minmax(a, b);
+    if (!present.insert(key).second) return false;
+    topo->links.push_back(TopoLink{key.first, key.second, latency});
+    return true;
+  };
+  for (int i = 0; i < count; ++i) {
+    if (count > 1) add(first + i, first + (i + 1) % count);
+  }
+  int attempts = 0;
+  int added = 0;
+  while (added < extra_chords && attempts < extra_chords * 20) {
+    ++attempts;
+    int a = first + static_cast<int>(rng->NextBounded(count));
+    int b = first + static_cast<int>(rng->NextBounded(count));
+    if (add(a, b)) ++added;
+  }
+}
+
+}  // namespace
+
+Topology MakeTransitStub(const TransitStubOptions& options) {
+  RECNET_CHECK_GT(options.transit_nodes, 0);
+  RECNET_CHECK_GE(options.stubs_per_transit, 0);
+  RECNET_CHECK_GT(options.stub_size, 0);
+  Rng rng(options.seed);
+  int total_stubs = options.total_stubs >= 0
+                        ? options.total_stubs
+                        : options.transit_nodes * options.stubs_per_transit;
+  Topology topo;
+  topo.num_nodes = options.transit_nodes + total_stubs * options.stub_size;
+
+  // Transit domain: ring + chords among the transit nodes.
+  int transit_chords = options.dense ? options.transit_nodes / 2 : 0;
+  AddDomain(&topo, 0, options.transit_nodes, transit_chords,
+            kTransitTransitMs, &rng);
+
+  // Stub domains: ring + chords, attached to their transit node. Dense
+  // stubs get roughly one chord per node (≈4 links/node overall); sparse
+  // stubs are rings only (≈half the links).
+  int next = options.transit_nodes;
+  for (int s = 0; s < total_stubs; ++s) {
+    int t = s % options.transit_nodes;
+    int first = next;
+    next += options.stub_size;
+    int chords = options.dense ? options.stub_size - 1 : 0;
+    AddDomain(&topo, first, options.stub_size, chords, kIntraStubMs, &rng);
+    // Attach the stub to its transit node through a random gateway.
+    int gateway =
+        first + static_cast<int>(rng.NextBounded(options.stub_size));
+    topo.links.push_back(TopoLink{t, gateway, kTransitStubMs});
+  }
+  RECNET_CHECK(IsConnected(topo));
+  return topo;
+}
+
+Topology MakeTransitStubWithTargetLinks(int target_link_count, bool dense,
+                                        uint64_t seed) {
+  RECNET_CHECK_GT(target_link_count, 0);
+  // Links per stub: ring (stub_size) + chords + 1 attachment.
+  TransitStubOptions options;
+  options.dense = dense;
+  options.seed = seed;
+  int per_stub = dense ? (8 + 7 + 1) : (8 + 1);
+  int transit_links = dense ? 6 : 4;
+  options.total_stubs =
+      std::max(1, (target_link_count - transit_links + per_stub / 2) /
+                      per_stub);
+  return MakeTransitStub(options);
+}
+
+}  // namespace recnet

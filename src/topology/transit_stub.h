@@ -1,0 +1,38 @@
+#ifndef RECNET_TOPOLOGY_TRANSIT_STUB_H_
+#define RECNET_TOPOLOGY_TRANSIT_STUB_H_
+
+#include "topology/topology.h"
+
+namespace recnet {
+
+// Parameters of the GT-ITM-style transit-stub generator (paper §7.1: "eight
+// nodes per stub, three stubs per transit node, and four nodes per transit
+// domain", giving 100 nodes and ~200 bidirectional links by default).
+// Latencies follow the paper: 50 ms transit-transit, 10 ms transit-stub,
+// 2 ms intra-stub.
+struct TransitStubOptions {
+  int transit_nodes = 4;
+  int stubs_per_transit = 3;
+  int stub_size = 8;
+  // When >= 0, overrides transit_nodes * stubs_per_transit with an exact
+  // stub count (assigned to transit nodes round-robin); used by the
+  // target-link-count sweep.
+  int total_stubs = -1;
+  // Dense topologies have roughly four links per node; sparse halves the
+  // link count for the same node count (paper §7.3).
+  bool dense = true;
+  uint64_t seed = 1;
+};
+
+// Generates a connected transit-stub topology.
+Topology MakeTransitStub(const TransitStubOptions& options);
+
+// Scales the generator to approximately `target_link_count` undirected
+// links (the paper's 100/200/400/800-link sweep, Figures 11-12) by varying
+// the number of stub domains.
+Topology MakeTransitStubWithTargetLinks(int target_link_count, bool dense,
+                                        uint64_t seed);
+
+}  // namespace recnet
+
+#endif  // RECNET_TOPOLOGY_TRANSIT_STUB_H_

@@ -1,0 +1,40 @@
+#include "topology/workload.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace recnet {
+
+std::vector<LinkTuple> DirectedLinks(const Topology& topo) {
+  std::vector<LinkTuple> out;
+  out.reserve(topo.links.size() * 2);
+  for (const TopoLink& link : topo.links) {
+    out.push_back(LinkTuple{link.a, link.b, link.cost_ms});
+    out.push_back(LinkTuple{link.b, link.a, link.cost_ms});
+  }
+  return out;
+}
+
+std::vector<LinkTuple> InsertionPrefix(const Topology& topo, double ratio,
+                                       uint64_t seed) {
+  RECNET_CHECK(ratio >= 0.0 && ratio <= 1.0);
+  std::vector<LinkTuple> links = DirectedLinks(topo);
+  Rng rng(seed);
+  rng.Shuffle(&links);
+  links.resize(static_cast<size_t>(ratio * static_cast<double>(links.size())));
+  return links;
+}
+
+std::vector<LinkTuple> DeletionSequence(const Topology& topo, double ratio,
+                                        uint64_t seed) {
+  RECNET_CHECK(ratio >= 0.0 && ratio <= 1.0);
+  std::vector<LinkTuple> links = DirectedLinks(topo);
+  Rng rng(seed ^ 0xdeadbeefULL);
+  rng.Shuffle(&links);
+  links.resize(static_cast<size_t>(ratio * static_cast<double>(links.size())));
+  return links;
+}
+
+}  // namespace recnet

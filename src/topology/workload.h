@@ -1,0 +1,36 @@
+#ifndef RECNET_TOPOLOGY_WORKLOAD_H_
+#define RECNET_TOPOLOGY_WORKLOAD_H_
+
+#include <vector>
+
+#include "topology/topology.h"
+
+namespace recnet {
+
+// A directed link tuple as fed to the engines: link(src, dst, cost).
+struct LinkTuple {
+  int src = 0;
+  int dst = 0;
+  double cost_ms = 1.0;
+};
+
+// Expands undirected topology links into directed link tuples (both
+// directions), in a deterministic order.
+std::vector<LinkTuple> DirectedLinks(const Topology& topo);
+
+// The paper's insertion workloads insert a shuffled fraction of the link
+// tuples ("the fraction of links inserted, in an incremental fashion").
+// Returns the first `ratio` of a seeded shuffle of all directed links.
+std::vector<LinkTuple> InsertionPrefix(const Topology& topo, double ratio,
+                                       uint64_t seed);
+
+// Deletion sequences delete links one at a time after the full view exists
+// ("we then delete link tuples in sequence; each deletion occurs in
+// isolation"). Returns a seeded shuffle of the first `ratio` of directed
+// links to delete.
+std::vector<LinkTuple> DeletionSequence(const Topology& topo, double ratio,
+                                        uint64_t seed);
+
+}  // namespace recnet
+
+#endif  // RECNET_TOPOLOGY_WORKLOAD_H_

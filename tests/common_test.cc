@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace recnet {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status s = Status::InvalidArgument("bad arity");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad arity");
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+}
+
+TEST(StatusTest, AllCodesRender) {
+  EXPECT_EQ(Status::NotFound("x").ToString(), "NotFound: x");
+  EXPECT_EQ(Status::AlreadyExists("x").ToString(), "AlreadyExists: x");
+  EXPECT_EQ(Status::OutOfRange("x").ToString(), "OutOfRange: x");
+  EXPECT_EQ(Status::Unimplemented("x").ToString(), "Unimplemented: x");
+  EXPECT_EQ(Status::Internal("x").ToString(), "Internal: x");
+  EXPECT_EQ(Status::ResourceExhausted("x").ToString(),
+            "ResourceExhausted: x");
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+TEST(StatusOrTest, ValueAndError) {
+  StatusOr<int> good = ParsePositive(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 7);
+  StatusOr<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValueTest, TypesAndEquality) {
+  Value i(int64_t{42});
+  Value d(2.5);
+  Value s(std::string("hello"));
+  EXPECT_TRUE(i.is_int());
+  EXPECT_TRUE(d.is_double());
+  EXPECT_TRUE(s.is_string());
+  EXPECT_EQ(i.AsInt(), 42);
+  EXPECT_EQ(d.AsDouble(), 2.5);
+  EXPECT_EQ(s.AsString(), "hello");
+  EXPECT_EQ(i, Value(int64_t{42}));
+  EXPECT_NE(i.Hash(), s.Hash());
+  EXPECT_EQ(i.ToString(), "42");
+  EXPECT_EQ(s.ToString(), "hello");
+}
+
+TEST(ValueTest, WireSize) {
+  EXPECT_EQ(Value(int64_t{1}).WireSizeBytes(), 8u);
+  EXPECT_EQ(Value(1.0).WireSizeBytes(), 8u);
+  EXPECT_EQ(Value(std::string("abcd")).WireSizeBytes(), 8u);
+}
+
+TEST(TupleTest, Basics) {
+  Tuple t = Tuple::OfInts({1, 2, 3});
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.IntAt(1), 2);
+  EXPECT_EQ(t.ToString(), "(1,2,3)");
+  EXPECT_EQ(t, Tuple::OfInts({1, 2, 3}));
+  EXPECT_NE(t, Tuple::OfInts({1, 2, 4}));
+  EXPECT_LT(Tuple::OfInts({1, 2}), Tuple::OfInts({1, 3}));
+}
+
+TEST(TupleTest, HashDistinguishesOrder) {
+  EXPECT_NE(Tuple::OfInts({1, 2}).Hash(), Tuple::OfInts({2, 1}).Hash());
+}
+
+TEST(TupleTest, WireSizeSumsValues) {
+  Tuple t = Tuple::OfInts({1, 2});
+  EXPECT_EQ(t.WireSizeBytes(), 2u + 16u);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace recnet

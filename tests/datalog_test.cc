@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "datalog/analyzer.h"
+#include "datalog/lexer.h"
+#include "datalog/parser.h"
+#include "datalog/planner.h"
+
+namespace recnet {
+namespace datalog {
+namespace {
+
+constexpr char kReachable[] = R"(
+  % Query 1 from the paper.
+  reachable(x,y) :- link(x,y).
+  reachable(x,y) :- link(x,z), reachable(z,y).
+)";
+
+TEST(LexerTest, TokenizesRule) {
+  auto tokens = Lex("reachable(x,y) :- link(x,y).");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 15u);  // 14 tokens + end.
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdent);
+  EXPECT_EQ((*tokens)[0].text, "reachable");
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kColonDash);
+  EXPECT_EQ((*tokens)[13].kind, TokenKind::kPeriod);
+}
+
+TEST(LexerTest, SkipsCommentsAndTracksLines) {
+  auto tokens = Lex("% comment line\nfoo(x).");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "foo");
+  EXPECT_EQ((*tokens)[0].line, 2);
+}
+
+TEST(LexerTest, NumbersAndStrings) {
+  auto tokens = Lex("f(1, 2.5, \"hi\").");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kNumber);
+  EXPECT_EQ((*tokens)[2].number, 1.0);
+  EXPECT_EQ((*tokens)[4].number, 2.5);
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[6].text, "hi");
+}
+
+TEST(LexerTest, NumberFollowedByPeriodTerminator) {
+  auto tokens = Lex("f(1).");
+  ASSERT_TRUE(tokens.ok());
+  // 1 must not swallow the rule terminator.
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kNumber);
+  EXPECT_EQ((*tokens)[4].kind, TokenKind::kPeriod);
+}
+
+TEST(LexerTest, RejectsUnknownCharacter) {
+  EXPECT_FALSE(Lex("f(x) ;").ok());
+}
+
+TEST(LexerTest, RejectsUnterminatedString) {
+  EXPECT_FALSE(Lex("f(\"oops).").ok());
+}
+
+TEST(ParserTest, ParsesReachable) {
+  auto program = Parse(kReachable);
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(program->rules.size(), 2u);
+  EXPECT_EQ(program->rules[0].head.predicate, "reachable");
+  EXPECT_EQ(program->rules[0].body.size(), 1u);
+  EXPECT_EQ(program->rules[1].body.size(), 2u);
+  EXPECT_EQ(program->rules[1].ToString(),
+            "reachable(x,y) :- link(x,z), reachable(z,y).");
+}
+
+TEST(ParserTest, ParsesAggregateHeads) {
+  auto program = Parse("minCost(x,y,min<c>) :- path(x,y,p,c,l).");
+  ASSERT_TRUE(program.ok());
+  const Term& agg = program->rules[0].head.args[2];
+  EXPECT_EQ(agg.kind, Term::Kind::kAggregate);
+  EXPECT_EQ(agg.agg, AggKind::kMin);
+  EXPECT_EQ(agg.name, "c");
+}
+
+TEST(ParserTest, ParsesFacts) {
+  auto program = Parse("link(1,2).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(program->rules[0].IsFact());
+  EXPECT_EQ(program->rules[0].head.args[0].kind, Term::Kind::kNumber);
+}
+
+TEST(ParserTest, MinAsPlainVariableStillParses) {
+  // `min` without angle brackets is an ordinary identifier.
+  auto program = Parse("f(min) :- g(min).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->rules[0].head.args[0].kind, Term::Kind::kVariable);
+}
+
+TEST(ParserTest, RejectsAggregateInBody) {
+  EXPECT_FALSE(Parse("f(x) :- g(min<x>).").ok());
+}
+
+TEST(ParserTest, RejectsMissingPeriod) {
+  EXPECT_FALSE(Parse("f(x) :- g(x)").ok());
+}
+
+TEST(ParserTest, RejectsDanglingComma) {
+  EXPECT_FALSE(Parse("f(x) :- g(x), .").ok());
+}
+
+TEST(AnalyzerTest, ClassifiesEdbIdbAndRecursion) {
+  auto program = Parse(kReachable);
+  ASSERT_TRUE(program.ok());
+  auto info = Analyze(*program);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->idb, (std::set<std::string>{"reachable"}));
+  EXPECT_EQ(info->edb, (std::set<std::string>{"link"}));
+  EXPECT_EQ(info->recursive, (std::set<std::string>{"reachable"}));
+  EXPECT_TRUE(info->linear_recursion);
+}
+
+TEST(AnalyzerTest, DetectsNonLinearRecursion) {
+  auto program = Parse(
+      "reachable(x,y) :- link(x,y)."
+      "reachable(x,y) :- reachable(x,z), reachable(z,y).");
+  ASSERT_TRUE(program.ok());
+  auto info = Analyze(*program);
+  ASSERT_TRUE(info.ok());
+  EXPECT_FALSE(info->linear_recursion);
+}
+
+TEST(AnalyzerTest, DetectsMutualRecursion) {
+  auto program = Parse(
+      "even(x) :- zero(x)."
+      "even(x) :- succ(y,x), odd(y)."
+      "odd(x) :- succ(y,x), even(y).");
+  ASSERT_TRUE(program.ok());
+  auto info = Analyze(*program);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->recursive, (std::set<std::string>{"even", "odd"}));
+}
+
+TEST(AnalyzerTest, RejectsUnsafeHeadVariable) {
+  auto program = Parse("f(x,q) :- g(x).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(Analyze(*program).ok());
+}
+
+TEST(AnalyzerTest, RejectsUnsafeAggregate) {
+  auto program = Parse("m(x,min<z>) :- g(x,y).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(Analyze(*program).ok());
+}
+
+TEST(AnalyzerTest, RejectsInconsistentArity) {
+  auto program = Parse("f(x) :- g(x). f(x,y) :- g(x), g(y).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(Analyze(*program).ok());
+}
+
+TEST(AnalyzerTest, RejectsAggregateInRecursion) {
+  auto program = Parse(
+      "p(x,min<y>) :- e(x,y)."
+      "p(x,min<y>) :- e(x,z), p(z,y).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(Analyze(*program).ok());
+}
+
+TEST(PlannerTest, LowersReachableOntoFigure4Plan) {
+  auto plan = PlanSource(kReachable);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->view, "reachable");
+  EXPECT_EQ(plan->edb, "link");
+  EXPECT_EQ(plan->edb_join_col, 1u);
+  EXPECT_EQ(plan->view_join_col, 0u);
+  EXPECT_NE(plan->ToString().find("reachable"), std::string::npos);
+}
+
+TEST(PlannerTest, VariableNamesAreIrrelevant) {
+  auto plan = PlanSource(
+      "hop(a,b) :- edge(a,b)."
+      "hop(a,b) :- edge(a,m), hop(m,b).");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->view, "hop");
+  EXPECT_EQ(plan->edb, "edge");
+}
+
+TEST(PlannerTest, AcceptsAggregateViewsOverRecursion) {
+  auto plan = PlanSource(
+      "reachable(x,y) :- link(x,y)."
+      "reachable(x,y) :- link(x,z), reachable(z,y)."
+      "fanout(x,count<y>) :- reachable(x,y).");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->agg_views.size(), 1u);
+  EXPECT_EQ(plan->agg_views[0].name, "fanout");
+  EXPECT_EQ(plan->agg_views[0].agg, AggKind::kCount);
+  EXPECT_EQ(plan->agg_views[0].group_cols, (std::vector<size_t>{0}));
+  EXPECT_EQ(plan->agg_views[0].value_col, 1u);
+}
+
+TEST(PlannerTest, RejectsNonRecursivePrograms) {
+  auto plan = PlanSource("f(x) :- g(x).");
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(PlannerTest, RejectsNonLinearRecursion) {
+  auto plan = PlanSource(
+      "reachable(x,y) :- link(x,y)."
+      "reachable(x,y) :- reachable(x,z), reachable(z,y).");
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST(PlannerTest, RejectsWrongJoinShape) {
+  // Reversed closure: head.0 taken from the view atom.
+  auto plan = PlanSource(
+      "r(x,y) :- link(x,y)."
+      "r(x,y) :- link(z,y), r(x,z).");
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST(PlannerTest, ProgramRoundTripsThroughToString) {
+  auto program = Parse(kReachable);
+  ASSERT_TRUE(program.ok());
+  auto reparsed = Parse(program->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(program->ToString(), reparsed->ToString());
+}
+
+}  // namespace
+}  // namespace datalog
+}  // namespace recnet

@@ -1,0 +1,118 @@
+#include "net/router.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/metrics.h"
+#include "engine/runtime_base.h"
+
+namespace recnet {
+namespace {
+
+Update Ins(Tuple t) {
+  bdd::Manager mgr;
+  return Update::Insert(std::move(t), Prov::True(ProvMode::kSet, &mgr));
+}
+
+TEST(RouterTest, FifoDeliveryOrder) {
+  Router router(4, 4);
+  std::vector<int64_t> seen;
+  router.set_handler([&](const Envelope& env) {
+    seen.push_back(env.update.tuple.IntAt(0));
+  });
+  for (int64_t i = 0; i < 5; ++i) {
+    router.Send(0, 1, kPortFix, Ins(Tuple::OfInts({i})));
+  }
+  EXPECT_TRUE(router.RunUntilQuiescent(100));
+  EXPECT_EQ(seen, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(RouterTest, HandlerMaySendMore) {
+  Router router(4, 4);
+  int delivered = 0;
+  router.set_handler([&](const Envelope& env) {
+    ++delivered;
+    if (env.update.tuple.IntAt(0) < 3) {
+      router.Send(env.dst, (env.dst + 1) % 4, kPortFix,
+                  Ins(Tuple::OfInts({env.update.tuple.IntAt(0) + 1})));
+    }
+  });
+  router.Send(0, 1, kPortFix, Ins(Tuple::OfInts({0})));
+  EXPECT_TRUE(router.RunUntilQuiescent(100));
+  EXPECT_EQ(delivered, 4);
+}
+
+TEST(RouterTest, BudgetExhaustionReturnsFalse) {
+  Router router(2, 2);
+  router.set_handler([&](const Envelope& env) {
+    // Ping-pong forever.
+    router.Send(env.dst, env.src, kPortFix, Ins(Tuple::OfInts({1})));
+  });
+  router.Send(0, 1, kPortFix, Ins(Tuple::OfInts({1})));
+  EXPECT_FALSE(router.RunUntilQuiescent(50));
+  EXPECT_GE(router.delivered(), 50u);
+}
+
+TEST(RouterTest, LocalMessagesAreFreeOnTheWire) {
+  // 4 logical nodes on 2 physical peers: 0,2 -> peer 0; 1,3 -> peer 1.
+  Router router(4, 2);
+  router.set_handler([](const Envelope&) {});
+  router.Send(0, 2, kPortFix, Ins(Tuple::OfInts({1, 2})));  // Same peer.
+  EXPECT_EQ(router.stats().messages, 0u);
+  EXPECT_EQ(router.stats().local_messages, 1u);
+  router.Send(0, 1, kPortFix, Ins(Tuple::OfInts({1, 2})));  // Cross peer.
+  EXPECT_EQ(router.stats().messages, 1u);
+  EXPECT_GT(router.stats().bytes, 0u);
+  EXPECT_TRUE(router.RunUntilQuiescent(10));
+}
+
+TEST(RouterTest, StatsClassifyMessageTypes) {
+  Router router(2, 2);
+  router.set_handler([](const Envelope&) {});
+  bdd::Manager mgr;
+  router.Send(0, 1, kPortFix,
+              Update::Insert(Tuple::OfInts({1}),
+                             Prov::BaseVar(ProvMode::kAbsorption, &mgr, 3)));
+  router.Send(0, 1, kPortFix, Update::Delete(Tuple::OfInts({1})));
+  router.Send(0, 1, kPortKill, Update::Kill({3}));
+  const NetworkStats& s = router.stats();
+  EXPECT_EQ(s.insert_messages, 1u);
+  EXPECT_EQ(s.delete_messages, 1u);
+  EXPECT_EQ(s.kill_messages, 1u);
+  EXPECT_EQ(s.prov_samples, 1u);
+  EXPECT_GT(s.AvgProvBytesPerTuple(), 0.0);
+  EXPECT_TRUE(router.RunUntilQuiescent(10));
+}
+
+TEST(RouterTest, PerPeerBytesAttributedToSender) {
+  Router router(4, 2);
+  router.set_handler([](const Envelope&) {});
+  router.Send(1, 2, kPortFix, Ins(Tuple::OfInts({1})));  // Peer 1 -> 0.
+  EXPECT_EQ(router.stats().per_peer_bytes[0], 0u);
+  EXPECT_GT(router.stats().per_peer_bytes[1], 0u);
+  EXPECT_TRUE(router.RunUntilQuiescent(10));
+}
+
+TEST(RouterTest, ResetClearsCounters) {
+  Router router(2, 2);
+  router.set_handler([](const Envelope&) {});
+  router.Send(0, 1, kPortFix, Ins(Tuple::OfInts({1})));
+  EXPECT_TRUE(router.RunUntilQuiescent(10));
+  router.stats().Reset();
+  EXPECT_EQ(router.stats().messages, 0u);
+  EXPECT_EQ(router.stats().bytes, 0u);
+}
+
+TEST(MetricsTest, SimSecondsScalesWithPeers) {
+  double few = EstimateSimSeconds(10.0, 1000, 2, 0.001);
+  double many = EstimateSimSeconds(10.0, 1000, 10, 0.001);
+  EXPECT_GT(few, many);
+}
+
+TEST(MetricsTest, ToStringMentionsBudget) {
+  RunMetrics m;
+  m.converged = false;
+  EXPECT_NE(m.ToString().find("budget"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace recnet

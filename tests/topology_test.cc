@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "topology/sensor_grid.h"
+#include "topology/transit_stub.h"
+#include "topology/workload.h"
+
+namespace recnet {
+namespace {
+
+TEST(TransitStubTest, DefaultMatchesPaperScale) {
+  // Paper §7.1: 4 transit nodes, 3 stubs per transit, 8 nodes per stub ->
+  // 100 nodes and roughly 200 bidirectional links.
+  Topology topo = MakeTransitStub(TransitStubOptions{});
+  EXPECT_EQ(topo.num_nodes, 100);
+  EXPECT_GE(topo.links.size(), 150u);
+  EXPECT_LE(topo.links.size(), 250u);
+  EXPECT_EQ(topo.num_link_tuples(), 2 * topo.links.size());
+  EXPECT_TRUE(IsConnected(topo));
+}
+
+TEST(TransitStubTest, LatenciesFollowPaperClasses) {
+  Topology topo = MakeTransitStub(TransitStubOptions{});
+  std::set<double> latencies;
+  for (const TopoLink& link : topo.links) latencies.insert(link.cost_ms);
+  EXPECT_EQ(latencies, (std::set<double>{2.0, 10.0, 50.0}));
+}
+
+TEST(TransitStubTest, SparseHalvesLinks) {
+  TransitStubOptions dense;
+  dense.dense = true;
+  TransitStubOptions sparse;
+  sparse.dense = false;
+  Topology d = MakeTransitStub(dense);
+  Topology s = MakeTransitStub(sparse);
+  EXPECT_EQ(d.num_nodes, s.num_nodes);
+  EXPECT_LT(s.links.size(), d.links.size());
+  // "Half the number of links for a given network size", approximately.
+  EXPECT_NEAR(static_cast<double>(s.links.size()),
+              static_cast<double>(d.links.size()) / 2.0,
+              static_cast<double>(d.links.size()) / 4.0);
+  EXPECT_TRUE(IsConnected(s));
+}
+
+TEST(TransitStubTest, Deterministic) {
+  TransitStubOptions options;
+  options.seed = 7;
+  Topology a = MakeTransitStub(options);
+  Topology b = MakeTransitStub(options);
+  ASSERT_EQ(a.links.size(), b.links.size());
+  for (size_t i = 0; i < a.links.size(); ++i) {
+    EXPECT_EQ(a.links[i].a, b.links[i].a);
+    EXPECT_EQ(a.links[i].b, b.links[i].b);
+  }
+}
+
+TEST(TransitStubTest, TargetLinkSweepScales) {
+  size_t prev = 0;
+  for (int target : {100, 200, 400, 800}) {
+    Topology topo = MakeTransitStubWithTargetLinks(target, /*dense=*/true, 1);
+    EXPECT_TRUE(IsConnected(topo));
+    // Within 40% of the requested link count.
+    EXPECT_NEAR(static_cast<double>(topo.links.size()), target, target * 0.4);
+    EXPECT_GT(topo.links.size(), prev);
+    prev = topo.links.size();
+  }
+}
+
+TEST(SensorGridTest, DefaultsMatchPaper) {
+  // Paper §7.1: 100m x 100m grid, k = 20, 5 seed groups.
+  SensorField field = MakeSensorGrid(SensorGridOptions{});
+  EXPECT_EQ(field.num_sensors, 100);
+  EXPECT_EQ(field.seed_sensors.size(), 5u);
+  // Seeds are distinct.
+  std::set<int> distinct(field.seed_sensors.begin(),
+                         field.seed_sensors.end());
+  EXPECT_EQ(distinct.size(), 5u);
+}
+
+TEST(SensorGridTest, NeighborsRespectThreshold) {
+  SensorField field = MakeSensorGrid(SensorGridOptions{});
+  for (int a = 0; a < field.num_sensors; ++a) {
+    for (int b : field.neighbors[static_cast<size_t>(a)]) {
+      double dx = field.positions[a].first - field.positions[b].first;
+      double dy = field.positions[a].second - field.positions[b].second;
+      EXPECT_LT(std::sqrt(dx * dx + dy * dy), field.k);
+      EXPECT_NE(a, b);
+    }
+  }
+  // Grid spacing 10 and k=20: an interior sensor sees its 8-neighborhood
+  // plus the 4 lattice points at distance 2 in each axis... count > 4.
+  EXPECT_GT(field.neighbors[55].size(), 4u);
+}
+
+TEST(SensorGridTest, NeighborRelationIsSymmetric) {
+  SensorField field = MakeSensorGrid(SensorGridOptions{});
+  for (int a = 0; a < field.num_sensors; ++a) {
+    for (int b : field.neighbors[static_cast<size_t>(a)]) {
+      const auto& back = field.neighbors[static_cast<size_t>(b)];
+      EXPECT_NE(std::find(back.begin(), back.end(), a), back.end());
+    }
+  }
+}
+
+TEST(WorkloadTest, DirectedLinksDoublesUndirected) {
+  Topology topo = MakeTransitStub(TransitStubOptions{});
+  std::vector<LinkTuple> links = DirectedLinks(topo);
+  EXPECT_EQ(links.size(), topo.num_link_tuples());
+}
+
+TEST(WorkloadTest, InsertionPrefixScalesWithRatio) {
+  Topology topo = MakeTransitStub(TransitStubOptions{});
+  auto half = InsertionPrefix(topo, 0.5, 1);
+  auto full = InsertionPrefix(topo, 1.0, 1);
+  EXPECT_EQ(full.size(), topo.num_link_tuples());
+  EXPECT_NEAR(static_cast<double>(half.size()),
+              static_cast<double>(full.size()) / 2.0, 1.0);
+}
+
+TEST(WorkloadTest, ShufflesAreSeedDeterministic) {
+  Topology topo = MakeTransitStub(TransitStubOptions{});
+  auto a = InsertionPrefix(topo, 1.0, 5);
+  auto b = InsertionPrefix(topo, 1.0, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+  }
+}
+
+}  // namespace
+}  // namespace recnet
