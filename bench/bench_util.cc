@@ -91,8 +91,9 @@ void FigurePrinter::PrintPanel(const std::string& panel_title,
       char buf[64];
       std::snprintf(buf, sizeof(buf), format, extract(it->second));
       if (!it->second.converged) {
-        // The paper reports these as ">5min" / off-scale arrows.
-        char capped[64];
+        // The paper reports these as ">5min" / off-scale arrows. One byte
+        // wider than buf so the prefix can never truncate.
+        char capped[66];
         std::snprintf(capped, sizeof(capped), ">%s", buf);
         std::printf(" %18s", capped);
       } else {

@@ -9,13 +9,21 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
-#include "engine/region_runtime.h"
+#include "engine/engine.h"
 #include "topology/sensor_grid.h"
 
 using namespace recnet;
 using namespace recnet::bench;
 
 namespace {
+
+// Query 3 as executed through the Engine facade (the sensor deployment
+// itself comes from EngineOptions::field).
+constexpr char kQuery3[] = R"(
+  activeRegion(r,x) :- seed(r,x), triggered(x).
+  activeRegion(r,y) :- activeRegion(r,x), triggered(x), near(x,y).
+  regionSizes(r,count<x>) :- activeRegion(r,x).
+)";
 
 // Seeds first, then a shuffled half of the remaining sensors.
 std::vector<int> TriggerPool(const SensorField& field, uint64_t seed) {
@@ -50,11 +58,21 @@ int main() {
 
   for (const Strategy& strategy : RegionStrategies()) {
     for (double ratio : {0.5, 0.75, 1.0}) {
-      RegionRuntime rt(field, MakeOptions(strategy, 12, 30'000'000));
+      EngineOptions options;
+      options.field = field;
+      options.runtime = MakeOptions(strategy, 12, 30'000'000);
+      auto engine = Engine::Compile(kQuery3, options);
+      if (!engine.ok()) {
+        std::fprintf(stderr, "compile failed: %s\n",
+                     engine.status().ToString().c_str());
+        return 1;
+      }
       size_t count = static_cast<size_t>(ratio * pool.size());
-      for (size_t i = 0; i < count; ++i) rt.Trigger(pool[i]);
-      rt.Run();
-      fig.Add(strategy.name, ratio, rt.Metrics());
+      for (size_t i = 0; i < count; ++i) {
+        (*engine)->Insert("triggered", {double(pool[i])});
+      }
+      (void)(*engine)->Apply();
+      fig.Add(strategy.name, ratio, (*engine)->Metrics());
     }
   }
   fig.PrintAll();

@@ -15,12 +15,18 @@ Status CheckAritiesAndCollect(const Program& program, ProgramInfo* info) {
   };
   for (const Rule& rule : program.rules) {
     RECNET_RETURN_IF_ERROR(check(rule.head));
-    info->idb.insert(rule.head.predicate);
+    // Ground facts are base data, not view definitions: a predicate defined
+    // only by facts stays EDB so the planner can load the facts into it.
+    if (!rule.IsFact()) info->idb.insert(rule.head.predicate);
     for (const Atom& atom : rule.body) {
       RECNET_RETURN_IF_ERROR(check(atom));
     }
   }
   for (const Rule& rule : program.rules) {
+    if (rule.IsFact() &&
+        info->idb.find(rule.head.predicate) == info->idb.end()) {
+      info->edb.insert(rule.head.predicate);
+    }
     for (const Atom& atom : rule.body) {
       if (info->idb.find(atom.predicate) == info->idb.end()) {
         info->edb.insert(atom.predicate);

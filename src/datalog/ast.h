@@ -49,6 +49,9 @@ struct Atom {
 struct Rule {
   Atom head;
   std::vector<Atom> body;
+  // Source line of the rule head (1-based; 0 when synthesized), carried so
+  // planner diagnostics can point back into the program text.
+  int line = 0;
 
   bool IsFact() const { return body.empty(); }
   std::string ToString() const;

@@ -38,6 +38,7 @@ class Parser {
 
   StatusOr<Rule> ParseRule() {
     Rule rule;
+    rule.line = Peek().line;
     StatusOr<Atom> head = ParseAtom(/*allow_aggregates=*/true);
     if (!head.ok()) return head.status();
     rule.head = std::move(head.value());

@@ -9,16 +9,20 @@ namespace recnet {
 namespace datalog {
 namespace {
 
+// Renders a rule with its source line for planner diagnostics.
+std::string RuleContext(const Rule& rule) {
+  return rule.ToString() + " (line " + std::to_string(rule.line) + ")";
+}
+
 bool SameVariable(const Term& a, const Term& b) {
   return a.kind == Term::Kind::kVariable && b.kind == Term::Kind::kVariable &&
          a.name == b.name;
 }
 
-// Matches `view(x, y) :- edb(x, y).` (base rule: head vars = body vars in
-// order).
-bool MatchesBaseRule(const Rule& rule, const std::string& view,
-                     const std::string& edb) {
-  if (rule.head.predicate != view || rule.body.size() != 1) return false;
+// Matches `view(args...) :- edb(args...).` (base rule: head vars = body vars
+// in order), for any arity.
+bool MatchesBaseRule(const Rule& rule, const std::string& edb) {
+  if (rule.body.size() != 1) return false;
   const Atom& body = rule.body[0];
   if (body.predicate != edb) return false;
   if (body.args.size() != rule.head.args.size()) return false;
@@ -28,30 +32,38 @@ bool MatchesBaseRule(const Rule& rule, const std::string& view,
   return true;
 }
 
-// Matches `view(x, y) :- edb(x, z), view(z, y).` up to variable renaming
-// and body-atom order; fills the join columns.
-bool MatchesRecursiveRule(const Rule& rule, const std::string& view,
-                          const std::string& edb, PlanSpec* spec) {
-  if (rule.head.predicate != view || rule.body.size() != 2) return false;
-  const Atom* edb_atom = nullptr;
-  const Atom* view_atom = nullptr;
-  for (const Atom& atom : rule.body) {
-    if (atom.predicate == edb) edb_atom = &atom;
-    if (atom.predicate == view) view_atom = &atom;
+// Matches the linear closure of `edb` through `view` on the first two
+// columns, in either orientation:
+//
+//   left-linear:   view(x, y, ...) :- edb(x, z, ...), view(z, y, ...).
+//   right-linear:  view(x, y, ...) :- view(x, z, ...), edb(z, y, ...).
+//
+// Columns >= 2 are computed by the runtime (cost accumulation) and only
+// need to hold variables. Fills the join columns on success.
+bool MatchesClosureRule(const Rule& rule, const Atom& edb_atom,
+                        const Atom& view_atom, size_t* edb_join_col,
+                        size_t* view_join_col) {
+  const Atom& head = rule.head;
+  for (const Atom* atom : {&head, &edb_atom, &view_atom}) {
+    for (const Term& term : atom->args) {
+      if (term.kind != Term::Kind::kVariable) return false;
+    }
   }
-  if (edb_atom == nullptr || view_atom == nullptr) return false;
-  if (edb_atom->args.size() != 2 || view_atom->args.size() != 2 ||
-      rule.head.args.size() != 2) {
-    return false;
+  if (SameVariable(head.args[0], edb_atom.args[0]) &&
+      SameVariable(head.args[1], view_atom.args[1]) &&
+      SameVariable(edb_atom.args[1], view_atom.args[0])) {
+    *edb_join_col = 1;
+    *view_join_col = 0;
+    return true;
   }
-  // head.0 comes from the edb atom, head.1 from the view atom, and the
-  // remaining edb/view positions join.
-  if (!SameVariable(rule.head.args[0], edb_atom->args[0])) return false;
-  if (!SameVariable(rule.head.args[1], view_atom->args[1])) return false;
-  if (!SameVariable(edb_atom->args[1], view_atom->args[0])) return false;
-  spec->edb_join_col = 1;
-  spec->view_join_col = 0;
-  return true;
+  if (SameVariable(head.args[0], view_atom.args[0]) &&
+      SameVariable(head.args[1], edb_atom.args[1]) &&
+      SameVariable(view_atom.args[1], edb_atom.args[0])) {
+    *edb_join_col = 0;
+    *view_join_col = 1;
+    return true;
+  }
+  return false;
 }
 
 std::optional<AggViewSpec> MatchAggView(const Rule& rule,
@@ -84,16 +96,252 @@ std::optional<AggViewSpec> MatchAggView(const Rule& rule,
   return spec;
 }
 
+// The rules of one program, split by their role relative to the recursive
+// view.
+struct RuleGroups {
+  std::vector<const Rule*> base;       // head == view, no view atom in body.
+  std::vector<const Rule*> recursive;  // head == view, view atom in body.
+  std::vector<const Rule*> other;      // candidate aggregate views.
+};
+
+Status SplitRules(const Program& program, const std::string& view,
+                  RuleGroups* groups, PlanSpec* spec) {
+  for (const Rule& rule : program.rules) {
+    if (rule.IsFact()) {
+      if (rule.head.predicate == view) {
+        return Status::InvalidArgument(
+            "ground fact for the recursive view is not supported: " +
+            RuleContext(rule));
+      }
+      for (const Term& term : rule.head.args) {
+        if (term.kind != Term::Kind::kNumber &&
+            term.kind != Term::Kind::kString) {
+          return Status::InvalidArgument("fact with non-constant argument: " +
+                                         RuleContext(rule));
+        }
+      }
+      spec->facts.push_back(rule);
+      continue;
+    }
+    if (rule.head.predicate != view) {
+      groups->other.push_back(&rule);
+      continue;
+    }
+    bool is_recursive = false;
+    for (const Atom& atom : rule.body) {
+      if (atom.predicate == view) is_recursive = true;
+    }
+    (is_recursive ? groups->recursive : groups->base).push_back(&rule);
+  }
+  return Status::OK();
+}
+
+// Locates the single view atom and the single non-view atom in a binary
+// recursive-rule body. The analyzer's linearity check guarantees at most one
+// view atom.
+Status PickClosureAtoms(const Rule& rule, const std::string& view,
+                        const Atom** edb_atom, const Atom** view_atom) {
+  *edb_atom = nullptr;
+  *view_atom = nullptr;
+  for (const Atom& atom : rule.body) {
+    if (atom.predicate == view) {
+      *view_atom = &atom;
+    } else {
+      if (*edb_atom != nullptr) {
+        return Status::InvalidArgument(
+            "recursive rule joins more than one EDB: " + RuleContext(rule));
+      }
+      *edb_atom = &atom;
+    }
+  }
+  RECNET_CHECK(*view_atom != nullptr);
+  if (*edb_atom == nullptr) {
+    return Status::InvalidArgument("recursive rule has no EDB atom: " +
+                                   RuleContext(rule));
+  }
+  return Status::OK();
+}
+
+Status CheckConsistentEdb(const Rule& rule, const std::string& found,
+                          std::string* edb) {
+  if (!edb->empty() && *edb != found) {
+    return Status::InvalidArgument(
+        "recursive rules close over different EDBs ('" + *edb + "' vs '" +
+        found + "'): " + RuleContext(rule));
+  }
+  *edb = found;
+  return Status::OK();
+}
+
+Status CheckBaseRules(const RuleGroups& groups, const PlanSpec& spec) {
+  if (groups.base.empty()) {
+    return Status::InvalidArgument("no base rule found for view '" +
+                                   spec.view + "'");
+  }
+  for (const Rule* rule : groups.base) {
+    if (!MatchesBaseRule(*rule, spec.edb)) {
+      return Status::InvalidArgument("base rule does not copy the EDB '" +
+                                     spec.edb + "': " + RuleContext(*rule));
+    }
+  }
+  return Status::OK();
+}
+
+Status MatchAggViews(const RuleGroups& groups, PlanSpec* spec) {
+  for (const Rule* rule : groups.other) {
+    std::optional<AggViewSpec> agg = MatchAggView(*rule, spec->view);
+    if (!agg.has_value()) {
+      return Status::InvalidArgument(
+          "rule defines neither the recursive view nor an aggregate view "
+          "over it: " +
+          RuleContext(*rule));
+    }
+    if (spec->kind == PlanKind::kShortestPath && agg->agg != AggKind::kMin) {
+      return Status::Unimplemented(
+          "only min<> aggregate views are supported over the path view "
+          "(its materialization is pruned by aggregate selection): " +
+          RuleContext(*rule));
+    }
+    spec->agg_views.push_back(std::move(*agg));
+  }
+  return Status::OK();
+}
+
+// The shared shape of kReachable (arity 2) and kShortestPath (arity 3):
+//   view(x, y, ...) :- edb(x, z, ...), view(z, y, ...).   [or right-linear]
+// The caller sets spec->kind/cost_col and passes the expected atom arity.
+Status PlanLinearClosure(const RuleGroups& groups, size_t atom_arity,
+                         PlanSpec* spec) {
+  for (const Rule* rule : groups.recursive) {
+    const Atom* edb_atom;
+    const Atom* view_atom;
+    RECNET_RETURN_IF_ERROR(
+        PickClosureAtoms(*rule, spec->view, &edb_atom, &view_atom));
+    RECNET_RETURN_IF_ERROR(
+        CheckConsistentEdb(*rule, edb_atom->predicate, &spec->edb));
+    if (edb_atom->args.size() != atom_arity ||
+        view_atom->args.size() != atom_arity) {
+      return Status::InvalidArgument(
+          "closure over a " + std::to_string(edb_atom->args.size()) +
+          "-ary EDB where " + std::to_string(atom_arity) +
+          "-ary is required: " + RuleContext(*rule));
+    }
+    if (!MatchesClosureRule(*rule, *edb_atom, *view_atom, &spec->edb_join_col,
+                            &spec->view_join_col)) {
+      return Status::InvalidArgument(
+          "recursive rule matches neither linear-closure orientation: " +
+          RuleContext(*rule));
+    }
+  }
+  return CheckBaseRules(groups, *spec);
+}
+
+// view(r, x) :- seed(r, x), trig(x).
+// view(r, y) :- view(r, x), trig(x), near(x, y).
+Status PlanRegion(const RuleGroups& groups, PlanSpec* spec) {
+  spec->kind = PlanKind::kRegion;
+  for (const Rule* rule : groups.recursive) {
+    const Atom* view_atom = nullptr;
+    const Atom* trig_atom = nullptr;
+    const Atom* near_atom = nullptr;
+    for (const Atom& atom : rule->body) {
+      if (atom.predicate == spec->view) {
+        view_atom = &atom;
+      } else if (atom.args.size() == 1) {
+        trig_atom = &atom;
+      } else {
+        near_atom = &atom;
+      }
+    }
+    if (view_atom == nullptr || trig_atom == nullptr || near_atom == nullptr ||
+        view_atom->args.size() != 2 || near_atom->args.size() != 2) {
+      return Status::InvalidArgument(
+          "region rule needs the view, a unary trigger and a binary "
+          "proximity atom: " +
+          RuleContext(*rule));
+    }
+    // view(r, y) :- view(r, x), trig(x), near(x, y).
+    if (!SameVariable(rule->head.args[0], view_atom->args[0]) ||
+        !SameVariable(rule->head.args[1], near_atom->args[1]) ||
+        !SameVariable(view_atom->args[1], trig_atom->args[0]) ||
+        !SameVariable(view_atom->args[1], near_atom->args[0])) {
+      return Status::InvalidArgument(
+          "region rule does not grow the view along the proximity EDB: " +
+          RuleContext(*rule));
+    }
+    RECNET_RETURN_IF_ERROR(CheckConsistentEdb(
+        *rule, near_atom->predicate, &spec->proximity_edb));
+    RECNET_RETURN_IF_ERROR(
+        CheckConsistentEdb(*rule, trig_atom->predicate, &spec->trigger_edb));
+  }
+  if (groups.base.empty()) {
+    return Status::InvalidArgument("no base rule found for view '" +
+                                   spec->view + "'");
+  }
+  for (const Rule* rule : groups.base) {
+    // view(r, x) :- seed(r, x), trig(x).
+    const Atom* seed_atom = nullptr;
+    const Atom* trig_atom = nullptr;
+    for (const Atom& atom : rule->body) {
+      if (atom.args.size() == 1) {
+        trig_atom = &atom;
+      } else {
+        seed_atom = &atom;
+      }
+    }
+    if (seed_atom == nullptr || trig_atom == nullptr ||
+        rule->body.size() != 2 || seed_atom->args.size() != 2 ||
+        trig_atom->predicate != spec->trigger_edb) {
+      return Status::InvalidArgument(
+          "region base rule needs a binary seed atom guarded by the "
+          "trigger relation: " +
+          RuleContext(*rule));
+    }
+    if (!SameVariable(rule->head.args[0], seed_atom->args[0]) ||
+        !SameVariable(rule->head.args[1], seed_atom->args[1]) ||
+        !SameVariable(trig_atom->args[0], seed_atom->args[1])) {
+      return Status::InvalidArgument(
+          "region base rule does not copy the triggered seed: " +
+          RuleContext(*rule));
+    }
+    RECNET_RETURN_IF_ERROR(
+        CheckConsistentEdb(*rule, seed_atom->predicate, &spec->edb));
+  }
+  if (spec->edb == spec->proximity_edb) {
+    return Status::InvalidArgument("seed and proximity EDB coincide ('" +
+                                   spec->edb + "')");
+  }
+  return Status::OK();
+}
+
 }  // namespace
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kReachable:
+      return "reachable";
+    case PlanKind::kShortestPath:
+      return "shortest-path";
+    case PlanKind::kRegion:
+      return "region";
+  }
+  return "?";
+}
 
 std::string PlanSpec::ToString() const {
   std::ostringstream os;
-  os << "Plan[view=" << view << " edb=" << edb << " join(" << edb << "."
-     << edb_join_col << "=" << view << "." << view_join_col << ")";
+  os << "Plan[" << PlanKindName(kind) << " view=" << view << " edb=" << edb;
+  if (kind == PlanKind::kRegion) {
+    os << " trigger=" << trigger_edb << " proximity=" << proximity_edb;
+  } else {
+    os << " join(" << edb << "." << edb_join_col << "=" << view << "."
+       << view_join_col << ")";
+  }
   for (const AggViewSpec& agg : agg_views) {
     os << " agg:" << agg.name << "=" << AggKindName(agg.agg) << "(col"
        << agg.value_col << ")";
   }
+  if (!facts.empty()) os << " facts=" << facts.size();
   os << "]";
   return os.str();
 }
@@ -117,62 +365,45 @@ StatusOr<PlanSpec> PlanProgram(const Program& program,
   auto arity_it = info.arity.find(spec.view);
   RECNET_CHECK(arity_it != info.arity.end());
   spec.arity = arity_it->second;
-  if (spec.arity != 2) {
-    return Status::Unimplemented(
-        "only binary recursive views lower onto the reachability plan");
-  }
 
-  // Identify the EDB from the recursive rule(s).
-  bool base_seen = false;
-  bool recursive_seen = false;
-  for (const Rule& rule : program.rules) {
-    if (rule.head.predicate != spec.view) {
-      std::optional<AggViewSpec> agg = MatchAggView(rule, spec.view);
-      if (agg.has_value()) spec.agg_views.push_back(std::move(*agg));
-      continue;
-    }
-    bool is_recursive = false;
-    for (const Atom& atom : rule.body) {
-      if (atom.predicate == spec.view) is_recursive = true;
-    }
-    if (is_recursive) {
-      std::string edb;
-      for (const Atom& atom : rule.body) {
-        if (atom.predicate != spec.view) edb = atom.predicate;
-      }
-      if (edb.empty() || (spec.edb != "" && spec.edb != edb)) {
-        return Status::Unimplemented(
-            "unsupported recursive rule shape: " + rule.ToString());
-      }
-      spec.edb = edb;
-      if (!MatchesRecursiveRule(rule, spec.view, spec.edb, &spec)) {
-        return Status::Unimplemented(
-            "recursive rule does not match the link/reachable join shape: " +
-            rule.ToString());
-      }
-      recursive_seen = true;
+  RuleGroups groups;
+  RECNET_RETURN_IF_ERROR(SplitRules(program, spec.view, &groups, &spec));
+  RECNET_CHECK(!groups.recursive.empty());
+
+  // Dispatch on the structural signature of the recursion.
+  size_t rec_body = groups.recursive.front()->body.size();
+  for (const Rule* rule : groups.recursive) {
+    if (rule->body.size() != rec_body) {
+      return Status::InvalidArgument(
+          "recursive rules have inconsistent shapes: " + RuleContext(*rule));
     }
   }
-  if (!recursive_seen) {
-    return Status::Unimplemented("no recursive rule found for " + spec.view);
+  if (spec.arity == 2 && rec_body == 2) {
+    spec.kind = PlanKind::kReachable;
+    RECNET_RETURN_IF_ERROR(PlanLinearClosure(groups, 2, &spec));
+  } else if (spec.arity == 3 && rec_body == 2) {
+    spec.kind = PlanKind::kShortestPath;
+    spec.cost_col = 2;
+    RECNET_RETURN_IF_ERROR(PlanLinearClosure(groups, 3, &spec));
+  } else if (spec.arity == 2 && rec_body == 3) {
+    RECNET_RETURN_IF_ERROR(PlanRegion(groups, &spec));
+  } else {
+    return Status::Unimplemented(
+        "no runtime executes a " + std::to_string(spec.arity) +
+        "-ary recursive view with " + std::to_string(rec_body) +
+        "-atom recursive rules: " + RuleContext(*groups.recursive.front()));
   }
-  for (const Rule& rule : program.rules) {
-    if (rule.head.predicate == spec.view && !rule.IsFact()) {
-      bool is_recursive = false;
-      for (const Atom& atom : rule.body) {
-        if (atom.predicate == spec.view) is_recursive = true;
-      }
-      if (!is_recursive) {
-        if (!MatchesBaseRule(rule, spec.view, spec.edb)) {
-          return Status::Unimplemented(
-              "base rule does not copy the EDB: " + rule.ToString());
-        }
-        base_seen = true;
-      }
+  RECNET_RETURN_IF_ERROR(MatchAggViews(groups, &spec));
+  // Ground facts must target a relation the plan actually ingests; catching
+  // strays here keeps Compile's error contract (InvalidArgument with rule
+  // context) instead of a late NotFound during fact loading.
+  for (const Rule& fact : spec.facts) {
+    const std::string& p = fact.head.predicate;
+    if (p != spec.edb && p != spec.trigger_edb && p != spec.proximity_edb) {
+      return Status::InvalidArgument("fact for relation '" + p +
+                                     "' which the plan does not ingest: " +
+                                     RuleContext(fact));
     }
-  }
-  if (!base_seen) {
-    return Status::Unimplemented("no base rule found for " + spec.view);
   }
   return spec;
 }

@@ -20,32 +20,80 @@ struct AggViewSpec {
   size_t value_col = 0;
 };
 
-// The distributed plan shape the planner recognized. The recnet operator
-// library executes transitive-closure-shaped linear recursion (the paper's
-// Figure 4 plan); richer recursion is reported as Unimplemented.
+// Which distributed runtime a recognized program lowers onto. Each kind maps
+// to a QueryRuntime adapter in engine/runtime_registry; new query shapes add
+// a kind here and a factory there.
+enum class PlanKind {
+  // Transitive closure over a binary EDB (paper Query 1, Figure 4).
+  kReachable,
+  // Cost-annotated paths with aggregate selections (paper Query 2).
+  kShortestPath,
+  // Contiguous sensor regions grown from seeds (paper Query 3).
+  kRegion,
+};
+
+const char* PlanKindName(PlanKind kind);
+
+// The distributed plan shape the planner recognized, lowered from the
+// source program structurally (variable names are irrelevant).
+//
+// Recognized shapes, by recursive-view arity and rule structure:
+//
+//   kReachable   view(x,y) :- edb(x,y).
+//                view(x,y) :- edb(x,z), view(z,y).     [left-linear]
+//             or view(x,y) :- view(x,z), edb(z,y).     [right-linear]
+//     Both orientations compute the transitive closure of `edb` and lower
+//     onto the same Figure-4 dataflow; the join columns record which was
+//     written.
+//
+//   kShortestPath  view(x,y,c) :- edb(x,y,c).
+//                  view(x,y,c) :- edb(x,z,c1), view(z,y,c2).
+//     The dialect has no arithmetic, so the head's cost column stands for
+//     the runtime-computed sum c1 + c2 (the paper writes C = C1 + C2 with
+//     function symbols); the runtime additionally maintains the paper's
+//     hidden `vec` and `length` attributes and prunes via AggSel. Aggregate
+//     views over the path view must use min<>.
+//
+//   kRegion      view(r,x) :- seed(r,x), trig(x).
+//                view(r,y) :- view(r,x), trig(x), near(x,y).
+//     `seed` and `near` describe the (static) sensor deployment; `trig` is
+//     the dynamic unary trigger relation. The paper's `distance(x,y) < k`
+//     guard is precomputed into the binary proximity EDB `near`.
 struct PlanSpec {
+  PlanKind kind = PlanKind::kReachable;
   // Recursive view name (e.g. "reachable") and the EDB it closes over
-  // (e.g. "link").
+  // (e.g. "link"; the seed relation for kRegion).
   std::string view;
   std::string edb;
   size_t arity = 2;
-  // Positions joined in the recursive rule: edb.dst = view.src.
+  // Positions joined in the recursive rule. Left-linear closure joins
+  // edb.1 = view.0; right-linear joins edb.0 = view.1.
   size_t edb_join_col = 1;
   size_t view_join_col = 0;
+  // kShortestPath: position of the cost attribute in view and EDB.
+  size_t cost_col = 2;
+  // kRegion: the dynamic unary trigger EDB and the static binary
+  // proximity EDB.
+  std::string trigger_edb;
+  std::string proximity_edb;
   std::vector<AggViewSpec> agg_views;
+  // Ground EDB facts written directly in the program (e.g. `link(1,2).`),
+  // loaded by the Engine as initial insertions.
+  std::vector<Rule> facts;
 
   std::string ToString() const;
 };
 
-// Lowers a parsed + analyzed program onto the operator library's
-// transitive-closure plan (paper Figure 4):
-//
-//   view(x, y) :- edb(x, y).
-//   view(x, y) :- edb(x, z), view(z, y).
-//   [optional aggregate views over `view`]
-//
-// Variable names are arbitrary; the shape is matched structurally. Returns
-// Unimplemented for recursion the engine cannot execute.
+// Lowers a parsed + analyzed program onto one of the distributed plans
+// above. Errors:
+//   * Unimplemented   — well-formed Datalog outside the recognized
+//                       fragment (no recursion, mutual recursion,
+//                       non-linear recursion, unsupported arity);
+//   * InvalidArgument — a program whose structure is close to a supported
+//                       shape but malformed (join columns that do not line
+//                       up, a base rule that does not copy the EDB, rules
+//                       that participate in no view), with the offending
+//                       rule and its source line in the message.
 StatusOr<PlanSpec> PlanProgram(const Program& program,
                                const ProgramInfo& info);
 

@@ -1,0 +1,482 @@
+#include "engine/runtime_registry.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "engine/reachable_runtime.h"
+#include "engine/region_runtime.h"
+
+namespace recnet {
+namespace {
+
+using datalog::AggViewSpec;
+using datalog::PlanKind;
+using datalog::PlanSpec;
+
+Status CheckArity(const std::string& relation, const Tuple& fact,
+                  size_t expected) {
+  if (fact.size() != expected) {
+    return Status::InvalidArgument(
+        "relation '" + relation + "' has arity " + std::to_string(expected) +
+        ", got tuple " + fact.ToString());
+  }
+  return Status::OK();
+}
+
+// Validates that fact column `i` is a node id in [0, limit).
+Status CheckNode(const std::string& relation, const Tuple& fact, size_t i,
+                 int limit) {
+  if (!fact.at(i).is_int()) {
+    return Status::InvalidArgument("relation '" + relation + "' column " +
+                                   std::to_string(i) +
+                                   " must be an integer node id, got " +
+                                   fact.at(i).ToString());
+  }
+  int64_t v = fact.IntAt(i);
+  if (v < 0 || v >= limit) {
+    return Status::OutOfRange("relation '" + relation + "' column " +
+                              std::to_string(i) + " node id " +
+                              std::to_string(v) + " outside [0, " +
+                              std::to_string(limit) + ")");
+  }
+  return Status::OK();
+}
+
+Status UnknownRelation(const std::string& relation, const std::string& known) {
+  return Status::NotFound("unknown base relation '" + relation +
+                          "' (this plan ingests '" + known + "')");
+}
+
+// Key/tuple comparison for lookups: numeric values compare by magnitude
+// (the convenience ingestion converts integral literals to int64 while
+// runtime columns may hold doubles), everything else structurally.
+bool ValuesEqualNumeric(const Value& a, const Value& b) {
+  if ((a.is_int() || a.is_double()) && (b.is_int() || b.is_double())) {
+    double da = a.is_int() ? static_cast<double>(a.AsInt()) : a.AsDouble();
+    double db = b.is_int() ? static_cast<double>(b.AsInt()) : b.AsDouble();
+    return da == db;
+  }
+  return a == b;
+}
+
+Status RunToFixpoint(RuntimeBase* rt) {
+  if (!rt->Run()) {
+    return Status::ResourceExhausted(
+        "message budget exceeded before fixpoint");
+  }
+  return Status::OK();
+}
+
+const AggViewSpec* FindAggView(const PlanSpec& plan, const std::string& name) {
+  for (const AggViewSpec& agg : plan.agg_views) {
+    if (agg.name == name) return &agg;
+  }
+  return nullptr;
+}
+
+// Scan dispatch shared by the adapters: the recursive view by name, else a
+// declared aggregate view evaluated over it.
+template <typename ScanView>
+StatusOr<std::vector<Tuple>> ScanByName(const PlanSpec& plan,
+                                        const std::string& view,
+                                        ScanView&& scan_view) {
+  if (view == plan.view) return scan_view();
+  if (const AggViewSpec* agg = FindAggView(plan, view)) {
+    StatusOr<std::vector<Tuple>> rows = scan_view();
+    if (!rows.ok()) return rows.status();
+    return EvalAggView(*agg, rows.value());
+  }
+  return Status::NotFound("unknown view '" + view + "' (plan defines '" +
+                          plan.view + "' and " +
+                          std::to_string(plan.agg_views.size()) +
+                          " aggregate view(s))");
+}
+
+// --- Reachable (paper Query 1) ---------------------------------------------
+
+class ReachableAdapter : public QueryRuntime {
+ public:
+  ReachableAdapter(const PlanSpec& plan, const EngineOptions& options)
+      : plan_(plan), rt_(options.num_nodes, options.runtime) {}
+
+  Status Insert(const std::string& relation, const Tuple& fact) override {
+    RECNET_RETURN_IF_ERROR(CheckLink(relation, fact));
+    rt_.InsertLink(static_cast<LogicalNode>(fact.IntAt(0)),
+                   static_cast<LogicalNode>(fact.IntAt(1)));
+    return Status::OK();
+  }
+
+  Status Delete(const std::string& relation, const Tuple& fact) override {
+    RECNET_RETURN_IF_ERROR(CheckLink(relation, fact));
+    rt_.DeleteLink(static_cast<LogicalNode>(fact.IntAt(0)),
+                   static_cast<LogicalNode>(fact.IntAt(1)));
+    return Status::OK();
+  }
+
+  Status Apply() override { return RunToFixpoint(&rt_); }
+
+  StatusOr<std::vector<Tuple>> Scan(const std::string& view) const override {
+    return ScanByName(plan_, view, [this]() -> StatusOr<std::vector<Tuple>> {
+      std::vector<Tuple> out;
+      for (int src = 0; src < rt_.num_logical(); ++src) {
+        for (LogicalNode dst : rt_.ReachableFrom(src)) {
+          out.push_back(Tuple::OfInts({src, dst}));
+        }
+      }
+      return out;
+    });
+  }
+
+  StatusOr<std::vector<Tuple>> Explain(const Tuple& view_tuple) const override {
+    RECNET_RETURN_IF_ERROR(CheckArity(plan_.view, view_tuple, 2));
+    if (rt_.options().prov != ProvMode::kAbsorption) {
+      return Status::Unimplemented(
+          "provenance witnesses require ProvMode::kAbsorption");
+    }
+    LogicalNode src = static_cast<LogicalNode>(view_tuple.IntAt(0));
+    LogicalNode dst = static_cast<LogicalNode>(view_tuple.IntAt(1));
+    const Prov* pv = rt_.ViewProvenance(src, dst);
+    if (pv == nullptr) {
+      return Status::NotFound("tuple " + view_tuple.ToString() +
+                              " is not in view '" + plan_.view + "'");
+    }
+    std::vector<std::pair<bdd::Var, bool>> assignment;
+    const bdd::Bdd& b = pv->bdd();
+    if (!b.manager()->AnyWitness(b.index(), &assignment)) {
+      return Status::NotFound("no witness for " + view_tuple.ToString());
+    }
+    std::vector<Tuple> links;
+    for (const auto& [var, value] : assignment) {
+      if (!value) continue;
+      auto link = rt_.LinkOfVar(var);
+      if (link.has_value()) {
+        links.push_back(Tuple::OfInts({link->first, link->second}));
+      }
+    }
+    return links;
+  }
+
+  RunMetrics Metrics() const override { return rt_.Metrics(); }
+  void ResetMetrics() override { rt_.ResetMetrics(); }
+  bool converged() const override { return rt_.converged(); }
+  const RuntimeOptions& options() const override { return rt_.options(); }
+
+ private:
+  Status CheckLink(const std::string& relation, const Tuple& fact) const {
+    if (relation != plan_.edb) return UnknownRelation(relation, plan_.edb);
+    RECNET_RETURN_IF_ERROR(CheckArity(relation, fact, 2));
+    RECNET_RETURN_IF_ERROR(CheckNode(relation, fact, 0, rt_.num_logical()));
+    return CheckNode(relation, fact, 1, rt_.num_logical());
+  }
+
+  PlanSpec plan_;
+  ReachableRuntime rt_;
+};
+
+// --- Shortest path (paper Query 2) -----------------------------------------
+
+class ShortestPathAdapter : public QueryRuntime {
+ public:
+  ShortestPathAdapter(const PlanSpec& plan, const EngineOptions& options)
+      : plan_(plan),
+        rt_(options.num_nodes, options.runtime, options.aggsel) {}
+
+  Status Insert(const std::string& relation, const Tuple& fact) override {
+    RECNET_RETURN_IF_ERROR(CheckEndpoints(relation, fact, 3));
+    const Value& cost = fact.at(plan_.cost_col);
+    if (!cost.is_int() && !cost.is_double()) {
+      return Status::InvalidArgument("relation '" + relation +
+                                     "' cost column must be numeric, got " +
+                                     cost.ToString());
+    }
+    rt_.InsertLink(static_cast<LogicalNode>(fact.IntAt(0)),
+                   static_cast<LogicalNode>(fact.IntAt(1)),
+                   cost.is_int() ? static_cast<double>(cost.AsInt())
+                                 : cost.AsDouble());
+    return Status::OK();
+  }
+
+  Status Delete(const std::string& relation, const Tuple& fact) override {
+    // Deletion is keyed by the link endpoints; the cost column is optional.
+    RECNET_RETURN_IF_ERROR(
+        CheckEndpoints(relation, fact, fact.size() == 2 ? 2 : 3));
+    rt_.DeleteLink(static_cast<LogicalNode>(fact.IntAt(0)),
+                   static_cast<LogicalNode>(fact.IntAt(1)));
+    return Status::OK();
+  }
+
+  Status Apply() override { return RunToFixpoint(&rt_); }
+
+  StatusOr<std::vector<Tuple>> Scan(const std::string& view) const override {
+    return ScanByName(plan_, view, [this]() -> StatusOr<std::vector<Tuple>> {
+      // The materialized path view is pruned by aggregate selection; its
+      // stable projection is the min-cost tuple per (src, dst).
+      std::vector<Tuple> out;
+      for (int src = 0; src < rt_.num_logical(); ++src) {
+        for (int dst = 0; dst < rt_.num_logical(); ++dst) {
+          std::optional<double> cost = rt_.MinCost(src, dst);
+          if (!cost.has_value()) continue;
+          out.push_back(Tuple({Value(static_cast<int64_t>(src)),
+                               Value(static_cast<int64_t>(dst)),
+                               Value(*cost)}));
+        }
+      }
+      return out;
+    });
+  }
+
+  StatusOr<Tuple> Lookup(const std::string& view,
+                         const Tuple& key) const override {
+    // Lookups into the path view surface the runtime's auxiliary columns:
+    // (src, dst, cost, vec, length) — the paper's full Query-2 tuple.
+    if (view == plan_.view) {
+      RECNET_RETURN_IF_ERROR(CheckEndpoints(plan_.edb, key,
+                                            key.size() == 2 ? 2 : 3));
+      LogicalNode src = static_cast<LogicalNode>(key.IntAt(0));
+      LogicalNode dst = static_cast<LogicalNode>(key.IntAt(1));
+      std::optional<double> cost = rt_.MinCost(src, dst);
+      std::optional<std::string> vec = rt_.CheapestPathVec(src, dst);
+      std::optional<int64_t> hops = rt_.MinHops(src, dst);
+      if (!cost || !vec || !hops) {
+        return Status::NotFound("no path " + key.ToString());
+      }
+      // A three-column key also constrains the cost, so membership tests
+      // cannot succeed with a wrong cost value.
+      if (key.size() == 3 && !ValuesEqualNumeric(key.at(2), Value(*cost))) {
+        return Status::NotFound("min-cost path " + key.ToString() +
+                                " has cost " + std::to_string(*cost));
+      }
+      return Tuple({Value(static_cast<int64_t>(src)),
+                    Value(static_cast<int64_t>(dst)), Value(*cost),
+                    Value(*vec), Value(*hops)});
+    }
+    return QueryRuntime::Lookup(view, key);
+  }
+
+  RunMetrics Metrics() const override { return rt_.Metrics(); }
+  void ResetMetrics() override { rt_.ResetMetrics(); }
+  bool converged() const override { return rt_.converged(); }
+  const RuntimeOptions& options() const override { return rt_.options(); }
+
+ private:
+  Status CheckEndpoints(const std::string& relation, const Tuple& fact,
+                        size_t arity) const {
+    if (relation != plan_.edb) return UnknownRelation(relation, plan_.edb);
+    RECNET_RETURN_IF_ERROR(CheckArity(relation, fact, arity));
+    RECNET_RETURN_IF_ERROR(CheckNode(relation, fact, 0, rt_.num_logical()));
+    return CheckNode(relation, fact, 1, rt_.num_logical());
+  }
+
+  PlanSpec plan_;
+  ShortestPathRuntime rt_;
+};
+
+// --- Region (paper Query 3) ------------------------------------------------
+
+class RegionAdapter : public QueryRuntime {
+ public:
+  RegionAdapter(const PlanSpec& plan, const EngineOptions& options)
+      : plan_(plan), rt_(*options.field, options.runtime) {}
+
+  Status Insert(const std::string& relation, const Tuple& fact) override {
+    RECNET_RETURN_IF_ERROR(CheckTrigger(relation, fact));
+    rt_.Trigger(static_cast<int>(fact.IntAt(0)));
+    return Status::OK();
+  }
+
+  Status Delete(const std::string& relation, const Tuple& fact) override {
+    RECNET_RETURN_IF_ERROR(CheckTrigger(relation, fact));
+    rt_.Untrigger(static_cast<int>(fact.IntAt(0)));
+    return Status::OK();
+  }
+
+  Status Apply() override { return RunToFixpoint(&rt_); }
+
+  StatusOr<std::vector<Tuple>> Scan(const std::string& view) const override {
+    return ScanByName(plan_, view, [this]() -> StatusOr<std::vector<Tuple>> {
+      std::vector<Tuple> out;
+      for (int r = 0; r < rt_.num_regions(); ++r) {
+        for (int member : rt_.RegionMembers(r)) {
+          out.push_back(Tuple::OfInts({r, member}));
+        }
+      }
+      return out;
+    });
+  }
+
+  RunMetrics Metrics() const override { return rt_.Metrics(); }
+  void ResetMetrics() override { rt_.ResetMetrics(); }
+  bool converged() const override { return rt_.converged(); }
+  const RuntimeOptions& options() const override { return rt_.options(); }
+
+ private:
+  Status CheckTrigger(const std::string& relation, const Tuple& fact) const {
+    if (relation == plan_.edb || relation == plan_.proximity_edb) {
+      return Status::InvalidArgument(
+          "relation '" + relation +
+          "' is defined by the sensor-field deployment "
+          "(EngineOptions::field); only '" +
+          plan_.trigger_edb + "' facts are dynamic");
+    }
+    if (relation != plan_.trigger_edb) {
+      return UnknownRelation(relation, plan_.trigger_edb);
+    }
+    RECNET_RETURN_IF_ERROR(CheckArity(relation, fact, 1));
+    return CheckNode(relation, fact, 0, rt_.num_logical());
+  }
+
+  PlanSpec plan_;
+  RegionRuntime rt_;
+};
+
+// --- Registry ---------------------------------------------------------------
+
+StatusOr<std::unique_ptr<QueryRuntime>> MakeReachable(
+    const PlanSpec& plan, const EngineOptions& options) {
+  if (options.num_nodes <= 0) {
+    return Status::InvalidArgument(
+        "EngineOptions::num_nodes must be positive for the " +
+        std::string(PlanKindName(plan.kind)) + " plan");
+  }
+  return std::unique_ptr<QueryRuntime>(new ReachableAdapter(plan, options));
+}
+
+StatusOr<std::unique_ptr<QueryRuntime>> MakeShortestPath(
+    const PlanSpec& plan, const EngineOptions& options) {
+  if (options.num_nodes <= 0) {
+    return Status::InvalidArgument(
+        "EngineOptions::num_nodes must be positive for the " +
+        std::string(PlanKindName(plan.kind)) + " plan");
+  }
+  if (options.runtime.prov != ProvMode::kAbsorption) {
+    // The runtime CHECK-fails otherwise (the paper's Figure 14 evaluates
+    // aggregate selection under the main scheme only); surface a typed
+    // error at the facade instead.
+    return Status::Unimplemented(
+        "the shortest-path runtime runs under absorption provenance only");
+  }
+  return std::unique_ptr<QueryRuntime>(new ShortestPathAdapter(plan, options));
+}
+
+StatusOr<std::unique_ptr<QueryRuntime>> MakeRegion(
+    const PlanSpec& plan, const EngineOptions& options) {
+  if (!options.field.has_value() || options.field->num_sensors <= 0) {
+    return Status::InvalidArgument(
+        "EngineOptions::field (sensor deployment) is required for the "
+        "region plan");
+  }
+  return std::unique_ptr<QueryRuntime>(new RegionAdapter(plan, options));
+}
+
+std::map<PlanKind, RuntimeFactory>& Registry() {
+  static std::map<PlanKind, RuntimeFactory>* registry = [] {
+    auto* r = new std::map<PlanKind, RuntimeFactory>();
+    (*r)[PlanKind::kReachable] = &MakeReachable;
+    (*r)[PlanKind::kShortestPath] = &MakeShortestPath;
+    (*r)[PlanKind::kRegion] = &MakeRegion;
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+StatusOr<Tuple> QueryRuntime::Lookup(const std::string& view,
+                                     const Tuple& key) const {
+  StatusOr<std::vector<Tuple>> rows = Scan(view);
+  if (!rows.ok()) return rows.status();
+  for (const Tuple& row : rows.value()) {
+    if (row.size() < key.size()) continue;
+    bool match = true;
+    for (size_t i = 0; i < key.size(); ++i) {
+      if (!ValuesEqualNumeric(row.at(i), key.at(i))) match = false;
+    }
+    if (match) return row;
+  }
+  return Status::NotFound("no tuple matching " + key.ToString() +
+                          " in view '" + view + "'");
+}
+
+StatusOr<std::vector<Tuple>> QueryRuntime::Explain(
+    const Tuple& view_tuple) const {
+  return Status::Unimplemented("this runtime does not expose per-tuple "
+                               "provenance witnesses (tuple " +
+                               view_tuple.ToString() + ")");
+}
+
+std::vector<Tuple> EvalAggView(const AggViewSpec& spec,
+                               const std::vector<Tuple>& view_tuples) {
+  struct Acc {
+    int64_t count = 0;
+    double sum = 0;
+    bool sum_is_int = true;
+    std::optional<Value> best;  // min / max.
+  };
+  std::map<Tuple, Acc> groups;
+  for (const Tuple& row : view_tuples) {
+    std::vector<Value> key;
+    key.reserve(spec.group_cols.size());
+    for (size_t col : spec.group_cols) key.push_back(row.at(col));
+    Acc& acc = groups[Tuple(std::move(key))];
+    acc.count += 1;
+    const Value& v = row.at(spec.value_col);
+    if (spec.agg == datalog::AggKind::kSum) {
+      if (v.is_double()) {
+        acc.sum_is_int = false;
+        acc.sum += v.AsDouble();
+      } else if (v.is_int()) {
+        acc.sum += static_cast<double>(v.AsInt());
+      }
+    }
+    if (spec.agg == datalog::AggKind::kMin || spec.agg == datalog::AggKind::kMax) {
+      if (!acc.best.has_value() ||
+          (spec.agg == datalog::AggKind::kMin ? v < *acc.best
+                                              : *acc.best < v)) {
+        acc.best = v;
+      }
+    }
+  }
+  std::vector<Tuple> out;
+  out.reserve(groups.size());
+  for (const auto& [key, acc] : groups) {
+    std::vector<Value> vals = key.values();
+    switch (spec.agg) {
+      case datalog::AggKind::kCount:
+        vals.push_back(Value(acc.count));
+        break;
+      case datalog::AggKind::kSum:
+        if (acc.sum_is_int) {
+          vals.push_back(Value(static_cast<int64_t>(acc.sum)));
+        } else {
+          vals.push_back(Value(acc.sum));
+        }
+        break;
+      case datalog::AggKind::kMin:
+      case datalog::AggKind::kMax:
+        vals.push_back(*acc.best);
+        break;
+      case datalog::AggKind::kNone:
+        break;
+    }
+    out.push_back(Tuple(std::move(vals)));
+  }
+  return out;
+}
+
+void RegisterRuntimeFactory(datalog::PlanKind kind, RuntimeFactory factory) {
+  Registry()[kind] = factory;
+}
+
+StatusOr<std::unique_ptr<QueryRuntime>> InstantiateRuntime(
+    const datalog::PlanSpec& plan, const EngineOptions& options) {
+  auto it = Registry().find(plan.kind);
+  if (it == Registry().end()) {
+    return Status::Unimplemented(
+        std::string("no runtime registered for plan kind '") +
+        PlanKindName(plan.kind) + "'");
+  }
+  return it->second(plan, options);
+}
+
+}  // namespace recnet

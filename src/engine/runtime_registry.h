@@ -1,0 +1,92 @@
+#ifndef RECNET_ENGINE_RUNTIME_REGISTRY_H_
+#define RECNET_ENGINE_RUNTIME_REGISTRY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "datalog/planner.h"
+#include "engine/runtime_base.h"
+#include "engine/shortest_path_runtime.h"
+#include "topology/sensor_grid.h"
+
+namespace recnet {
+
+// Configuration of an Engine session: the shared RuntimeOptions plus the
+// deployment parameters a Datalog program cannot carry.
+struct EngineOptions {
+  RuntimeOptions runtime;
+  // Number of network nodes for the graph-shaped plans (reachable /
+  // shortest path). Required > 0 for those plans.
+  int num_nodes = 0;
+  // Aggregate-selection policy for the shortest-path runtime.
+  AggSelPolicy aggsel = AggSelPolicy::kMulti;
+  // Sensor deployment for region plans: defines the seed and proximity
+  // EDBs. Required for PlanKind::kRegion.
+  std::optional<SensorField> field;
+};
+
+// The uniform runtime interface every query shape is adapted onto: typed
+// tuples in, Status / StatusOr out. Implementations wrap one of the
+// distributed runtimes (ReachableRuntime, ShortestPathRuntime,
+// RegionRuntime) and translate generic relation-name-keyed facts onto its
+// native ingestion calls.
+class QueryRuntime {
+ public:
+  virtual ~QueryRuntime() = default;
+
+  // Enqueues an insertion / deletion of `fact` into the named base
+  // relation. Updates propagate on the next Apply().
+  virtual Status Insert(const std::string& relation, const Tuple& fact) = 0;
+  virtual Status Delete(const std::string& relation, const Tuple& fact) = 0;
+
+  // Runs the distributed dataflow to fixpoint. ResourceExhausted when the
+  // message or time budget was exceeded before convergence.
+  virtual Status Apply() = 0;
+
+  // All tuples of the recursive view or of a declared aggregate view, in
+  // deterministic (sorted) order. NotFound for unknown view names.
+  virtual StatusOr<std::vector<Tuple>> Scan(const std::string& view) const = 0;
+
+  // First tuple of `view` whose leading columns equal `key` (the full tuple
+  // for the recursive view, the group-by columns for an aggregate view).
+  // Adapters may return auxiliary runtime-maintained columns beyond the
+  // declared arity (the path runtime's vec / length attributes).
+  virtual StatusOr<Tuple> Lookup(const std::string& view,
+                                 const Tuple& key) const;
+
+  // Provenance witness for a view tuple: one set of base facts that
+  // supports it (absorption provenance only).
+  virtual StatusOr<std::vector<Tuple>> Explain(const Tuple& view_tuple) const;
+
+  virtual RunMetrics Metrics() const = 0;
+  virtual void ResetMetrics() = 0;
+  virtual bool converged() const = 0;
+  virtual const RuntimeOptions& options() const = 0;
+};
+
+// Evaluates a declared aggregate view over the scanned contents of the
+// recursive view (group by group_cols, aggregate value_col). Results are
+// sorted by group. Shared by the adapters; a runtime that maintains the
+// aggregate distributedly (RegionRuntime) converges to the same answer.
+std::vector<Tuple> EvalAggView(const datalog::AggViewSpec& spec,
+                               const std::vector<Tuple>& view_tuples);
+
+// Instantiates the runtime registered for `plan.kind`. InvalidArgument when
+// `options` lacks the deployment parameters the plan needs.
+StatusOr<std::unique_ptr<QueryRuntime>> InstantiateRuntime(
+    const datalog::PlanSpec& plan, const EngineOptions& options);
+
+// Extension point: future query shapes register a factory for their
+// PlanKind instead of forking a runtime. Re-registering a kind replaces the
+// builtin factory.
+using RuntimeFactory = StatusOr<std::unique_ptr<QueryRuntime>> (*)(
+    const datalog::PlanSpec& plan, const EngineOptions& options);
+void RegisterRuntimeFactory(datalog::PlanKind kind, RuntimeFactory factory);
+
+}  // namespace recnet
+
+#endif  // RECNET_ENGINE_RUNTIME_REGISTRY_H_

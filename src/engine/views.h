@@ -17,7 +17,10 @@
 namespace recnet {
 
 // ---------------------------------------------------------------------------
-// recnet public API: distributed, incrementally maintained recursive views.
+// Typed per-query view wrappers. These are thin internals kept for tests and
+// benchmarks that pin one runtime; the public session API is recnet::Engine
+// (engine/engine.h), which compiles Datalog source and dispatches onto the
+// same runtimes through the runtime registry.
 //
 // Each view wraps a distributed runtime (simulated network of per-partition
 // query processors). The pattern is:

@@ -273,8 +273,11 @@ TEST_P(BddPropertyTest, RandomExpressionsMatchTruthTables) {
         out = Expr{mgr.Or(a.node, b.node), a.truth | b.truth};
         break;
       case 2:
+        // All-ones mask over the 2^kPropVars truth-table bits, computed in
+        // 64-bit so the shift is defined when the table fills the word.
         out = Expr{mgr.Not(a.node),
-                   ~a.truth & ((1u << (1u << kPropVars)) - 1u)};
+                   ~a.truth & static_cast<uint32_t>(
+                                  (uint64_t{1} << (1u << kPropVars)) - 1u)};
         break;
       default: {
         Var v = static_cast<Var>(rng.NextBounded(kPropVars));

@@ -165,11 +165,81 @@ TEST(AnalyzerTest, RejectsAggregateInRecursion) {
 TEST(PlannerTest, LowersReachableOntoFigure4Plan) {
   auto plan = PlanSource(kReachable);
   ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->kind, PlanKind::kReachable);
   EXPECT_EQ(plan->view, "reachable");
   EXPECT_EQ(plan->edb, "link");
   EXPECT_EQ(plan->edb_join_col, 1u);
   EXPECT_EQ(plan->view_join_col, 0u);
   EXPECT_NE(plan->ToString().find("reachable"), std::string::npos);
+}
+
+TEST(PlannerTest, AcceptsRightLinearOrientation) {
+  // The paper's alternate join-column orientation:
+  // view(x,y) :- view(x,z), edb(z,y).
+  auto plan = PlanSource(
+      "r(x,y) :- link(x,y)."
+      "r(x,y) :- r(x,z), link(z,y).");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->kind, PlanKind::kReachable);
+  EXPECT_EQ(plan->edb_join_col, 0u);
+  EXPECT_EQ(plan->view_join_col, 1u);
+}
+
+TEST(PlannerTest, PlansShortestPathShape) {
+  auto plan = PlanSource(
+      "path(x,y,c) :- link(x,y,c)."
+      "path(x,y,c) :- link(x,z,c), path(z,y,c2)."
+      "minCost(x,y,min<c>) :- path(x,y,c).");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->kind, PlanKind::kShortestPath);
+  EXPECT_EQ(plan->view, "path");
+  EXPECT_EQ(plan->edb, "link");
+  EXPECT_EQ(plan->cost_col, 2u);
+  ASSERT_EQ(plan->agg_views.size(), 1u);
+  EXPECT_EQ(plan->agg_views[0].agg, AggKind::kMin);
+}
+
+TEST(PlannerTest, RejectsNonMinAggregateOverPath) {
+  auto plan = PlanSource(
+      "path(x,y,c) :- link(x,y,c)."
+      "path(x,y,c) :- link(x,z,c), path(z,y,c2)."
+      "pathCount(x,count<y>) :- path(x,y,c).");
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(PlannerTest, PlansRegionShape) {
+  auto plan = PlanSource(
+      "activeRegion(r,x) :- seed(r,x), triggered(x)."
+      "activeRegion(r,y) :- activeRegion(r,x), triggered(x), near(x,y)."
+      "regionSizes(r,count<x>) :- activeRegion(r,x).");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->kind, PlanKind::kRegion);
+  EXPECT_EQ(plan->view, "activeRegion");
+  EXPECT_EQ(plan->edb, "seed");
+  EXPECT_EQ(plan->trigger_edb, "triggered");
+  EXPECT_EQ(plan->proximity_edb, "near");
+  ASSERT_EQ(plan->agg_views.size(), 1u);
+}
+
+TEST(PlannerTest, RejectsFactForUningestedRelation) {
+  auto plan = PlanSource(
+      "r(x,y) :- link(x,y)."
+      "r(x,y) :- link(x,z), r(z,y)."
+      "cfg(42).");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(plan.status().message().find("cfg"), std::string::npos);
+}
+
+TEST(PlannerTest, CollectsGroundFacts) {
+  auto plan = PlanSource(
+      "r(x,y) :- link(x,y)."
+      "r(x,y) :- link(x,z), r(z,y)."
+      "link(0,1). link(1,2).");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->facts.size(), 2u);
+  EXPECT_EQ(plan->facts[0].head.predicate, "link");
 }
 
 TEST(PlannerTest, VariableNamesAreIrrelevant) {
@@ -207,12 +277,37 @@ TEST(PlannerTest, RejectsNonLinearRecursion) {
   EXPECT_FALSE(plan.ok());
 }
 
-TEST(PlannerTest, RejectsWrongJoinShape) {
-  // Reversed closure: head.0 taken from the view atom.
+TEST(PlannerTest, RejectsWrongJoinShapeWithRuleContext) {
+  // Swapped head: computes the reverse closure, which matches neither
+  // linear orientation. Malformed shapes are InvalidArgument with the
+  // offending rule and its source line.
+  auto plan = PlanSource(
+      "r(x,y) :- link(x,y).\n"
+      "r(x,y) :- link(y,z), r(z,x).");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(plan.status().message().find("line 2"), std::string::npos)
+      << plan.status().ToString();
+  EXPECT_NE(plan.status().message().find("r(x,y)"), std::string::npos);
+}
+
+TEST(PlannerTest, RejectsBaseRuleThatDoesNotCopyTheEdb) {
+  auto plan = PlanSource(
+      "r(x,y) :- link(y,x).\n"
+      "r(x,y) :- link(x,z), r(z,y).");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(plan.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(PlannerTest, RejectsRuleOutsideThePlan) {
   auto plan = PlanSource(
       "r(x,y) :- link(x,y)."
-      "r(x,y) :- link(z,y), r(x,z).");
-  EXPECT_FALSE(plan.ok());
+      "r(x,y) :- link(x,z), r(z,y)."
+      "stray(x) :- other(x).");
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(plan.status().message().find("stray"), std::string::npos);
 }
 
 TEST(PlannerTest, ProgramRoundTripsThroughToString) {
