@@ -13,7 +13,8 @@
 using namespace recnet;
 using namespace recnet::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
   BenchEnv env = GetBenchEnv();
   Topology topo = DefaultTopology(/*dense=*/true, env);
   std::printf("MinShip batching-window ablation: %d nodes, %zu link tuples; "
@@ -21,6 +22,10 @@ int main() {
               topo.num_nodes, topo.num_link_tuples());
   std::printf("%-12s %14s %14s %14s %14s\n", "window", "insert MB",
               "delete MB", "insert s", "delete s");
+
+  // JSON trajectory: phases as series, batching window as x (0 = lazy).
+  FigurePrinter fig("Ablation", "MinShip batching window", "window",
+                    {"insert", "delete"});
 
   auto run = [&](ShipMode ship, size_t window, const char* label) {
     RuntimeOptions opts;
@@ -44,6 +49,8 @@ int main() {
     RunMetrics del = rt.Metrics();
     std::printf("%-12s %14.3f %14.3f %14.3f %14.3f\n", label, insert.comm_mb,
                 del.comm_mb, insert.wall_seconds, del.wall_seconds);
+    fig.Add("insert", static_cast<double>(window), insert);
+    fig.Add("delete", static_cast<double>(window), del);
   };
 
   run(ShipMode::kEager, 128, "eager W=128");
@@ -51,5 +58,6 @@ int main() {
   run(ShipMode::kEager, 512, "eager W=512");
   run(ShipMode::kEager, 2048, "eager W=2048");
   run(ShipMode::kLazy, 0, "lazy (W=inf)");
+  if (!args.json_path.empty() && !fig.WriteJson(args.json_path)) return 1;
   return 0;
 }

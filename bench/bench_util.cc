@@ -18,6 +18,24 @@ BenchEnv GetBenchEnv() {
   return env;
 }
 
+BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string json_prefix = "--json=";
+    if (arg.compare(0, json_prefix.size(), json_prefix) == 0) {
+      args.json_path = arg.substr(json_prefix.size());
+      continue;
+    }
+    std::fprintf(stderr,
+                 "unknown argument '%s'\nusage: %s [--json=PATH]\n"
+                 "env: RECNET_PAPER_SCALE=1 (paper topology), RECNET_SEED=N\n",
+                 arg.c_str(), argv[0]);
+    std::exit(2);
+  }
+  return args;
+}
+
 Topology DefaultTopology(bool dense, const BenchEnv& env) {
   if (env.paper_scale) {
     TransitStubOptions options;
@@ -65,7 +83,8 @@ FigurePrinter::FigurePrinter(std::string figure, std::string title,
     : figure_(std::move(figure)),
       title_(std::move(title)),
       x_label_(std::move(x_label)),
-      series_(std::move(series)) {}
+      series_(std::move(series)),
+      start_(std::chrono::steady_clock::now()) {}
 
 void FigurePrinter::Add(const std::string& series, double x,
                         const RunMetrics& m) {
@@ -102,6 +121,103 @@ void FigurePrinter::PrintPanel(const std::string& panel_title,
     }
     std::printf("\n");
   }
+}
+
+namespace {
+
+// JSON string escaping for the small identifier strings we emit (series
+// names, titles): quotes, backslashes, and control characters.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// %.17g round-trips doubles exactly; trims to the shortest representation
+// for typical metric values.
+void PrintJsonDouble(std::FILE* f, double v) {
+  std::fprintf(f, "%.17g", v);
+}
+
+}  // namespace
+
+bool FigurePrinter::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  double total_wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+  std::fprintf(f, "{\n  \"figure\": \"%s\",\n  \"title\": \"%s\",\n",
+               JsonEscape(figure_).c_str(), JsonEscape(title_).c_str());
+  std::fprintf(f, "  \"x_label\": \"%s\",\n", JsonEscape(x_label_).c_str());
+  std::fprintf(f, "  \"series\": [");
+  for (size_t i = 0; i < series_.size(); ++i) {
+    std::fprintf(f, "%s\"%s\"", i == 0 ? "" : ", ",
+                 JsonEscape(series_[i]).c_str());
+  }
+  std::fprintf(f, "],\n  \"x\": [");
+  for (size_t i = 0; i < xs_.size(); ++i) {
+    std::fprintf(f, "%s", i == 0 ? "" : ", ");
+    PrintJsonDouble(f, xs_[i]);
+  }
+  std::fprintf(f, "],\n  \"cells\": [\n");
+  bool first = true;
+  for (const std::string& s : series_) {
+    for (double x : xs_) {
+      auto it = cells_.find({s, x});
+      if (it == cells_.end()) continue;
+      const RunMetrics& m = it->second;
+      std::fprintf(f, "%s    {\"series\": \"%s\", \"x\": ",
+                   first ? "" : ",\n", JsonEscape(s).c_str());
+      first = false;
+      PrintJsonDouble(f, x);
+      std::fprintf(f, ", \"per_tuple_prov_bytes\": ");
+      PrintJsonDouble(f, m.per_tuple_prov_bytes);
+      std::fprintf(f, ", \"comm_mb\": ");
+      PrintJsonDouble(f, m.comm_mb);
+      std::fprintf(f, ", \"state_mb\": ");
+      PrintJsonDouble(f, m.state_mb);
+      std::fprintf(f, ", \"wall_seconds\": ");
+      PrintJsonDouble(f, m.wall_seconds);
+      std::fprintf(f, ", \"sim_seconds\": ");
+      PrintJsonDouble(f, m.sim_seconds);
+      std::fprintf(f,
+                   ", \"messages\": %llu, \"kill_messages\": %llu, "
+                   "\"batches\": %llu, \"aborted_runs\": %llu, "
+                   "\"dropped_messages\": %llu, \"converged\": %s}",
+                   static_cast<unsigned long long>(m.messages),
+                   static_cast<unsigned long long>(m.kill_messages),
+                   static_cast<unsigned long long>(m.batches),
+                   static_cast<unsigned long long>(m.aborted_runs),
+                   static_cast<unsigned long long>(m.dropped_messages),
+                   m.converged ? "true" : "false");
+    }
+  }
+  std::fprintf(f, "\n  ],\n  \"total_wall_seconds\": ");
+  PrintJsonDouble(f, total_wall);
+  std::fprintf(f, "\n}\n");
+  bool ok = std::fclose(f) == 0;
+  if (ok) std::printf("wrote %s\n", path.c_str());
+  return ok;
 }
 
 void FigurePrinter::PrintAll() const {

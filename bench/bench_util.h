@@ -1,6 +1,7 @@
 #ifndef RECNET_BENCH_BENCH_UTIL_H_
 #define RECNET_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <map>
 #include <string>
 #include <vector>
@@ -21,6 +22,16 @@ struct BenchEnv {
 };
 
 BenchEnv GetBenchEnv();
+
+// Command-line options shared by the figure benches.
+struct BenchArgs {
+  // --json=PATH: after the text tables, write the figure's cells as a
+  // machine-readable JSON document (see FigurePrinter::WriteJson).
+  std::string json_path;
+};
+
+// Parses argv; unknown flags abort with a usage message (exit code 2).
+BenchArgs ParseArgs(int argc, char** argv);
 
 // The figure-7/8/13/14 base topology at the chosen scale.
 Topology DefaultTopology(bool dense, const BenchEnv& env);
@@ -52,6 +63,13 @@ class FigurePrinter {
   void Add(const std::string& series, double x, const RunMetrics& m);
   void PrintAll() const;
 
+  // Writes every recorded cell as JSON: figure/title/x_label, the series
+  // and x-value lists, one record per (series, x) with the four panel
+  // metrics plus traffic counters, and the wall time since construction.
+  // Benchmark trajectories (BENCH_*.json) are diffed across PRs, so the
+  // format is stable and append-only. Returns false on I/O failure.
+  bool WriteJson(const std::string& path) const;
+
  private:
   void PrintPanel(const std::string& panel_title,
                   double (*extract)(const RunMetrics&),
@@ -63,6 +81,7 @@ class FigurePrinter {
   std::vector<std::string> series_;
   std::vector<double> xs_;
   std::map<std::pair<std::string, double>, RunMetrics> cells_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace bench

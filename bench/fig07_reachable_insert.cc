@@ -23,7 +23,8 @@ constexpr char kQuery1[] = R"(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
   BenchEnv env = GetBenchEnv();
   Topology topo = DefaultTopology(/*dense=*/true, env);
   std::printf(
@@ -62,5 +63,6 @@ int main() {
     }
   }
   fig.PrintAll();
+  if (!args.json_path.empty() && !fig.WriteJson(args.json_path)) return 1;
   return 0;
 }

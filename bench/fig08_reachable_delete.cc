@@ -14,7 +14,8 @@
 using namespace recnet;
 using namespace recnet::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
   BenchEnv env = GetBenchEnv();
   // Slightly smaller default than Figure 7 so that even the eager
   // strategies fully converge on the insertion phase before deletions are
@@ -65,5 +66,6 @@ int main() {
     }
   }
   fig.PrintAll();
+  if (!args.json_path.empty() && !fig.WriteJson(args.json_path)) return 1;
   return 0;
 }

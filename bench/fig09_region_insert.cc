@@ -43,7 +43,8 @@ std::vector<int> TriggerPool(const SensorField& field, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
   BenchEnv env = GetBenchEnv();
   SensorGridOptions grid;
   grid.seed = env.seed;
@@ -76,5 +77,6 @@ int main() {
     }
   }
   fig.PrintAll();
+  if (!args.json_path.empty() && !fig.WriteJson(args.json_path)) return 1;
   return 0;
 }

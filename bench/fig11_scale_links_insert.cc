@@ -12,7 +12,8 @@
 using namespace recnet;
 using namespace recnet::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
   BenchEnv env = GetBenchEnv();
   // Reduced scale sweeps 50..400 target links; paper scale 100..800.
   std::vector<int> targets = env.paper_scale
@@ -46,5 +47,6 @@ int main() {
     }
   }
   fig.PrintAll();
+  if (!args.json_path.empty() && !fig.WriteJson(args.json_path)) return 1;
   return 0;
 }

@@ -12,7 +12,8 @@
 using namespace recnet;
 using namespace recnet::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
   BenchEnv env = GetBenchEnv();
   std::vector<int> targets = env.paper_scale
                                  ? std::vector<int>{100, 200, 400, 800}
@@ -60,5 +61,6 @@ int main() {
     }
   }
   fig.PrintAll();
+  if (!args.json_path.empty() && !fig.WriteJson(args.json_path)) return 1;
   return 0;
 }

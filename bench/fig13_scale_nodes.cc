@@ -14,7 +14,8 @@
 using namespace recnet;
 using namespace recnet::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
   BenchEnv env = GetBenchEnv();
   Topology topo = DefaultTopology(/*dense=*/true, env);
   std::printf("Figure 13 workload: %d nodes, %zu link tuples; insert all + "
@@ -52,6 +53,7 @@ int main() {
     }
   }
   fig.PrintAll();
+  if (!args.json_path.empty() && !fig.WriteJson(args.json_path)) return 1;
   std::printf("Note: panel (d) reports the simulated parallel convergence "
               "estimate (single-core work divided across peers plus "
               "cross-peer latency).\n");

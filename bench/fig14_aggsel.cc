@@ -53,7 +53,8 @@ RunMetrics Sum(const RunMetrics& a, const RunMetrics& b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchArgs args = ParseArgs(argc, argv);
   BenchEnv env = GetBenchEnv();
   FigurePrinter fig("Figure 14",
                     "aggregate selections on shortestPath/cheapestCostPath",
@@ -82,5 +83,6 @@ int main() {
     std::fprintf(stderr, "  [fig14] none done (budget-capped)\n");
   }
   fig.PrintAll();
+  if (!args.json_path.empty() && !fig.WriteJson(args.json_path)) return 1;
   return 0;
 }

@@ -9,22 +9,46 @@
 namespace recnet {
 namespace bdd {
 
-size_t Manager::NodeKeyHash::operator()(const NodeKey& k) const {
-  uint64_t h = Mix64(k.var);
-  h = Mix64(h ^ k.low);
-  h = Mix64(h ^ k.high);
-  return static_cast<size_t>(h);
+uint64_t Manager::NodeHash(Var var, NodeIndex low, NodeIndex high) {
+  return Mix64((static_cast<uint64_t>(low) << 32 | high) ^
+               static_cast<uint64_t>(var) * 0xda942042e4dd58b5ULL);
 }
 
 Manager::Manager(const Options& options)
     : options_(options), gc_threshold_(options.gc_threshold) {
   RECNET_CHECK((options.cache_size & (options.cache_size - 1)) == 0);
   // Terminals. They are permanently referenced and never collected.
-  nodes_.push_back(Node{kTerminalVar, kFalse, kFalse});  // FALSE
-  nodes_.push_back(Node{kTerminalVar, kTrue, kTrue});    // TRUE
+  nodes_.push_back(Node{kTerminalVar, kFalse, kFalse, kNilNode});  // FALSE
+  nodes_.push_back(Node{kTerminalVar, kTrue, kTrue, kNilNode});    // TRUE
   refcount_.assign(2, 1);
   live_nodes_ = 2;
+  // Pre-size the bucket array to the GC threshold: the node store grows to
+  // at least that many entries before any collection, so starting smaller
+  // only buys repeated rehashes of the whole table.
+  size_t buckets = 1 << 12;
+  while (buckets < options_.gc_threshold) buckets <<= 1;
+  buckets_.assign(buckets, kNilNode);
   op_cache_.assign(options_.cache_size, CacheEntry{});
+}
+
+// Marks n visited in the current stamped traversal; returns true on first
+// visit. Replaces per-traversal unordered_sets: one byte-compare against a
+// flat array, no allocation after warm-up.
+bool Manager::VisitFirst(NodeIndex n) const {
+  if (visit_stamp_[n] == current_stamp_) return false;
+  visit_stamp_[n] = current_stamp_;
+  return true;
+}
+
+void Manager::BeginTraversal() const {
+  if (visit_stamp_.size() < nodes_.size()) {
+    visit_stamp_.resize(nodes_.size(), 0);
+  }
+  if (++current_stamp_ == 0) {  // Stamp wrap: reset all marks once per 2^32.
+    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0);
+    current_stamp_ = 1;
+  }
+  traverse_stack_.clear();
 }
 
 bool Manager::CacheLookup(uint64_t key, NodeIndex* out) {
@@ -46,23 +70,46 @@ void Manager::CacheStore(uint64_t key, NodeIndex result) {
 
 NodeIndex Manager::MakeNode(Var var, NodeIndex low, NodeIndex high) {
   if (low == high) return low;  // Reduction rule: redundant test.
-  NodeKey key{var, low, high};
-  auto it = unique_table_.find(key);
-  if (it != unique_table_.end()) return it->second;
+  size_t bucket = NodeHash(var, low, high) & (buckets_.size() - 1);
+  for (NodeIndex n = buckets_[bucket]; n != kNilNode; n = nodes_[n].next) {
+    const Node& node = nodes_[n];
+    if (node.var == var && node.low == low && node.high == high) return n;
+  }
+  if (table_entries_ >= buckets_.size()) {
+    GrowBuckets();
+    bucket = NodeHash(var, low, high) & (buckets_.size() - 1);
+  }
   NodeIndex idx;
   if (!free_list_.empty()) {
     idx = free_list_.back();
     free_list_.pop_back();
-    nodes_[idx] = Node{var, low, high};
+    nodes_[idx] = Node{var, low, high, buckets_[bucket]};
     refcount_[idx] = 0;
   } else {
     idx = static_cast<NodeIndex>(nodes_.size());
-    nodes_.push_back(Node{var, low, high});
+    nodes_.push_back(Node{var, low, high, buckets_[bucket]});
     refcount_.push_back(0);
   }
+  buckets_[bucket] = idx;
+  ++table_entries_;
   ++live_nodes_;
-  unique_table_.emplace(key, idx);
   return idx;
+}
+
+void Manager::GrowBuckets() {
+  std::vector<NodeIndex> old = std::move(buckets_);
+  buckets_.assign(old.size() * 2, kNilNode);
+  for (NodeIndex head : old) {
+    for (NodeIndex n = head; n != kNilNode;) {
+      NodeIndex next = nodes_[n].next;
+      size_t bucket =
+          NodeHash(nodes_[n].var, nodes_[n].low, nodes_[n].high) &
+          (buckets_.size() - 1);
+      nodes_[n].next = buckets_[bucket];
+      buckets_[bucket] = n;
+      n = next;
+    }
+  }
 }
 
 NodeIndex Manager::MakeVar(Var v) {
@@ -197,46 +244,47 @@ NodeIndex Manager::RestrictRec(NodeIndex f, Var v, bool value) {
 
 size_t Manager::CountNodes(NodeIndex f) const {
   if (IsTerminal(f)) return 0;
-  std::unordered_set<NodeIndex> seen;
-  std::vector<NodeIndex> stack{f};
-  while (!stack.empty()) {
-    NodeIndex n = stack.back();
-    stack.pop_back();
-    if (IsTerminal(n) || !seen.insert(n).second) continue;
-    stack.push_back(nodes_[n].low);
-    stack.push_back(nodes_[n].high);
+  BeginTraversal();
+  traverse_stack_.push_back(f);
+  size_t count = 0;
+  while (!traverse_stack_.empty()) {
+    NodeIndex n = traverse_stack_.back();
+    traverse_stack_.pop_back();
+    if (IsTerminal(n) || !VisitFirst(n)) continue;
+    ++count;
+    traverse_stack_.push_back(nodes_[n].low);
+    traverse_stack_.push_back(nodes_[n].high);
   }
-  return seen.size();
+  return count;
 }
 
 void Manager::Support(NodeIndex f, std::vector<Var>* vars) const {
-  std::unordered_set<NodeIndex> seen;
-  std::unordered_set<Var> found;
-  std::vector<NodeIndex> stack{f};
-  while (!stack.empty()) {
-    NodeIndex n = stack.back();
-    stack.pop_back();
-    if (IsTerminal(n) || !seen.insert(n).second) continue;
-    found.insert(nodes_[n].var);
-    stack.push_back(nodes_[n].low);
-    stack.push_back(nodes_[n].high);
+  size_t start = vars->size();
+  BeginTraversal();
+  traverse_stack_.push_back(f);
+  while (!traverse_stack_.empty()) {
+    NodeIndex n = traverse_stack_.back();
+    traverse_stack_.pop_back();
+    if (IsTerminal(n) || !VisitFirst(n)) continue;
+    vars->push_back(nodes_[n].var);
+    traverse_stack_.push_back(nodes_[n].low);
+    traverse_stack_.push_back(nodes_[n].high);
   }
-  vars->insert(vars->end(), found.begin(), found.end());
-  std::sort(vars->begin(), vars->end());
-  vars->erase(std::unique(vars->begin(), vars->end()), vars->end());
+  std::sort(vars->begin() + start, vars->end());
+  vars->erase(std::unique(vars->begin() + start, vars->end()), vars->end());
 }
 
 bool Manager::DependsOn(NodeIndex f, Var v) const {
-  std::unordered_set<NodeIndex> seen;
-  std::vector<NodeIndex> stack{f};
-  while (!stack.empty()) {
-    NodeIndex n = stack.back();
-    stack.pop_back();
-    if (IsTerminal(n) || !seen.insert(n).second) continue;
+  BeginTraversal();
+  traverse_stack_.push_back(f);
+  while (!traverse_stack_.empty()) {
+    NodeIndex n = traverse_stack_.back();
+    traverse_stack_.pop_back();
+    if (IsTerminal(n) || !VisitFirst(n)) continue;
     if (nodes_[n].var == v) return true;
     if (nodes_[n].var > v) continue;  // Ordered: v cannot appear below.
-    stack.push_back(nodes_[n].low);
-    stack.push_back(nodes_[n].high);
+    traverse_stack_.push_back(nodes_[n].low);
+    traverse_stack_.push_back(nodes_[n].high);
   }
   return false;
 }
@@ -338,16 +386,25 @@ size_t Manager::GarbageCollect() {
       }
     }
   }
-  // Sweep: drop dead nodes from the unique table, recycle their slots.
-  size_t freed = 0;
-  std::unordered_set<NodeIndex> already_free(free_list_.begin(),
-                                             free_list_.end());
+  // Sweep: rebuild the unique table and free list from the mark bits in one
+  // linear pass (every unmarked slot is free, whether it died now or was
+  // already on the free list).
+  size_t entries_before = table_entries_;
+  std::fill(buckets_.begin(), buckets_.end(), kNilNode);
+  free_list_.clear();
+  table_entries_ = 0;
   for (NodeIndex i = 2; i < nodes_.size(); ++i) {
-    if (marked[i] || already_free.count(i) > 0) continue;
-    unique_table_.erase(NodeKey{nodes_[i].var, nodes_[i].low, nodes_[i].high});
-    free_list_.push_back(i);
-    ++freed;
+    if (!marked[i]) {
+      free_list_.push_back(i);
+      continue;
+    }
+    size_t bucket = NodeHash(nodes_[i].var, nodes_[i].low, nodes_[i].high) &
+                    (buckets_.size() - 1);
+    nodes_[i].next = buckets_[bucket];
+    buckets_[bucket] = i;
+    ++table_entries_;
   }
+  size_t freed = entries_before - table_entries_;
   live_nodes_ -= freed;
   ClearCaches();
   return freed;

@@ -31,6 +31,11 @@ inline constexpr NodeIndex kTrue = 1;
 // direct-mapped memoization caches for the apply operations, and external
 // reference counting with mark-and-sweep garbage collection.
 //
+// The unique table is intrusive: each node carries the index of the next
+// node in its hash bucket, so a MakeNode is one bucket probe over the
+// contiguous node array with no per-entry allocation — the dominant cost of
+// every provenance composition in an engine run.
+//
 // Not thread-safe; each simulated engine owns one Manager.
 class Manager {
  public:
@@ -39,7 +44,7 @@ class Manager {
     // threshold doubles whenever a collection frees less than 25%.
     size_t gc_threshold = 1 << 16;
     // Size (entries, power of two) of each direct-mapped operation cache.
-    size_t cache_size = 1 << 16;
+    size_t cache_size = 1 << 17;
   };
 
   Manager() : Manager(Options()) {}
@@ -127,18 +132,9 @@ class Manager {
     Var var;
     NodeIndex low;
     NodeIndex high;
-  };
-
-  struct NodeKey {
-    Var var;
-    NodeIndex low;
-    NodeIndex high;
-    bool operator==(const NodeKey& o) const {
-      return var == o.var && low == o.low && high == o.high;
-    }
-  };
-  struct NodeKeyHash {
-    size_t operator()(const NodeKey& k) const;
+    // Intrusive unique-table chain (next node in the same hash bucket).
+    // kNilNode terminates a chain; free-list slots are not chained.
+    NodeIndex next;
   };
 
   enum class Op : uint8_t { kAnd = 0, kOr = 1, kNot = 2, kRestrict = 3 };
@@ -149,8 +145,20 @@ class Manager {
   };
 
   static constexpr Var kTerminalVar = ~Var{0};
+  // Chain terminator. Index 0 is the FALSE terminal, which never lives in
+  // the unique table, so it doubles as the nil sentinel.
+  static constexpr NodeIndex kNilNode = 0;
+
+  static uint64_t NodeHash(Var var, NodeIndex low, NodeIndex high);
+
+  // Stamped visited-marking for the const traversals (CountNodes, Support,
+  // DependsOn): one stamp array reused across calls instead of a fresh
+  // unordered_set per call. Not reentrant; traversals do not nest.
+  void BeginTraversal() const;
+  bool VisitFirst(NodeIndex n) const;
 
   NodeIndex MakeNode(Var var, NodeIndex low, NodeIndex high);
+  void GrowBuckets();
   NodeIndex ApplyAndOr(Op op, NodeIndex a, NodeIndex b);
   NodeIndex NotRec(NodeIndex a);
   NodeIndex RestrictRec(NodeIndex f, Var v, bool value);
@@ -174,8 +182,14 @@ class Manager {
   std::vector<Node> nodes_;
   std::vector<uint32_t> refcount_;
   std::vector<NodeIndex> free_list_;
-  std::unordered_map<NodeKey, NodeIndex, NodeKeyHash> unique_table_;
+  // Unique-table buckets (power-of-two length): head node index per bucket,
+  // chained through Node::next.
+  std::vector<NodeIndex> buckets_;
+  size_t table_entries_ = 0;
   std::vector<CacheEntry> op_cache_;
+  mutable std::vector<uint32_t> visit_stamp_;
+  mutable uint32_t current_stamp_ = 0;
+  mutable std::vector<NodeIndex> traverse_stack_;
   size_t live_nodes_ = 0;
   size_t gc_threshold_ = 0;
   bool in_operation_ = false;  // Guards against GC mid-recursion.

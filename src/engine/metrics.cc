@@ -9,8 +9,11 @@ std::string RunMetrics::ToString() const {
   os.precision(4);
   os << "prov_B/tuple=" << per_tuple_prov_bytes << " comm_MB=" << comm_mb
      << " state_MB=" << state_mb << " time_s=" << wall_seconds
-     << " sim_s=" << sim_seconds << " msgs=" << messages
-     << (converged ? "" : " [budget exceeded]");
+     << " sim_s=" << sim_seconds << " msgs=" << messages;
+  if (!converged) {
+    os << " [budget exceeded: " << aborted_runs << " aborted run(s), "
+       << dropped_messages << " dropped msg(s)]";
+  }
   return os.str();
 }
 

@@ -25,6 +25,15 @@ struct RunMetrics {
 
   uint64_t messages = 0;
   uint64_t kill_messages = 0;
+  // Delivery batches dispatched (same-destination runs); equals deliveries
+  // when batching is disabled.
+  uint64_t batches = 0;
+  // Budget-exhaustion record: how many runs were cut off before quiescence
+  // and how many queued messages were discarded when that happened. A
+  // non-converged figure cell ("did not complete") always has
+  // aborted_runs > 0, so the abort is explicit rather than inferred.
+  uint64_t aborted_runs = 0;
+  uint64_t dropped_messages = 0;
   bool converged = true;
 
   std::string ToString() const;

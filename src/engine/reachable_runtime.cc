@@ -20,10 +20,14 @@ ReachableRuntime::ReachableRuntime(int num_nodes,
   for (int n = 0; n < num_nodes; ++n) {
     NodeState& state = nodes_[static_cast<size_t>(n)];
     state.fix = std::make_unique<Fixpoint>(opts_.prov);
+    // The view partition reachable(n, *) holds at most one tuple per
+    // destination node; size the operator tables for it up front.
+    state.fix->Reserve(static_cast<size_t>(num_nodes));
     // Join key: link.dst (attr 1) = reachable.src (attr 0).
     state.join = std::make_unique<PipelinedHashJoin>(
         opts_.prov, std::vector<size_t>{1}, std::vector<size_t>{0},
         CombineLinkReach);
+    state.join->Reserve(static_cast<size_t>(num_nodes));
     // DRed (set mode) ships directly; the provenance schemes use MinShip.
     ShipMode ship_mode =
         opts_.prov == ProvMode::kSet ? ShipMode::kDirect : opts_.ship;
@@ -33,6 +37,7 @@ ReachableRuntime::ReachableRuntime(int num_nodes,
           LogicalNode dest = static_cast<LogicalNode>(tuple.IntAt(0));
           ShipInsert(n, dest, kPortFix, tuple, pv);
         });
+    state.ship->Reserve(static_cast<size_t>(num_nodes));
   }
 }
 
@@ -243,10 +248,16 @@ void ReachableRuntime::SeedRederivation() {
   // by the destination fixpoints — but only after paying the shipping cost,
   // exactly as DRed does.
   for (LogicalNode n = 0; n < num_logical(); ++n) {
-    // Base case: re-derive reachable(n, y) from every live link(n, y).
-    for (LogicalNode dst : links_by_src_[static_cast<size_t>(n)]) {
-      router_.Send(n, n, kPortFix,
-                   Update::Insert(Tuple::OfInts({n, dst}), TrueProv()));
+    // Base case: re-derive reachable(n, y) from every live link(n, y),
+    // enqueued as one per-destination batch.
+    const auto& by_src = links_by_src_[static_cast<size_t>(n)];
+    if (!by_src.empty()) {
+      std::vector<Update> batch;
+      batch.reserve(by_src.size());
+      for (LogicalNode dst : by_src) {
+        batch.push_back(Update::Insert(Tuple::OfInts({n, dst}), TrueProv()));
+      }
+      router_.SendBatch(n, n, kPortFix, std::move(batch));
     }
     // Recursive case: re-fire the join over surviving reachable tuples.
     for (const Tuple& tuple :

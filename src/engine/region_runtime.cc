@@ -23,6 +23,9 @@ RegionRuntime::RegionRuntime(const SensorField& field,
   for (int n = 0; n < field_.num_sensors; ++n) {
     NodeState& state = nodes_[static_cast<size_t>(n)];
     state.fix = std::make_unique<Fixpoint>(opts_.prov);
+    // A sensor can belong to at most one partition slot per region; size
+    // the per-node tables for the region count up front.
+    state.fix->Reserve(field_.seed_sensors.size());
     ShipMode ship_mode =
         opts_.prov == ProvMode::kSet ? ShipMode::kDirect : opts_.ship;
     state.ship = std::make_unique<MinShip>(
@@ -31,9 +34,11 @@ RegionRuntime::RegionRuntime(const SensorField& field,
           LogicalNode dest = static_cast<LogicalNode>(tuple.IntAt(1));
           ShipInsert(n, dest, kPortFix, tuple, pv);
         });
+    state.ship->Reserve(field_.seed_sensors.size());
     state.region_sizes = std::make_unique<GroupByAggregate>(
         std::vector<size_t>{0},
         std::vector<GroupAggSpec>{{GroupAggFn::kCount, 0}});
+    state.region_sizes->Reserve(field_.seed_sensors.size());
   }
 }
 

@@ -8,7 +8,9 @@ namespace recnet {
 RuntimeBase::RuntimeBase(int num_logical, const RuntimeOptions& options)
     : opts_(options),
       router_(num_logical, std::min(num_logical, options.num_physical)) {
-  router_.set_handler([this](const Envelope& env) { HandleEnvelope(env); });
+  router_.set_batch_handler(
+      [this](const Envelope* envs, size_t n) { HandleBatch(envs, n); });
+  router_.set_batching(options.batch_delivery);
   subs_.resize(static_cast<size_t>(num_logical));
   kills_done_.resize(static_cast<size_t>(num_logical));
 }
@@ -17,15 +19,23 @@ bool RuntimeBase::Run() {
   auto start = std::chrono::steady_clock::now();
   bool ok = true;
   uint64_t processed = 0;
+  // The wall-clock budget is polled every 32 deliveries, as the unbatched
+  // loop did; batches are clipped at the next poll point so a long
+  // coalesced run cannot overshoot the time cap unchecked.
+  uint64_t next_time_check = 32;
   do {
     while (router_.pending() > 0) {
-      router_.Step();
-      ++processed;
+      uint64_t step_cap = opts_.message_budget - processed;
+      if (opts_.time_budget_s > 0) {
+        step_cap = std::min(step_cap, next_time_check - processed);
+      }
+      processed += router_.StepBatch(static_cast<size_t>(step_cap));
       if (processed >= opts_.message_budget) {
         ok = false;
         break;
       }
-      if (opts_.time_budget_s > 0 && (processed & 31) == 0) {
+      if (opts_.time_budget_s > 0 && processed >= next_time_check) {
+        next_time_check = processed + 32;
         double elapsed = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
                              .count();
@@ -39,7 +49,12 @@ bool RuntimeBase::Run() {
   } while (AfterQuiescent());
   auto end = std::chrono::steady_clock::now();
   wall_seconds_ += std::chrono::duration<double>(end - start).count();
-  if (!ok) converged_ = false;
+  if (!ok) {
+    // Drop the stale queue so the aborted run is recorded explicitly and a
+    // later Run() cannot silently resume mid-fixpoint.
+    router_.AbortRun();
+    converged_ = false;
+  }
   return ok;
 }
 
@@ -55,6 +70,9 @@ RunMetrics RuntimeBase::Metrics() const {
                                      opts_.per_msg_latency_s);
   m.messages = s.messages;
   m.kill_messages = s.kill_messages;
+  m.batches = s.batches;
+  m.aborted_runs = s.aborted_runs;
+  m.dropped_messages = s.dropped_messages;
   m.converged = converged_;
   return m;
 }
@@ -81,23 +99,23 @@ void RuntimeBase::MarkDead(bdd::Var v) {
 
 Prov RuntimeBase::GuardIncoming(const Prov& pv) const {
   if (num_dead_ == 0 || opts_.prov == ProvMode::kSet) return pv;
-  std::vector<bdd::Var> support;
-  pv.SupportVars(&support);
-  std::vector<bdd::Var> dead_in_support;
-  for (bdd::Var v : support) {
-    if (dead_[v]) dead_in_support.push_back(v);
+  support_scratch_.clear();
+  pv.SupportVars(&support_scratch_);
+  dead_scratch_.clear();
+  for (bdd::Var v : support_scratch_) {
+    if (dead_[v]) dead_scratch_.push_back(v);
   }
-  if (dead_in_support.empty()) return pv;
-  return pv.RestrictFalse(dead_in_support);
+  if (dead_scratch_.empty()) return pv;
+  return pv.RestrictFalse(dead_scratch_);
 }
 
 void RuntimeBase::ShipInsert(LogicalNode from, LogicalNode to, int port,
                              Tuple tuple, Prov pv) {
   if (opts_.prov != ProvMode::kSet && from != to) {
-    std::vector<bdd::Var> support;
-    pv.SupportVars(&support);
+    support_scratch_.clear();
+    pv.SupportVars(&support_scratch_);
     auto& from_subs = subs_[static_cast<size_t>(from)];
-    for (bdd::Var v : support) {
+    for (bdd::Var v : support_scratch_) {
       std::vector<LogicalNode>& dests = from_subs[v];
       if (std::find(dests.begin(), dests.end(), to) == dests.end()) {
         dests.push_back(to);

@@ -60,6 +60,23 @@ bool ValuesEqualNumeric(const Value& a, const Value& b) {
   return a == b;
 }
 
+// The hashed form of a lookup key / row prefix: integers widen to double so
+// that hash-index probes agree with ValuesEqualNumeric (int 2 and double
+// 2.0 must land in the same bucket and compare equal).
+Tuple NormalizedPrefix(const Tuple& t, size_t len) {
+  std::vector<Value> vals;
+  vals.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    const Value& v = t.at(i);
+    if (v.is_int()) {
+      vals.push_back(Value(static_cast<double>(v.AsInt())));
+    } else {
+      vals.push_back(v);
+    }
+  }
+  return Tuple(std::move(vals));
+}
+
 Status RunToFixpoint(RuntimeBase* rt) {
   if (!rt->Run()) {
     return Status::ResourceExhausted(
@@ -77,10 +94,10 @@ const AggViewSpec* FindAggView(const PlanSpec& plan, const std::string& name) {
 
 // Scan dispatch shared by the adapters: the recursive view by name, else a
 // declared aggregate view evaluated over it.
-template <typename ScanView>
+template <typename ScanFn>
 StatusOr<std::vector<Tuple>> ScanByName(const PlanSpec& plan,
                                         const std::string& view,
-                                        ScanView&& scan_view) {
+                                        ScanFn&& scan_view) {
   if (view == plan.view) return scan_view();
   if (const AggViewSpec* agg = FindAggView(plan, view)) {
     StatusOr<std::vector<Tuple>> rows = scan_view();
@@ -100,23 +117,23 @@ class ReachableAdapter : public QueryRuntime {
   ReachableAdapter(const PlanSpec& plan, const EngineOptions& options)
       : plan_(plan), rt_(options.num_nodes, options.runtime) {}
 
-  Status Insert(const std::string& relation, const Tuple& fact) override {
+  Status InsertFact(const std::string& relation, const Tuple& fact) override {
     RECNET_RETURN_IF_ERROR(CheckLink(relation, fact));
     rt_.InsertLink(static_cast<LogicalNode>(fact.IntAt(0)),
                    static_cast<LogicalNode>(fact.IntAt(1)));
     return Status::OK();
   }
 
-  Status Delete(const std::string& relation, const Tuple& fact) override {
+  Status DeleteFact(const std::string& relation, const Tuple& fact) override {
     RECNET_RETURN_IF_ERROR(CheckLink(relation, fact));
     rt_.DeleteLink(static_cast<LogicalNode>(fact.IntAt(0)),
                    static_cast<LogicalNode>(fact.IntAt(1)));
     return Status::OK();
   }
 
-  Status Apply() override { return RunToFixpoint(&rt_); }
+  Status ApplyUpdates() override { return RunToFixpoint(&rt_); }
 
-  StatusOr<std::vector<Tuple>> Scan(const std::string& view) const override {
+  StatusOr<std::vector<Tuple>> ScanView(const std::string& view) const override {
     return ScanByName(plan_, view, [this]() -> StatusOr<std::vector<Tuple>> {
       std::vector<Tuple> out;
       for (int src = 0; src < rt_.num_logical(); ++src) {
@@ -182,7 +199,7 @@ class ShortestPathAdapter : public QueryRuntime {
       : plan_(plan),
         rt_(options.num_nodes, options.runtime, options.aggsel) {}
 
-  Status Insert(const std::string& relation, const Tuple& fact) override {
+  Status InsertFact(const std::string& relation, const Tuple& fact) override {
     RECNET_RETURN_IF_ERROR(CheckEndpoints(relation, fact, 3));
     const Value& cost = fact.at(plan_.cost_col);
     if (!cost.is_int() && !cost.is_double()) {
@@ -197,7 +214,7 @@ class ShortestPathAdapter : public QueryRuntime {
     return Status::OK();
   }
 
-  Status Delete(const std::string& relation, const Tuple& fact) override {
+  Status DeleteFact(const std::string& relation, const Tuple& fact) override {
     // Deletion is keyed by the link endpoints; the cost column is optional.
     RECNET_RETURN_IF_ERROR(
         CheckEndpoints(relation, fact, fact.size() == 2 ? 2 : 3));
@@ -206,9 +223,9 @@ class ShortestPathAdapter : public QueryRuntime {
     return Status::OK();
   }
 
-  Status Apply() override { return RunToFixpoint(&rt_); }
+  Status ApplyUpdates() override { return RunToFixpoint(&rt_); }
 
-  StatusOr<std::vector<Tuple>> Scan(const std::string& view) const override {
+  StatusOr<std::vector<Tuple>> ScanView(const std::string& view) const override {
     return ScanByName(plan_, view, [this]() -> StatusOr<std::vector<Tuple>> {
       // The materialized path view is pruned by aggregate selection; its
       // stable projection is the min-cost tuple per (src, dst).
@@ -279,21 +296,21 @@ class RegionAdapter : public QueryRuntime {
   RegionAdapter(const PlanSpec& plan, const EngineOptions& options)
       : plan_(plan), rt_(*options.field, options.runtime) {}
 
-  Status Insert(const std::string& relation, const Tuple& fact) override {
+  Status InsertFact(const std::string& relation, const Tuple& fact) override {
     RECNET_RETURN_IF_ERROR(CheckTrigger(relation, fact));
     rt_.Trigger(static_cast<int>(fact.IntAt(0)));
     return Status::OK();
   }
 
-  Status Delete(const std::string& relation, const Tuple& fact) override {
+  Status DeleteFact(const std::string& relation, const Tuple& fact) override {
     RECNET_RETURN_IF_ERROR(CheckTrigger(relation, fact));
     rt_.Untrigger(static_cast<int>(fact.IntAt(0)));
     return Status::OK();
   }
 
-  Status Apply() override { return RunToFixpoint(&rt_); }
+  Status ApplyUpdates() override { return RunToFixpoint(&rt_); }
 
-  StatusOr<std::vector<Tuple>> Scan(const std::string& view) const override {
+  StatusOr<std::vector<Tuple>> ScanView(const std::string& view) const override {
     return ScanByName(plan_, view, [this]() -> StatusOr<std::vector<Tuple>> {
       std::vector<Tuple> out;
       for (int r = 0; r < rt_.num_regions(); ++r) {
@@ -382,20 +399,65 @@ std::map<PlanKind, RuntimeFactory>& Registry() {
 
 }  // namespace
 
+// --- Caching layer (QueryRuntime public entry points) ------------------------
+
+Status QueryRuntime::Insert(const std::string& relation, const Tuple& fact) {
+  InvalidateViewCaches();
+  return InsertFact(relation, fact);
+}
+
+Status QueryRuntime::Delete(const std::string& relation, const Tuple& fact) {
+  InvalidateViewCaches();
+  return DeleteFact(relation, fact);
+}
+
+Status QueryRuntime::Apply() {
+  InvalidateViewCaches();
+  return ApplyUpdates();
+}
+
+StatusOr<QueryRuntime::ViewCache*> QueryRuntime::CacheFor(
+    const std::string& view) const {
+  auto it = view_caches_.find(view);
+  if (it != view_caches_.end()) return &it->second;
+  StatusOr<std::vector<Tuple>> rows = ScanView(view);
+  if (!rows.ok()) return rows.status();
+  ViewCache& cache = view_caches_[view];
+  cache.rows = std::move(rows).value();
+  return &cache;
+}
+
+StatusOr<std::vector<Tuple>> QueryRuntime::Scan(const std::string& view) const {
+  StatusOr<ViewCache*> cache = CacheFor(view);
+  if (!cache.ok()) return cache.status();
+  return cache.value()->rows;
+}
+
 StatusOr<Tuple> QueryRuntime::Lookup(const std::string& view,
                                      const Tuple& key) const {
-  StatusOr<std::vector<Tuple>> rows = Scan(view);
-  if (!rows.ok()) return rows.status();
-  for (const Tuple& row : rows.value()) {
-    if (row.size() < key.size()) continue;
-    bool match = true;
-    for (size_t i = 0; i < key.size(); ++i) {
-      if (!ValuesEqualNumeric(row.at(i), key.at(i))) match = false;
+  StatusOr<ViewCache*> cache_or = CacheFor(view);
+  if (!cache_or.ok()) return cache_or.status();
+  ViewCache* cache = cache_or.value();
+  auto idx_it = cache->index.find(key.size());
+  if (idx_it == cache->index.end()) {
+    // First probe with this key length: index the cached rows by normalized
+    // prefix. emplace keeps the first row per prefix, preserving the
+    // first-match-in-scan-order contract of the old linear search.
+    std::unordered_map<Tuple, size_t, TupleHash> built;
+    built.reserve(cache->rows.size());
+    for (size_t i = 0; i < cache->rows.size(); ++i) {
+      const Tuple& row = cache->rows[i];
+      if (row.size() < key.size()) continue;
+      built.emplace(NormalizedPrefix(row, key.size()), i);
     }
-    if (match) return row;
+    idx_it = cache->index.emplace(key.size(), std::move(built)).first;
   }
-  return Status::NotFound("no tuple matching " + key.ToString() +
-                          " in view '" + view + "'");
+  auto hit = idx_it->second.find(NormalizedPrefix(key, key.size()));
+  if (hit == idx_it->second.end()) {
+    return Status::NotFound("no tuple matching " + key.ToString() +
+                            " in view '" + view + "'");
+  }
+  return cache->rows[hit->second];
 }
 
 StatusOr<std::vector<Tuple>> QueryRuntime::Explain(

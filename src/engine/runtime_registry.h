@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -34,27 +35,38 @@ struct EngineOptions {
 // distributed runtimes (ReachableRuntime, ShortestPathRuntime,
 // RegionRuntime) and translate generic relation-name-keyed facts onto its
 // native ingestion calls.
+//
+// View reads are served from materialized per-view caches: the first Scan
+// of a view enumerates the runtime's partitions once (ScanView) and caches
+// the rows; Lookup consults a lazily built hash index over the cached rows
+// instead of a linear search. Every mutation entry point — Insert, Delete
+// (including the soft-state TTL expirations the engine converts to
+// deletions), and Apply — invalidates the caches, so reads between updates
+// are O(1) amortized and never stale.
 class QueryRuntime {
  public:
   virtual ~QueryRuntime() = default;
 
   // Enqueues an insertion / deletion of `fact` into the named base
   // relation. Updates propagate on the next Apply().
-  virtual Status Insert(const std::string& relation, const Tuple& fact) = 0;
-  virtual Status Delete(const std::string& relation, const Tuple& fact) = 0;
+  Status Insert(const std::string& relation, const Tuple& fact);
+  Status Delete(const std::string& relation, const Tuple& fact);
 
   // Runs the distributed dataflow to fixpoint. ResourceExhausted when the
   // message or time budget was exceeded before convergence.
-  virtual Status Apply() = 0;
+  Status Apply();
 
   // All tuples of the recursive view or of a declared aggregate view, in
-  // deterministic (sorted) order. NotFound for unknown view names.
-  virtual StatusOr<std::vector<Tuple>> Scan(const std::string& view) const = 0;
+  // deterministic (sorted) order. NotFound for unknown view names. Served
+  // from the materialized cache after the first call.
+  StatusOr<std::vector<Tuple>> Scan(const std::string& view) const;
 
   // First tuple of `view` whose leading columns equal `key` (the full tuple
   // for the recursive view, the group-by columns for an aggregate view).
   // Adapters may return auxiliary runtime-maintained columns beyond the
-  // declared arity (the path runtime's vec / length attributes).
+  // declared arity (the path runtime's vec / length attributes). The
+  // default is a hash-index probe over the cached scan; adapters override
+  // to surface native runtime state.
   virtual StatusOr<Tuple> Lookup(const std::string& view,
                                  const Tuple& key) const;
 
@@ -66,6 +78,38 @@ class QueryRuntime {
   virtual void ResetMetrics() = 0;
   virtual bool converged() const = 0;
   virtual const RuntimeOptions& options() const = 0;
+
+ protected:
+  // --- Implementation interface (wrapped by the caching layer above) -------
+
+  virtual Status InsertFact(const std::string& relation,
+                            const Tuple& fact) = 0;
+  virtual Status DeleteFact(const std::string& relation,
+                            const Tuple& fact) = 0;
+  virtual Status ApplyUpdates() = 0;
+  // Enumerates `view` from runtime state (the expensive partition sweep the
+  // cache amortizes).
+  virtual StatusOr<std::vector<Tuple>> ScanView(
+      const std::string& view) const = 0;
+
+  // For adapters whose native accessors mutate view state outside the
+  // wrapped entry points (none today; defensive hook).
+  void InvalidateViewCaches() const { view_caches_.clear(); }
+
+ private:
+  struct ViewCache {
+    std::vector<Tuple> rows;
+    // Lookup indexes, built lazily per probed key length: normalized key
+    // prefix -> index of the first matching row.
+    std::unordered_map<size_t, std::unordered_map<Tuple, size_t, TupleHash>>
+        index;
+  };
+
+  // Returns the cache entry for `view`, materializing it via ScanView on
+  // first use.
+  StatusOr<ViewCache*> CacheFor(const std::string& view) const;
+
+  mutable std::unordered_map<std::string, ViewCache> view_caches_;
 };
 
 // Evaluates a declared aggregate view over the scanned contents of the

@@ -60,15 +60,20 @@ ShortestPathRuntime::ShortestPathRuntime(int num_nodes,
   for (int n = 0; n < num_nodes; ++n) {
     NodeState& state = nodes_[static_cast<size_t>(n)];
     state.fix = std::make_unique<Fixpoint>(opts_.prov);
+    // Aggregate selection prunes the path view towards one surviving tuple
+    // per (src, dst); size the operator tables for that bound up front.
+    state.fix->Reserve(static_cast<size_t>(num_nodes));
     state.join = std::make_unique<PipelinedHashJoin>(
         opts_.prov, std::vector<size_t>{1}, std::vector<size_t>{kSrc},
         CombineLinkPath);
+    state.join->Reserve(static_cast<size_t>(num_nodes));
     state.ship = std::make_unique<MinShip>(
         opts_.prov, opts_.ship, opts_.batch_window,
         [this, n](const Tuple& tuple, const Prov& pv) {
           LogicalNode dest = static_cast<LogicalNode>(tuple.IntAt(kSrc));
           ShipInsert(n, dest, kPortFix, tuple, pv);
         });
+    state.ship->Reserve(static_cast<size_t>(num_nodes));
     if (policy_ != AggSelPolicy::kNone) {
       state.agg_fix = std::make_unique<AggSel>(
           opts_.prov, std::vector<size_t>{kSrc, kDst}, AggSpecs());

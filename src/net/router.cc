@@ -1,5 +1,7 @@
 #include "net/router.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace recnet {
@@ -13,6 +15,9 @@ void NetworkStats::Reset() {
   kill_messages = 0;
   prov_bytes = 0;
   prov_samples = 0;
+  batches = 0;
+  aborted_runs = 0;
+  dropped_messages = 0;
   std::fill(per_peer_bytes.begin(), per_peer_bytes.end(), 0);
 }
 
@@ -23,50 +28,100 @@ Router::Router(int num_logical, int num_physical)
   stats_.per_peer_bytes.assign(static_cast<size_t>(num_physical), 0);
 }
 
-void Router::Send(LogicalNode src, LogicalNode dst, int port, Update update) {
+void Router::ChargeSend(LogicalNode src, LogicalNode dst,
+                        const Update& update) {
   RECNET_DCHECK(src >= 0 && src < num_logical_);
   RECNET_DCHECK(dst >= 0 && dst < num_logical_);
   if (PhysicalOf(src) == PhysicalOf(dst)) {
     ++stats_.local_messages;
-  } else {
-    size_t wire = update.WireSizeBytes();
-    ++stats_.messages;
-    stats_.bytes += wire;
-    stats_.per_peer_bytes[PhysicalOf(src)] += wire;
-    switch (update.type) {
-      case UpdateType::kInsert:
-        ++stats_.insert_messages;
-        stats_.prov_bytes += update.pv.WireSizeBytes();
-        ++stats_.prov_samples;
-        break;
-      case UpdateType::kDelete:
-        ++stats_.delete_messages;
-        break;
-      case UpdateType::kKill:
-        ++stats_.kill_messages;
-        break;
-    }
+    return;
   }
-  queue_.push_back(Envelope{src, dst, port, std::move(update)});
+  size_t wire = update.WireSizeBytes();
+  ++stats_.messages;
+  stats_.bytes += wire;
+  stats_.per_peer_bytes[PhysicalOf(src)] += wire;
+  switch (update.type) {
+    case UpdateType::kInsert:
+      ++stats_.insert_messages;
+      stats_.prov_bytes += update.pv.WireSizeBytes();
+      ++stats_.prov_samples;
+      break;
+    case UpdateType::kDelete:
+      ++stats_.delete_messages;
+      break;
+    case UpdateType::kKill:
+      ++stats_.kill_messages;
+      break;
+  }
 }
 
-bool Router::Step() {
-  if (queue_.empty()) return false;
-  Envelope env = std::move(queue_.front());
-  queue_.pop_front();
-  ++delivered_;
-  RECNET_CHECK(handler_ != nullptr);
-  handler_(env);
+void Router::Send(LogicalNode src, LogicalNode dst, int port, Update update) {
+  ChargeSend(src, dst, update);
+  inbox_.push_back(Envelope{src, dst, port, std::move(update)});
+}
+
+void Router::SendBatch(LogicalNode src, LogicalNode dst, int port,
+                       std::vector<Update> updates) {
+  inbox_.reserve(inbox_.size() + updates.size());
+  for (Update& update : updates) {
+    ChargeSend(src, dst, update);
+    inbox_.push_back(Envelope{src, dst, port, std::move(update)});
+  }
+}
+
+bool Router::Refill() {
+  if (head_ < current_.size()) return true;
+  if (inbox_.empty()) return false;
+  current_.clear();
+  head_ = 0;
+  std::swap(current_, inbox_);
   return true;
+}
+
+bool Router::Step() { return StepBatch(1) == 1; }
+
+size_t Router::StepBatch(size_t max_n) {
+  if (max_n == 0 || !Refill()) return 0;
+  size_t start = head_;
+  size_t end = start + 1;
+  if (batching_) {
+    LogicalNode dst = current_[start].dst;
+    size_t limit = std::min(current_.size(), start + max_n);
+    while (end < limit && current_[end].dst == dst) ++end;
+  }
+  size_t n = end - start;
+  head_ = end;
+  delivered_ += n;
+  ++stats_.batches;
+  // Handlers may Send during dispatch; those enqueue into inbox_, so the
+  // run we are pointing into cannot move under us.
+  if (batch_handler_ != nullptr) {
+    batch_handler_(&current_[start], n);
+  } else {
+    RECNET_CHECK(handler_ != nullptr);
+    for (size_t i = start; i < end; ++i) handler_(current_[i]);
+  }
+  return n;
 }
 
 bool Router::RunUntilQuiescent(uint64_t max_messages) {
-  uint64_t start = delivered_;
-  while (!queue_.empty()) {
-    if (delivered_ - start >= max_messages) return false;
-    Step();
+  uint64_t done = 0;
+  while (pending() > 0) {
+    if (done >= max_messages) {
+      AbortRun();
+      return false;
+    }
+    done += StepBatch(static_cast<size_t>(max_messages - done));
   }
   return true;
+}
+
+void Router::AbortRun() {
+  stats_.dropped_messages += pending();
+  ++stats_.aborted_runs;
+  current_.clear();
+  head_ = 0;
+  inbox_.clear();
 }
 
 }  // namespace recnet

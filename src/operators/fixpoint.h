@@ -30,6 +30,10 @@ class Fixpoint {
 
   ProvMode mode() const { return mode_; }
 
+  // Pre-sizes the view table for an expected partition cardinality (derived
+  // from topology size), avoiding rehash cascades on the insert hot path.
+  void Reserve(size_t expected_tuples) { view_.reserve(expected_tuples); }
+
   // Handles an insertion u = (tuple, pv). Returns the delta provenance to
   // propagate (the whole pv for a first derivation; newPv ∧ ¬oldPv for a
   // merged one), or nullopt when the new derivation was fully absorbed.

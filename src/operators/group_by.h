@@ -34,6 +34,10 @@ class GroupByAggregate {
   GroupByAggregate(std::vector<size_t> group_cols,
                    std::vector<GroupAggSpec> aggs);
 
+  // Pre-sizes the group table for the expected number of groups (derived
+  // from topology size) instead of growing from empty.
+  void Reserve(size_t expected_groups) { groups_.reserve(expected_groups); }
+
   void OnInsert(const Tuple& tuple);
   void OnDelete(const Tuple& tuple);
 

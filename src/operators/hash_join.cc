@@ -14,6 +14,13 @@ PipelinedHashJoin::PipelinedHashJoin(ProvMode mode,
   RECNET_CHECK_EQ(side_[kLeft].key.size(), side_[kRight].key.size());
 }
 
+void PipelinedHashJoin::Reserve(size_t expected_per_side) {
+  for (SideState& s : side_) {
+    s.index.reserve(expected_per_side);
+    s.prov.reserve(expected_per_side);
+  }
+}
+
 Tuple PipelinedHashJoin::KeyOf(const SideState& s, const Tuple& t) const {
   std::vector<Value> key_values;
   key_values.reserve(s.key.size());

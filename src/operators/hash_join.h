@@ -35,6 +35,10 @@ class PipelinedHashJoin {
   PipelinedHashJoin(ProvMode mode, std::vector<size_t> left_key,
                     std::vector<size_t> right_key, CombineFn combine);
 
+  // Pre-sizes both sides' hash tables for the expected stored tuple count
+  // per side (derived from topology size) instead of growing from empty.
+  void Reserve(size_t expected_per_side);
+
   // Inserts (tuple, delta_pv) on `side`; returns joined insertions.
   std::vector<Update> ProcessInsert(Side side, const Tuple& tuple,
                                     const Prov& delta_pv);

@@ -44,6 +44,12 @@ class MinShip {
   MinShip(ProvMode prov_mode, ShipMode ship_mode, size_t batch_window,
           SendFn send);
 
+  // Pre-sizes the shipped/buffered tables for an expected tuple count.
+  void Reserve(size_t expected_tuples) {
+    bsent_.reserve(expected_tuples);
+    pins_.reserve(expected_tuples);
+  }
+
   // Algorithm 3 main loop body for an insertion.
   void ProcessInsert(const Tuple& tuple, const Prov& pv);
 

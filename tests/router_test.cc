@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/metrics.h"
+#include "engine/reachable_runtime.h"
 #include "engine/runtime_base.h"
 
 namespace recnet {
@@ -50,6 +51,63 @@ TEST(RouterTest, BudgetExhaustionReturnsFalse) {
   router.Send(0, 1, kPortFix, Ins(Tuple::OfInts({1})));
   EXPECT_FALSE(router.RunUntilQuiescent(50));
   EXPECT_GE(router.delivered(), 50u);
+}
+
+TEST(RouterTest, BudgetExhaustionDropsQueueAndRecordsAbort) {
+  Router router(2, 2);
+  router.set_handler([&](const Envelope& env) {
+    router.Send(env.dst, env.src, kPortFix, Ins(Tuple::OfInts({1})));
+  });
+  router.Send(0, 1, kPortFix, Ins(Tuple::OfInts({1})));
+  EXPECT_FALSE(router.RunUntilQuiescent(50));
+  // The aborted run is explicit: no stale queue survives that a later run
+  // could silently resume from, and the abort is visible in the stats.
+  EXPECT_EQ(router.pending(), 0u);
+  EXPECT_EQ(router.stats().aborted_runs, 1u);
+  EXPECT_GE(router.stats().dropped_messages, 1u);
+}
+
+TEST(RouterTest, BatchDeliveryCoalescesSameDestinationRuns) {
+  Router router(4, 4);
+  std::vector<size_t> batch_sizes;
+  std::vector<int64_t> order;
+  router.set_batch_handler([&](const Envelope* envs, size_t n) {
+    batch_sizes.push_back(n);
+    for (size_t i = 0; i < n; ++i) order.push_back(envs[i].update.tuple.IntAt(0));
+  });
+  // Three to node 1, then two to node 2, then one more to node 1.
+  for (int64_t i = 0; i < 3; ++i) {
+    router.Send(0, 1, kPortFix, Ins(Tuple::OfInts({i})));
+  }
+  for (int64_t i = 3; i < 5; ++i) {
+    router.Send(0, 2, kPortFix, Ins(Tuple::OfInts({i})));
+  }
+  router.Send(0, 1, kPortFix, Ins(Tuple::OfInts({5})));
+  EXPECT_TRUE(router.RunUntilQuiescent(100));
+  // FIFO order is preserved exactly; only the dispatch is coalesced.
+  EXPECT_EQ(order, (std::vector<int64_t>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(batch_sizes, (std::vector<size_t>{3, 2, 1}));
+  EXPECT_EQ(router.stats().batches, 3u);
+}
+
+TEST(RouterTest, SendBatchChargedLikeIndividualSends) {
+  Router a(4, 2);
+  Router b(4, 2);
+  a.set_handler([](const Envelope&) {});
+  b.set_handler([](const Envelope&) {});
+  std::vector<Update> batch;
+  for (int64_t i = 0; i < 4; ++i) {
+    a.Send(0, 1, kPortFix, Ins(Tuple::OfInts({i})));
+    batch.push_back(Ins(Tuple::OfInts({i})));
+  }
+  b.SendBatch(0, 1, kPortFix, std::move(batch));
+  EXPECT_EQ(a.stats().messages, b.stats().messages);
+  EXPECT_EQ(a.stats().bytes, b.stats().bytes);
+  EXPECT_EQ(a.stats().insert_messages, b.stats().insert_messages);
+  EXPECT_EQ(a.pending(), b.pending());
+  EXPECT_TRUE(a.RunUntilQuiescent(10));
+  EXPECT_TRUE(b.RunUntilQuiescent(10));
+  EXPECT_EQ(a.delivered(), b.delivered());
 }
 
 TEST(RouterTest, LocalMessagesAreFreeOnTheWire) {
@@ -100,6 +158,46 @@ TEST(RouterTest, ResetClearsCounters) {
   router.stats().Reset();
   EXPECT_EQ(router.stats().messages, 0u);
   EXPECT_EQ(router.stats().bytes, 0u);
+}
+
+// Batched delivery is a dispatch optimization only: for the same workload
+// the traffic counters must be bit-identical to unbatched execution (the
+// figure-7 reproducibility contract), across all maintenance strategies.
+TEST(RouterTest, BatchedRunMatchesUnbatchedNetworkStats) {
+  for (ProvMode prov :
+       {ProvMode::kAbsorption, ProvMode::kRelative, ProvMode::kSet}) {
+    NetworkStats stats[2];
+    size_t view_size[2];
+    for (int batched = 0; batched < 2; ++batched) {
+      RuntimeOptions opts;
+      opts.prov = prov;
+      opts.num_physical = 3;
+      opts.batch_delivery = batched == 1;
+      ReachableRuntime rt(8, opts);
+      for (int i = 0; i < 8; ++i) {
+        rt.InsertLink(i, (i + 1) % 8);
+        rt.InsertLink(i, (i + 3) % 8);
+      }
+      ASSERT_TRUE(rt.Run());
+      rt.DeleteLink(2, 3);
+      rt.DeleteLink(5, 6);
+      ASSERT_TRUE(rt.Run());
+      stats[batched] = rt.router().stats();
+      view_size[batched] = rt.ViewSize();
+    }
+    EXPECT_EQ(view_size[0], view_size[1]);
+    EXPECT_EQ(stats[0].messages, stats[1].messages);
+    EXPECT_EQ(stats[0].bytes, stats[1].bytes);
+    EXPECT_EQ(stats[0].local_messages, stats[1].local_messages);
+    EXPECT_EQ(stats[0].insert_messages, stats[1].insert_messages);
+    EXPECT_EQ(stats[0].delete_messages, stats[1].delete_messages);
+    EXPECT_EQ(stats[0].kill_messages, stats[1].kill_messages);
+    EXPECT_EQ(stats[0].prov_bytes, stats[1].prov_bytes);
+    EXPECT_EQ(stats[0].prov_samples, stats[1].prov_samples);
+    EXPECT_EQ(stats[0].per_peer_bytes, stats[1].per_peer_bytes);
+    // Coalescing is the only permitted difference.
+    EXPECT_LE(stats[1].batches, stats[0].batches);
+  }
 }
 
 TEST(MetricsTest, SimSecondsScalesWithPeers) {

@@ -1,0 +1,227 @@
+// Invalidation coverage for the QueryRuntime scan caches and lookup
+// indexes: cached Scan / Lookup results must reflect Apply batches,
+// deletions, and soft-state TTL expiry across all three runtimes
+// (reachable, shortest path, region).
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "topology/sensor_grid.h"
+
+namespace recnet {
+namespace {
+
+constexpr char kReachable[] = R"(
+  reachable(x,y) :- link(x,y).
+  reachable(x,y) :- link(x,z), reachable(z,y).
+  fanout(x,count<y>) :- reachable(x,y).
+)";
+
+constexpr char kShortestPath[] = R"(
+  path(x,y,c) :- link(x,y,c).
+  path(x,y,c) :- link(x,z,c), path(z,y,c2).
+  minCost(x,y,min<c>) :- path(x,y,c).
+)";
+
+constexpr char kRegion[] = R"(
+  activeRegion(r,x) :- seed(r,x), triggered(x).
+  activeRegion(r,y) :- activeRegion(r,x), triggered(x), near(x,y).
+  regionSizes(r,count<x>) :- activeRegion(r,x).
+)";
+
+EngineOptions GraphOptions(int num_nodes, ProvMode prov) {
+  EngineOptions options;
+  options.num_nodes = num_nodes;
+  options.runtime.prov = prov;
+  options.runtime.num_physical = 4;
+  return options;
+}
+
+class ScanCacheProvTest : public ::testing::TestWithParam<ProvMode> {};
+
+INSTANTIATE_TEST_SUITE_P(AllProvModes, ScanCacheProvTest,
+                         ::testing::Values(ProvMode::kAbsorption,
+                                           ProvMode::kRelative,
+                                           ProvMode::kSet),
+                         [](const ::testing::TestParamInfo<ProvMode>& info) {
+                           return ProvModeName(info.param);
+                         });
+
+TEST_P(ScanCacheProvTest, ReachableScanReflectsApplyBatches) {
+  auto engine = Engine::Compile(kReachable, GraphOptions(5, GetParam()));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Engine& e = **engine;
+  ASSERT_TRUE(e.Insert("link", {0, 1}).ok());
+  ASSERT_TRUE(e.Insert("link", {1, 2}).ok());
+  ASSERT_TRUE(e.Apply().ok());
+
+  // Repeated reads hit the materialized cache and agree with each other.
+  auto first = e.Scan("reachable");
+  ASSERT_TRUE(first.ok());
+  auto second = e.Scan("reachable");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ(first->size(), 3u);  // (0,1) (0,2) (1,2).
+  EXPECT_TRUE(*e.Contains("reachable", {0, 2}));
+
+  // A new Apply batch must show up in subsequent scans and lookups.
+  ASSERT_TRUE(e.Insert("link", {2, 3}).ok());
+  ASSERT_TRUE(e.Insert("link", {3, 4}).ok());
+  ASSERT_TRUE(e.Apply().ok());
+  auto grown = e.Scan("reachable");
+  ASSERT_TRUE(grown.ok());
+  EXPECT_EQ(grown->size(), 10u);  // Full chain closure over 5 nodes.
+  EXPECT_TRUE(*e.Contains("reachable", {0, 4}));
+
+  // Deletion invalidates both the scan rows and the lookup index.
+  ASSERT_TRUE(e.Delete("link", {1, 2}).ok());
+  ASSERT_TRUE(e.Apply().ok());
+  EXPECT_FALSE(*e.Contains("reachable", {0, 2}));
+  EXPECT_FALSE(*e.Contains("reachable", {0, 4}));
+  auto shrunk = e.Scan("reachable");
+  ASSERT_TRUE(shrunk.ok());
+  EXPECT_LT(shrunk->size(), grown->size());
+}
+
+TEST_P(ScanCacheProvTest, AggregateViewCacheInvalidates) {
+  auto engine = Engine::Compile(kReachable, GraphOptions(4, GetParam()));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Engine& e = **engine;
+  ASSERT_TRUE(e.Insert("link", {0, 1}).ok());
+  ASSERT_TRUE(e.Insert("link", {0, 2}).ok());
+  ASSERT_TRUE(e.Apply().ok());
+
+  auto fanout = e.Lookup("fanout", {0});
+  ASSERT_TRUE(fanout.ok());
+  EXPECT_EQ(fanout->IntAt(1), 2);
+
+  ASSERT_TRUE(e.Insert("link", {0, 3}).ok());
+  ASSERT_TRUE(e.Apply().ok());
+  fanout = e.Lookup("fanout", {0});
+  ASSERT_TRUE(fanout.ok());
+  EXPECT_EQ(fanout->IntAt(1), 3);
+
+  ASSERT_TRUE(e.Delete("link", {0, 1}).ok());
+  ASSERT_TRUE(e.Delete("link", {0, 2}).ok());
+  ASSERT_TRUE(e.Delete("link", {0, 3}).ok());
+  ASSERT_TRUE(e.Apply().ok());
+  EXPECT_FALSE(e.Lookup("fanout", {0}).ok());
+}
+
+TEST_P(ScanCacheProvTest, TtlExpiryInvalidatesCachedScans) {
+  auto engine = Engine::Compile(kReachable, GraphOptions(4, GetParam()));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Engine& e = **engine;
+  ASSERT_TRUE(e.Insert("link", {0, 1}).ok());
+  ASSERT_TRUE(e.InsertWithTtl("link", Tuple::OfInts({1, 2}), 5.0).ok());
+  ASSERT_TRUE(e.Apply().ok());
+  EXPECT_TRUE(*e.Contains("reachable", {0, 2}));
+  auto before = e.Scan("reachable");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->size(), 3u);
+
+  // Advancing past the deadline expires the soft-state link; the expiry is
+  // an ordinary deletion and must purge the cached scan and lookup index.
+  ASSERT_TRUE(e.AdvanceTime(6.0).ok());
+  ASSERT_TRUE(e.Apply().ok());
+  EXPECT_FALSE(*e.Contains("reachable", {0, 2}));
+  EXPECT_FALSE(*e.Contains("reachable", {1, 2}));
+  auto after = e.Scan("reachable");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), 1u);  // Only (0,1) survives.
+}
+
+TEST(ScanCacheTest, ShortestPathLookupTracksDeletions) {
+  auto engine =
+      Engine::Compile(kShortestPath, GraphOptions(4, ProvMode::kAbsorption));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Engine& e = **engine;
+  ASSERT_TRUE(e.Insert("link", {0, 1, 1.0}).ok());
+  ASSERT_TRUE(e.Insert("link", {1, 2, 1.0}).ok());
+  ASSERT_TRUE(e.Insert("link", {0, 2, 5.0}).ok());
+  ASSERT_TRUE(e.Apply().ok());
+
+  auto cost = e.Lookup("minCost", {0, 2});
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(cost->DoubleAt(2), 2.0);
+
+  // Deleting the cheap relay must re-route lookups through the direct link.
+  ASSERT_TRUE(e.Delete("link", {1, 2}).ok());
+  ASSERT_TRUE(e.Apply().ok());
+  cost = e.Lookup("minCost", {0, 2});
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(cost->DoubleAt(2), 5.0);
+
+  ASSERT_TRUE(e.Delete("link", {0, 2}).ok());
+  ASSERT_TRUE(e.Apply().ok());
+  EXPECT_FALSE(e.Lookup("minCost", {0, 2}).ok());
+}
+
+TEST(ScanCacheTest, LookupIndexNormalizesNumericKeys) {
+  auto engine =
+      Engine::Compile(kShortestPath, GraphOptions(3, ProvMode::kAbsorption));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Engine& e = **engine;
+  ASSERT_TRUE(e.Insert("link", {0, 1, 2.5}).ok());
+  ASSERT_TRUE(e.Apply().ok());
+
+  // The aggregate view stores (int, int, double); probing the hash index
+  // with double-typed key columns must still hit (numeric normalization).
+  auto by_double = e.Lookup("minCost", Tuple({Value(0.0), Value(1.0)}));
+  ASSERT_TRUE(by_double.ok()) << by_double.status().ToString();
+  EXPECT_DOUBLE_EQ(by_double->DoubleAt(2), 2.5);
+  auto by_int = e.Lookup("minCost", Tuple::OfInts({0, 1}));
+  ASSERT_TRUE(by_int.ok());
+  EXPECT_EQ(*by_double, *by_int);
+}
+
+TEST(ScanCacheTest, RegionScansTrackTriggerChanges) {
+  SensorGridOptions grid;
+  grid.grid_dim = 4;
+  grid.num_seeds = 2;
+  grid.seed = 7;
+  EngineOptions options;
+  options.field = MakeSensorGrid(grid);
+  options.runtime.prov = ProvMode::kAbsorption;
+  options.runtime.num_physical = 4;
+
+  auto engine = Engine::Compile(kRegion, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Engine& e = **engine;
+  int seed0 = options.field->seed_sensors[0];
+  ASSERT_TRUE(e.Insert("triggered", {double(seed0)}).ok());
+  ASSERT_TRUE(e.Apply().ok());
+
+  auto members = e.Scan("activeRegion");
+  ASSERT_TRUE(members.ok());
+  size_t seed_only = members->size();
+  EXPECT_GE(seed_only, 1u);
+  auto size0 = e.Lookup("regionSizes", {0});
+  ASSERT_TRUE(size0.ok());
+
+  // Triggering the neighborhood grows the cached region view.
+  for (int nb : options.field->neighbors[static_cast<size_t>(seed0)]) {
+    ASSERT_TRUE(e.Insert("triggered", {double(nb)}).ok());
+  }
+  ASSERT_TRUE(e.Apply().ok());
+  members = e.Scan("activeRegion");
+  ASSERT_TRUE(members.ok());
+  EXPECT_GT(members->size(), seed_only);
+  auto grown0 = e.Lookup("regionSizes", {0});
+  ASSERT_TRUE(grown0.ok());
+  EXPECT_GT(grown0->IntAt(1), size0->IntAt(1));
+
+  // Untriggering everything empties the cached view and its index.
+  ASSERT_TRUE(e.Delete("triggered", {double(seed0)}).ok());
+  for (int nb : options.field->neighbors[static_cast<size_t>(seed0)]) {
+    ASSERT_TRUE(e.Delete("triggered", {double(nb)}).ok());
+  }
+  ASSERT_TRUE(e.Apply().ok());
+  auto emptied = e.Scan("activeRegion");
+  ASSERT_TRUE(emptied.ok());
+  EXPECT_TRUE(emptied->empty());
+  EXPECT_FALSE(e.Lookup("regionSizes", {0}).ok());
+}
+
+}  // namespace
+}  // namespace recnet
