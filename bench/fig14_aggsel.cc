@@ -45,6 +45,13 @@ RunMetrics Sum(const RunMetrics& a, const RunMetrics& b) {
   out.wall_seconds += b.wall_seconds;
   out.sim_seconds += b.sim_seconds;
   out.messages += b.messages;
+  out.kill_messages += b.kill_messages;
+  out.batches += b.batches;
+  // A summed cell is tagged exactly like a single-run cell: converged only
+  // if both executions converged, with the abort accounting carried over so
+  // a non-converged cell always shows aborted_runs > 0.
+  out.aborted_runs += b.aborted_runs;
+  out.dropped_messages += b.dropped_messages;
   out.per_tuple_prov_bytes =
       (a.per_tuple_prov_bytes + b.per_tuple_prov_bytes) / 2;
   out.converged = a.converged && b.converged;

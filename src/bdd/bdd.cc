@@ -22,6 +22,12 @@ Manager::Manager(const Options& options)
   nodes_.push_back(Node{kTerminalVar, kTrue, kTrue, kNilNode});    // TRUE
   refcount_.assign(2, 1);
   live_nodes_ = 2;
+  // The unique-table buckets and operation caches (several MB) materialize
+  // lazily on the first node creation: set-semantics and relative-mode
+  // engines construct a Manager per run and never build a BDD node.
+}
+
+void Manager::EnsureTables() {
   // Pre-size the bucket array to the GC threshold: the node store grows to
   // at least that many entries before any collection, so starting smaller
   // only buys repeated rehashes of the whole table.
@@ -70,6 +76,7 @@ void Manager::CacheStore(uint64_t key, NodeIndex result) {
 
 NodeIndex Manager::MakeNode(Var var, NodeIndex low, NodeIndex high) {
   if (low == high) return low;  // Reduction rule: redundant test.
+  if (buckets_.empty()) EnsureTables();
   size_t bucket = NodeHash(var, low, high) & (buckets_.size() - 1);
   for (NodeIndex n = buckets_[bucket]; n != kNilNode; n = nodes_[n].next) {
     const Node& node = nodes_[n];
@@ -151,12 +158,10 @@ NodeIndex Manager::Restrict(NodeIndex f, Var v, bool value) {
 }
 
 NodeIndex Manager::Diff(NodeIndex a, NodeIndex b) {
-  // Pin the intermediate: And() may garbage-collect on entry, and the
-  // complement of b has no external reference yet.
-  NodeIndex not_b = Not(b);
-  Ref(not_b);
-  NodeIndex r = And(a, not_b);
-  Deref(not_b);
+  MaybeGc();
+  in_operation_ = true;
+  NodeIndex r = ApplyDiff(a, b);
+  in_operation_ = false;
   return r;
 }
 
@@ -209,6 +214,29 @@ NodeIndex Manager::ApplyAndOr(Op op, NodeIndex a, NodeIndex b) {
   return r;
 }
 
+NodeIndex Manager::ApplyDiff(NodeIndex a, NodeIndex b) {
+  // Terminal cases of a ∧ ¬b.
+  if (a == kFalse || b == kTrue || a == b) return kFalse;
+  if (b == kFalse) return a;
+  if (a == kTrue) return NotRec(b);
+  uint64_t key = CacheKey(Op::kDiff, a, b);
+  NodeIndex cached;
+  if (CacheLookup(key, &cached)) return cached;
+  // Copy: recursive calls may grow (reallocate) the node store.
+  const Node na = nodes_[a];
+  const Node nb = nodes_[b];
+  Var top = std::min(na.var, nb.var);
+  NodeIndex a_lo = (na.var == top) ? na.low : a;
+  NodeIndex a_hi = (na.var == top) ? na.high : a;
+  NodeIndex b_lo = (nb.var == top) ? nb.low : b;
+  NodeIndex b_hi = (nb.var == top) ? nb.high : b;
+  NodeIndex lo = ApplyDiff(a_lo, b_lo);
+  NodeIndex hi = ApplyDiff(a_hi, b_hi);
+  NodeIndex r = MakeNode(top, lo, hi);
+  CacheStore(key, r);
+  return r;
+}
+
 NodeIndex Manager::NotRec(NodeIndex a) {
   if (a == kFalse) return kTrue;
   if (a == kTrue) return kFalse;
@@ -244,6 +272,11 @@ NodeIndex Manager::RestrictRec(NodeIndex f, Var v, bool value) {
 
 size_t Manager::CountNodes(NodeIndex f) const {
   if (IsTerminal(f)) return 0;
+  // Wire-size accounting calls this once per shipped copy of an
+  // annotation; memoize per root (entries die with the next GC, which is
+  // when indices can be recycled).
+  auto memo = count_memo_.find(f);
+  if (memo != count_memo_.end()) return memo->second;
   BeginTraversal();
   traverse_stack_.push_back(f);
   size_t count = 0;
@@ -255,6 +288,7 @@ size_t Manager::CountNodes(NodeIndex f) const {
     traverse_stack_.push_back(nodes_[n].low);
     traverse_stack_.push_back(nodes_[n].high);
   }
+  count_memo_.emplace(f, count);
   return count;
 }
 
@@ -412,6 +446,9 @@ size_t Manager::GarbageCollect() {
 
 void Manager::ClearCaches() {
   std::fill(op_cache_.begin(), op_cache_.end(), CacheEntry{});
+  // Node indices are recycled after a collection; memoized counts keyed by
+  // root index would go stale.
+  count_memo_.clear();
 }
 
 }  // namespace bdd

@@ -42,7 +42,7 @@ class Manager {
   struct Options {
     // GC is considered when the node store exceeds this many nodes; the
     // threshold doubles whenever a collection frees less than 25%.
-    size_t gc_threshold = 1 << 16;
+    size_t gc_threshold = 1 << 17;
     // Size (entries, power of two) of each direct-mapped operation cache.
     size_t cache_size = 1 << 17;
   };
@@ -137,7 +137,7 @@ class Manager {
     NodeIndex next;
   };
 
-  enum class Op : uint8_t { kAnd = 0, kOr = 1, kNot = 2, kRestrict = 3 };
+  enum class Op : uint8_t { kAnd = 0, kOr = 1, kNot = 2, kRestrict = 3, kDiff = 4 };
 
   struct CacheEntry {
     uint64_t key = ~0ULL;
@@ -157,23 +157,28 @@ class Manager {
   void BeginTraversal() const;
   bool VisitFirst(NodeIndex n) const;
 
+  // Materializes the unique-table buckets and op caches (first node only).
+  void EnsureTables();
   NodeIndex MakeNode(Var var, NodeIndex low, NodeIndex high);
   void GrowBuckets();
   NodeIndex ApplyAndOr(Op op, NodeIndex a, NodeIndex b);
+  // One-pass a ∧ ¬b: the complement of b is never materialized, so a delta
+  // computation costs one apply instead of a full Not plus an And.
+  NodeIndex ApplyDiff(NodeIndex a, NodeIndex b);
   NodeIndex NotRec(NodeIndex a);
   NodeIndex RestrictRec(NodeIndex f, Var v, bool value);
   void MaybeGc();
   void ClearCaches();
 
-  // Injective packing (node indices and operands stay below 2^31): op in
-  // the top bits, a and b in disjoint 31-bit fields. The direct-mapped
+  // Injective packing (node indices and operands stay below 2^30): op in
+  // the top bits, a and b in disjoint 30-bit fields. The direct-mapped
   // cache hashes this key with a full 64-bit mix so entries spread across
   // all slots.
   uint64_t CacheKey(Op op, NodeIndex a, uint64_t b) const {
-    RECNET_DCHECK(b < (1ULL << 31));
-    RECNET_DCHECK(a < (1U << 31));
-    return (static_cast<uint64_t>(op) << 62) |
-           (static_cast<uint64_t>(a) << 31) | b;
+    RECNET_DCHECK(b < (1ULL << 30));
+    RECNET_DCHECK(a < (1U << 30));
+    return (static_cast<uint64_t>(op) << 60) |
+           (static_cast<uint64_t>(a) << 30) | b;
   }
   bool CacheLookup(uint64_t key, NodeIndex* out);
   void CacheStore(uint64_t key, NodeIndex result);
@@ -187,6 +192,9 @@ class Manager {
   std::vector<NodeIndex> buckets_;
   size_t table_entries_ = 0;
   std::vector<CacheEntry> op_cache_;
+  // Root index -> reachable internal-node count (wire-size accounting);
+  // cleared with the op caches whenever GC may recycle indices.
+  mutable std::unordered_map<NodeIndex, size_t> count_memo_;
   mutable std::vector<uint32_t> visit_stamp_;
   mutable uint32_t current_stamp_ = 0;
   mutable std::vector<NodeIndex> traverse_stack_;

@@ -1,0 +1,285 @@
+#ifndef RECNET_COMMON_FLAT_TABLE_H_
+#define RECNET_COMMON_FLAT_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace recnet {
+
+// Flat open-addressing hash table: the shared tuple-table substrate of the
+// operator hot paths (Fixpoint / join / MinShip / AggSel state and the
+// facade's lookup indexes).
+//
+// Layout: a power-of-two probe array of 16-byte slots (precomputed full
+// hash + dense index), linear probing with tombstones, entries packed in a
+// dense array. A probe walks only the compact slot metadata and touches an
+// entry exactly once, on a full-hash match; iteration sweeps the dense
+// array contiguously. Unlike the node-per-element libstdc++ `unordered_map`
+// this replaces, inserts don't allocate per element, and unlike a
+// slot-per-entry flat map, reserving capacity costs 16 bytes per slot no
+// matter how wide the entries are. Hashes are computed once per key and
+// carried in the slots, so growth rehashes never re-hash tuple values.
+//
+// Semantics mirror the `unordered_map` subset the operators use: find /
+// try_emplace / operator[] / at / erase. Erase is swap-with-last in the
+// dense array; `erase(iterator)` returns the iterator to the entry that
+// took the erased entry's place (the not-yet-visited former last entry),
+// which preserves the erase-while-iterating idiom. Iterators stay valid
+// under erases of *other* entries; any insert may rehash and invalidates
+// them. Iteration order is insertion order perturbed by erases —
+// deterministic for a fixed operation sequence, arbitrary otherwise, like
+// the hash containers this replaces.
+template <typename K, typename V, typename HashFn = std::hash<K>>
+class FlatTable {
+  static constexpr int32_t kEmpty = -1;
+  static constexpr int32_t kTomb = -2;
+
+ public:
+  using value_type = std::pair<K, V>;
+
+  template <typename PairT>
+  class Iter {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = std::pair<K, V>;
+    using difference_type = std::ptrdiff_t;
+    using pointer = PairT*;
+    using reference = PairT&;
+
+    Iter() : p_(nullptr) {}
+    explicit Iter(PairT* p) : p_(p) {}
+
+    PairT& operator*() const { return *p_; }
+    PairT* operator->() const { return p_; }
+    Iter& operator++() {
+      ++p_;
+      return *this;
+    }
+    friend bool operator==(const Iter& a, const Iter& b) {
+      return a.p_ == b.p_;
+    }
+    friend bool operator!=(const Iter& a, const Iter& b) {
+      return a.p_ != b.p_;
+    }
+
+   private:
+    friend class FlatTable;
+    PairT* p_;
+  };
+
+  using iterator = Iter<value_type>;
+  using const_iterator = Iter<const value_type>;
+
+  FlatTable() = default;
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  iterator begin() { return iterator(entries_.data()); }
+  iterator end() { return iterator(entries_.data() + entries_.size()); }
+  const_iterator begin() const { return const_iterator(entries_.data()); }
+  const_iterator end() const {
+    return const_iterator(entries_.data() + entries_.size());
+  }
+
+  // Pre-sizes the table so `n` entries fit without growth (wired from
+  // topology size by the operators' Reserve paths).
+  void reserve(size_t n) {
+    entries_.reserve(n);
+    entry_slot_.reserve(n);
+    size_t want = CapacityFor(n);
+    if (want > slots_.size()) Rehash(want);
+  }
+
+  void clear() {
+    std::fill(slots_.begin(), slots_.end(), Slot{0, kEmpty});
+    entries_.clear();
+    entry_slot_.clear();
+    tombs_ = 0;
+  }
+
+  size_t hash_of(const K& key) const { return HashFn()(key); }
+
+  iterator find(const K& key) { return find_hashed(key, hash_of(key)); }
+  const_iterator find(const K& key) const {
+    return find_hashed(key, hash_of(key));
+  }
+  iterator find_hashed(const K& key, size_t hash) {
+    int32_t e = ProbeFind(key, hash);
+    return e < 0 ? end() : iterator(entries_.data() + e);
+  }
+  const_iterator find_hashed(const K& key, size_t hash) const {
+    int32_t e = ProbeFind(key, hash);
+    return e < 0 ? end() : const_iterator(entries_.data() + e);
+  }
+
+  bool contains(const K& key) const {
+    return ProbeFind(key, hash_of(key)) >= 0;
+  }
+
+  V& at(const K& key) {
+    int32_t e = ProbeFind(key, hash_of(key));
+    RECNET_CHECK(e >= 0);
+    return entries_[static_cast<size_t>(e)].second;
+  }
+  const V& at(const K& key) const {
+    int32_t e = ProbeFind(key, hash_of(key));
+    RECNET_CHECK(e >= 0);
+    return entries_[static_cast<size_t>(e)].second;
+  }
+
+  // Inserts (key, V(args...)) if absent; returns {iterator, inserted}. The
+  // mapped value is only constructed on actual insertion.
+  template <typename... Args>
+  std::pair<iterator, bool> try_emplace(const K& key, Args&&... args) {
+    return TryEmplaceHashed(key, hash_of(key), std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  std::pair<iterator, bool> try_emplace_hashed(const K& key, size_t hash,
+                                               Args&&... args) {
+    return TryEmplaceHashed(key, hash, std::forward<Args>(args)...);
+  }
+  // unordered_map-compatible spelling used by the operator code.
+  template <typename... Args>
+  std::pair<iterator, bool> emplace(const K& key, Args&&... args) {
+    return TryEmplaceHashed(key, hash_of(key), std::forward<Args>(args)...);
+  }
+
+  V& operator[](const K& key) { return try_emplace(key).first->second; }
+
+  size_t erase(const K& key) {
+    int32_t e = ProbeFind(key, hash_of(key));
+    if (e < 0) return 0;
+    EraseEntry(static_cast<size_t>(e));
+    return 1;
+  }
+
+  // Erases the pointed-to entry. The former last entry is swapped into its
+  // place, so the returned iterator (same position) continues with the
+  // remaining unvisited entries.
+  iterator erase(iterator it) {
+    EraseEntry(static_cast<size_t>(it.p_ - entries_.data()));
+    return it;
+  }
+
+ private:
+  struct Slot {
+    size_t hash;
+    int32_t entry;  // Dense index, or kEmpty / kTomb.
+  };
+
+  static size_t NextPow2(size_t n) {
+    size_t cap = 16;
+    while (cap < n) cap <<= 1;
+    return cap;
+  }
+  // Smallest power-of-two capacity that keeps `n` entries under the 3/4
+  // load bound.
+  static size_t CapacityFor(size_t n) {
+    size_t cap = 16;
+    while (n * 4 > cap * 3) cap <<= 1;
+    return cap;
+  }
+
+  int32_t ProbeFind(const K& key, size_t hash) const {
+    if (slots_.empty()) return kEmpty;
+    size_t mask = slots_.size() - 1;
+    size_t i = hash & mask;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.entry == kEmpty) return kEmpty;
+      if (s.entry >= 0 && s.hash == hash &&
+          entries_[static_cast<size_t>(s.entry)].first == key) {
+        return s.entry;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  template <typename... Args>
+  std::pair<iterator, bool> TryEmplaceHashed(const K& key, size_t hash,
+                                             Args&&... args) {
+    if (slots_.empty() || (entries_.size() + tombs_ + 1) * 4 > slots_.size() * 3) {
+      // Growth also reclaims tombstones; a tombstone-heavy table re-packs
+      // at the same capacity instead of doubling.
+      Rehash(CapacityFor(entries_.size() + 1) > slots_.size()
+                 ? NextPow2(slots_.size() == 0 ? 16 : slots_.size() * 2)
+                 : slots_.size());
+    }
+    size_t mask = slots_.size() - 1;
+    size_t i = hash & mask;
+    size_t tomb = static_cast<size_t>(-1);
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.entry == kEmpty) break;
+      if (s.entry == kTomb) {
+        if (tomb == static_cast<size_t>(-1)) tomb = i;
+      } else if (s.hash == hash &&
+                 entries_[static_cast<size_t>(s.entry)].first == key) {
+        return {iterator(entries_.data() + s.entry), false};
+      }
+      i = (i + 1) & mask;
+    }
+    if (tomb != static_cast<size_t>(-1)) {
+      i = tomb;
+      --tombs_;
+    }
+    slots_[i] = Slot{hash, static_cast<int32_t>(entries_.size())};
+    entries_.emplace_back(std::piecewise_construct,
+                          std::forward_as_tuple(key),
+                          std::forward_as_tuple(std::forward<Args>(args)...));
+    entry_slot_.push_back(static_cast<uint32_t>(i));
+    return {iterator(entries_.data() + entries_.size() - 1), true};
+  }
+
+  void EraseEntry(size_t e) {
+    RECNET_DCHECK(e < entries_.size());
+    slots_[entry_slot_[e]].entry = kTomb;
+    ++tombs_;
+    size_t last = entries_.size() - 1;
+    if (e != last) {
+      entries_[e] = std::move(entries_[last]);
+      entry_slot_[e] = entry_slot_[last];
+      slots_[entry_slot_[e]].entry = static_cast<int32_t>(e);
+    }
+    entries_.pop_back();
+    entry_slot_.pop_back();
+  }
+
+  void Rehash(size_t new_cap) {
+    if (new_cap < CapacityFor(entries_.size())) {
+      new_cap = CapacityFor(entries_.size());
+    }
+    // Recover each entry's stored hash from its current slot before the
+    // probe array is rebuilt — growth never re-hashes keys.
+    std::vector<size_t> hashes(entries_.size());
+    for (size_t e = 0; e < entries_.size(); ++e) {
+      hashes[e] = slots_[entry_slot_[e]].hash;
+    }
+    slots_.assign(new_cap, Slot{0, kEmpty});
+    tombs_ = 0;
+    size_t mask = new_cap - 1;
+    for (size_t e = 0; e < entries_.size(); ++e) {
+      size_t i = hashes[e] & mask;
+      while (slots_[i].entry != kEmpty) i = (i + 1) & mask;
+      slots_[i] = Slot{hashes[e], static_cast<int32_t>(e)};
+      entry_slot_[e] = static_cast<uint32_t>(i);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<value_type> entries_;
+  // Dense index -> probe-array slot (so erase can tombstone its slot).
+  std::vector<uint32_t> entry_slot_;
+  size_t tombs_ = 0;
+};
+
+}  // namespace recnet
+
+#endif  // RECNET_COMMON_FLAT_TABLE_H_

@@ -1,0 +1,149 @@
+#ifndef RECNET_COMMON_SMALL_VECTOR_H_
+#define RECNET_COMMON_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace recnet {
+
+// Inline-first sequence for the tuple hot path: the first N elements live
+// in raw inline storage (constructed on demand — an empty or two-element
+// sequence touches exactly zero or two slots), longer sequences spill to a
+// heap vector. Network tuples are 2-5 attributes, so with N=5 every tuple
+// construction, copy, move, and message enqueue is allocation-free and
+// proportional to the tuple's actual arity. This is the difference between
+// a Tuple and a heap-backed std::vector<Value> on every router hop.
+//
+// Deliberately minimal: exactly the std::vector surface Tuple and its call
+// sites use (push_back / emplace_back / reserve / iteration / indexing /
+// lexicographic comparison). Moved-from SmallVectors are empty.
+template <typename T, size_t N>
+class SmallVector {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+  SmallVector(const SmallVector& o) : heap_(o.heap_), size_(o.size_) {
+    for (size_t i = 0, n = o.InlineCount(); i < n; ++i) {
+      ::new (Slot(i)) T(o.InlineAt(i));
+    }
+  }
+  SmallVector(SmallVector&& o) noexcept
+      : heap_(std::move(o.heap_)), size_(o.size_) {
+    for (size_t i = 0, n = o.InlineCount(); i < n; ++i) {
+      ::new (Slot(i)) T(std::move(o.InlineAt(i)));
+    }
+    o.DestroyInline();
+    o.size_ = 0;
+    o.heap_.clear();
+  }
+  SmallVector& operator=(const SmallVector& o) {
+    if (this == &o) return *this;
+    DestroyInline();
+    heap_ = o.heap_;
+    size_ = o.size_;
+    for (size_t i = 0, n = o.InlineCount(); i < n; ++i) {
+      ::new (Slot(i)) T(o.InlineAt(i));
+    }
+    return *this;
+  }
+  SmallVector& operator=(SmallVector&& o) noexcept {
+    if (this == &o) return *this;
+    DestroyInline();
+    heap_ = std::move(o.heap_);
+    size_ = o.size_;
+    for (size_t i = 0, n = o.InlineCount(); i < n; ++i) {
+      ::new (Slot(i)) T(std::move(o.InlineAt(i)));
+    }
+    o.DestroyInline();
+    o.size_ = 0;
+    o.heap_.clear();
+    return *this;
+  }
+  ~SmallVector() { DestroyInline(); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void reserve(size_t n) {
+    if (n > N) heap_.reserve(n);
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ < N) {
+      T* p = ::new (Slot(size_)) T(std::forward<Args>(args)...);
+      ++size_;
+      return *p;
+    }
+    if (size_ == N && heap_.empty()) {
+      // Spill: move the inline prefix into the heap buffer once.
+      heap_.reserve(N + 1);
+      for (size_t i = 0; i < N; ++i) heap_.push_back(std::move(InlineAt(i)));
+      DestroyInline();
+    }
+    heap_.emplace_back(std::forward<Args>(args)...);
+    return heap_[size_++];
+  }
+
+  void clear() {
+    DestroyInline();
+    heap_.clear();
+    size_ = 0;
+  }
+
+  T& operator[](size_t i) { return data()[i]; }
+  const T& operator[](size_t i) const { return data()[i]; }
+
+  T* data() {
+    return size_ <= N ? reinterpret_cast<T*>(inline_buf_) : heap_.data();
+  }
+  const T* data() const {
+    return size_ <= N ? reinterpret_cast<const T*>(inline_buf_)
+                      : heap_.data();
+  }
+
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const SmallVector& a, const SmallVector& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const SmallVector& a, const SmallVector& b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                        b.end());
+  }
+
+ private:
+  // Number of live elements in inline storage (0 once spilled).
+  size_t InlineCount() const { return size_ <= N ? size_ : 0; }
+  void* Slot(size_t i) { return inline_buf_ + i * sizeof(T); }
+  T& InlineAt(size_t i) { return reinterpret_cast<T*>(inline_buf_)[i]; }
+  const T& InlineAt(size_t i) const {
+    return reinterpret_cast<const T*>(inline_buf_)[i];
+  }
+  void DestroyInline() {
+    for (size_t i = 0, n = InlineCount(); i < n; ++i) InlineAt(i).~T();
+  }
+
+  alignas(T) unsigned char inline_buf_[N * sizeof(T)];
+  std::vector<T> heap_;
+  size_t size_ = 0;
+};
+
+}  // namespace recnet
+
+#endif  // RECNET_COMMON_SMALL_VECTOR_H_

@@ -21,19 +21,25 @@ std::string Value::ToString() const {
 }
 
 size_t Value::Hash() const {
-  if (is_int()) return static_cast<size_t>(Mix64(0x11 ^ AsInt()));
-  if (is_double()) {
-    double d = AsDouble();
-    uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(d));
-    __builtin_memcpy(&bits, &d, sizeof(bits));
-    return static_cast<size_t>(Mix64(0x22 ^ bits));
+  // Single dispatch on the variant index: this sits under every tuple-table
+  // probe on the hot path.
+  switch (rep_.index()) {
+    case 0:
+      return static_cast<size_t>(Mix64(0x11 ^ std::get<int64_t>(rep_)));
+    case 1: {
+      double d = std::get<double>(rep_);
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return static_cast<size_t>(Mix64(0x22 ^ bits));
+    }
+    default:
+      return HashCombine(0x33, std::hash<std::string>()(AsString()));
   }
-  return HashCombine(0x33, std::hash<std::string>()(AsString()));
 }
 
 Tuple Tuple::OfInts(std::initializer_list<int64_t> ints) {
-  std::vector<Value> values;
+  Values values;
   values.reserve(ints.size());
   for (int64_t v : ints) values.emplace_back(v);
   return Tuple(std::move(values));
@@ -55,7 +61,7 @@ std::string Tuple::ToString() const {
   return out;
 }
 
-size_t Tuple::Hash() const {
+size_t Tuple::ComputeHash() const {
   size_t h = 0x9e3779b9;
   for (const Value& v : values_) h = HashCombine(h, v.Hash());
   return h;

@@ -111,7 +111,12 @@ Status Engine::AdvanceTime(double t) {
     return Status::InvalidArgument("clock cannot run backwards (now=" +
                                    std::to_string(clock_.now()) + ")");
   }
-  for (const Tuple& expired : clock_.AdvanceTo(t)) {
+  std::vector<Tuple> expirations = clock_.AdvanceTo(t);
+  // TTL expiry is the one mutation source outside the incremental delta
+  // flow (deadlines fire from the engine clock, not the dataflow); it stays
+  // a full cache rebuild.
+  if (!expirations.empty()) runtime_->InvalidateCachesForExpiry();
+  for (const Tuple& expired : expirations) {
     std::vector<Value> fact(expired.values().begin() + 1,
                             expired.values().end());
     RECNET_RETURN_IF_ERROR(

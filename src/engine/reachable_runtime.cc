@@ -112,7 +112,7 @@ std::optional<std::pair<LogicalNode, LogicalNode>> ReachableRuntime::LinkOfVar(
   return std::nullopt;
 }
 
-void ReachableRuntime::ShipJoinOutputs(LogicalNode at,
+void ReachableRuntime::ShipJoinOutputs(LogicalNode at, NodeState& state,
                                        std::vector<Update> outs) {
   for (Update& out : outs) {
     if (out.type == UpdateType::kInsert) {
@@ -122,27 +122,29 @@ void ReachableRuntime::ShipJoinOutputs(LogicalNode at,
         LogicalNode dest = static_cast<LogicalNode>(out.tuple.IntAt(0));
         router_.Send(at, dest, kPortFix, std::move(out));
       } else {
-        node(at).ship->ProcessInsert(out.tuple, out.pv);
+        state.ship->ProcessInsert(out.tuple, out.pv);
       }
     } else {
-      SendDirect(at, std::move(out));
+      SendDirect(at, state, std::move(out));
     }
   }
 }
 
-void ReachableRuntime::SendDirect(LogicalNode at, Update out) {
+void ReachableRuntime::SendDirect(LogicalNode at, NodeState& state,
+                                  Update out) {
   LogicalNode dest = static_cast<LogicalNode>(out.tuple.IntAt(0));
-  node(at).ship->ProcessDelete(out.tuple);
+  state.ship->ProcessDelete(out.tuple);
   router_.Send(at, dest, kPortFix, std::move(out));
 }
 
-void ReachableRuntime::HandleFixInsert(LogicalNode at, const Tuple& tuple,
-                                       const Prov& pv) {
+void ReachableRuntime::HandleFixInsert(LogicalNode at, NodeState& state,
+                                       const Tuple& tuple, const Prov& pv) {
   Prov guarded = GuardIncoming(pv);
   if (guarded.IsFalse()) return;
-  bool is_new = !node(at).fix->Contains(tuple);
-  std::optional<Prov> delta = node(at).fix->ProcessInsert(tuple, guarded);
+  bool is_new = false;
+  std::optional<Prov> delta = state.fix->ProcessInsert(tuple, guarded, &is_new);
   if (!delta.has_value()) return;
+  if (is_new) LogViewDelta(tuple, /*added=*/true);
   // The fixpoint feeds into the recursive subplan: probe the local join's
   // reachable side. Absorption mode propagates the provenance delta;
   // relative mode propagates a *reference* to this tuple (derivation-edge
@@ -150,32 +152,39 @@ void ReachableRuntime::HandleFixInsert(LogicalNode at, const Tuple& tuple,
   // point at the tuple, not at its provenance.
   if (opts_.prov == ProvMode::kRelative) {
     if (!is_new) return;
-    ShipJoinOutputs(at, node(at).join->ProcessInsert(PipelinedHashJoin::kRight,
-                                                     tuple, RefProv(tuple)));
+    ShipJoinOutputs(at, state,
+                    state.join->ProcessInsert(PipelinedHashJoin::kRight, tuple,
+                                              RefProv(tuple)));
     return;
   }
-  ShipJoinOutputs(at, node(at).join->ProcessInsert(PipelinedHashJoin::kRight,
-                                                   tuple, *delta));
+  ShipJoinOutputs(at, state,
+                  state.join->ProcessInsert(PipelinedHashJoin::kRight, tuple,
+                                            *delta));
 }
 
-void ReachableRuntime::HandleFixDelete(LogicalNode at, const Tuple& tuple) {
-  if (!node(at).fix->ProcessDelete(tuple)) return;  // Already absent.
+void ReachableRuntime::HandleFixDelete(LogicalNode at, NodeState& state,
+                                       const Tuple& tuple) {
+  if (!state.fix->ProcessDelete(tuple)) return;  // Already absent.
+  LogViewDelta(tuple, /*added=*/false);
   // Over-deletion cascades through the local join probe side.
   std::vector<Update> outs =
-      node(at).join->ProcessDelete(PipelinedHashJoin::kRight, tuple);
-  for (Update& out : outs) SendDirect(at, std::move(out));
+      state.join->ProcessDelete(PipelinedHashJoin::kRight, tuple);
+  for (Update& out : outs) SendDirect(at, state, std::move(out));
 }
 
-void ReachableRuntime::HandleKill(LogicalNode at,
+void ReachableRuntime::HandleKill(LogicalNode at, NodeState& state,
                                   const std::vector<bdd::Var>& killed) {
   std::vector<bdd::Var> fresh = AcceptKill(at, killed);
   if (fresh.empty()) return;
-  Fixpoint::KillResult result = node(at).fix->ProcessKill(fresh);
-  node(at).join->ProcessKill(fresh);
+  Fixpoint::KillResult result = state.fix->ProcessKill(fresh);
+  for (const Tuple& removed : result.removed) {
+    LogViewDelta(removed, /*added=*/false);
+  }
+  state.join->ProcessKill(fresh);
   // MinShip may promote buffered alternate derivations; the promotions are
   // enqueued after the forwarded kills, so FIFO order delivers the kill
   // first at every destination.
-  node(at).ship->ProcessKill(fresh);
+  state.ship->ProcessKill(fresh);
   if (opts_.prov == ProvMode::kRelative) {
     // Removed tuples invalidate the derivations that reference them.
     for (const Tuple& removed : result.removed) OnTupleRemoved(at, removed);
@@ -183,35 +192,51 @@ void ReachableRuntime::HandleKill(LogicalNode at,
   }
 }
 
-void ReachableRuntime::HandleEnvelope(const Envelope& env) {
-  LogicalNode at = env.dst;
-  const Update& u = env.update;
-  switch (env.port) {
+void ReachableRuntime::HandleBatch(const Envelope* envs, size_t n) {
+  // The run shares one (dst, port): resolve the destination's operator
+  // state and the port dispatch once, then apply the operator across the
+  // whole batch.
+  LogicalNode at = envs[0].dst;
+  NodeState& state = node(at);
+  switch (envs[0].port) {
     case kPortJoinBuild:
-      if (u.type == UpdateType::kInsert) {
-        Prov guarded = GuardIncoming(u.pv);
-        if (guarded.IsFalse()) return;
-        ShipJoinOutputs(at, node(at).join->ProcessInsert(
-                                PipelinedHashJoin::kLeft, u.tuple, guarded));
-      } else if (u.type == UpdateType::kDelete) {
-        std::vector<Update> outs =
-            node(at).join->ProcessDelete(PipelinedHashJoin::kLeft, u.tuple);
-        for (Update& out : outs) SendDirect(at, std::move(out));
+      for (size_t i = 0; i < n; ++i) {
+        const Update& u = envs[i].update;
+        if (u.type == UpdateType::kInsert) {
+          Prov guarded = GuardIncoming(u.pv);
+          if (guarded.IsFalse()) continue;
+          ShipJoinOutputs(at, state,
+                          state.join->ProcessInsert(PipelinedHashJoin::kLeft,
+                                                    u.tuple, guarded));
+        } else if (u.type == UpdateType::kDelete) {
+          std::vector<Update> outs =
+              state.join->ProcessDelete(PipelinedHashJoin::kLeft, u.tuple);
+          for (Update& out : outs) SendDirect(at, state, std::move(out));
+        }
       }
       return;
     case kPortFix:
-      if (u.type == UpdateType::kInsert) {
-        HandleFixInsert(at, u.tuple, u.pv);
-      } else if (u.type == UpdateType::kDelete) {
-        HandleFixDelete(at, u.tuple);
+      for (size_t i = 0; i < n; ++i) {
+        const Update& u = envs[i].update;
+        if (u.type == UpdateType::kInsert) {
+          HandleFixInsert(at, state, u.tuple, u.pv);
+        } else if (u.type == UpdateType::kDelete) {
+          HandleFixDelete(at, state, u.tuple);
+        }
       }
       return;
     case kPortKill:
-      HandleKill(at, u.killed);
+      for (size_t i = 0; i < n; ++i) {
+        HandleKill(at, state, envs[i].update.killed);
+      }
       return;
     default:
       RECNET_CHECK(false);
   }
+}
+
+void ReachableRuntime::HandleEnvelope(const Envelope& env) {
+  HandleBatch(&env, 1);
 }
 
 bool ReachableRuntime::AfterQuiescent() {
@@ -235,6 +260,7 @@ bool ReachableRuntime::AfterQuiescent() {
     auto underivable = FindUnderivable(view);
     for (const auto& [owner, tuple] : underivable) {
       node(owner).fix->ProcessDelete(tuple);
+      LogViewDelta(tuple, /*added=*/false);
       OnTupleRemoved(owner, tuple);
     }
     return !underivable.empty();
@@ -262,7 +288,8 @@ void ReachableRuntime::SeedRederivation() {
     // Recursive case: re-fire the join over surviving reachable tuples.
     for (const Tuple& tuple :
          node(n).join->TuplesOn(PipelinedHashJoin::kRight)) {
-      ShipJoinOutputs(n, node(n).join->Refire(PipelinedHashJoin::kRight, tuple));
+      ShipJoinOutputs(n, node(n),
+                      node(n).join->Refire(PipelinedHashJoin::kRight, tuple));
     }
   }
 }

@@ -60,6 +60,9 @@ class ReachableRuntime : public RuntimeBase {
       bdd::Var v) const;
 
  protected:
+  // Vectorized delivery: one (dst, port) switch and node-state lookup per
+  // run, with the operator applied across the whole batch.
+  void HandleBatch(const Envelope* envs, size_t n) override;
   void HandleEnvelope(const Envelope& env) override;
   bool AfterQuiescent() override;
   size_t StateSizeBytes() const override;
@@ -76,11 +79,16 @@ class ReachableRuntime : public RuntimeBase {
     return nodes_[static_cast<size_t>(n)];
   }
 
-  void ShipJoinOutputs(LogicalNode at, std::vector<Update> outs);
-  void SendDirect(LogicalNode at, Update out);
-  void HandleFixInsert(LogicalNode at, const Tuple& tuple, const Prov& pv);
-  void HandleFixDelete(LogicalNode at, const Tuple& tuple);
-  void HandleKill(LogicalNode at, const std::vector<bdd::Var>& killed);
+  // The handlers take the destination's NodeState, resolved once per
+  // delivery batch rather than once per envelope.
+  void ShipJoinOutputs(LogicalNode at, NodeState& state,
+                       std::vector<Update> outs);
+  void SendDirect(LogicalNode at, NodeState& state, Update out);
+  void HandleFixInsert(LogicalNode at, NodeState& state, const Tuple& tuple,
+                       const Prov& pv);
+  void HandleFixDelete(LogicalNode at, NodeState& state, const Tuple& tuple);
+  void HandleKill(LogicalNode at, NodeState& state,
+                  const std::vector<bdd::Var>& killed);
   void SeedRederivation();
 
   std::vector<NodeState> nodes_;

@@ -57,9 +57,9 @@ void RegionRuntime::Trigger(int sensor) {
   // reference to the membership tuple instead of its full annotation.
   for (const auto& [tuple, pv] : node(sensor).fix->contents()) {
     if (opts_.prov == ProvMode::kRelative) {
-      ExpandFrom(sensor, tuple, RefProv(tuple).And(trig_pv));
+      ExpandFrom(sensor, node(sensor), tuple, RefProv(tuple).And(trig_pv));
     } else {
-      ExpandFrom(sensor, tuple, pv.And(trig_pv));
+      ExpandFrom(sensor, node(sensor), tuple, pv.And(trig_pv));
     }
   }
 }
@@ -136,8 +136,8 @@ std::vector<int> RegionRuntime::LargestRegions() const {
   return out;
 }
 
-void RegionRuntime::ExpandFrom(LogicalNode x, const Tuple& active,
-                               const Prov& pv) {
+void RegionRuntime::ExpandFrom(LogicalNode x, NodeState& state,
+                               const Tuple& active, const Prov& pv) {
   if (pv.IsFalse()) return;
   int64_t region = active.IntAt(0);
   for (int nb : field_.neighbors[static_cast<size_t>(x)]) {
@@ -145,27 +145,29 @@ void RegionRuntime::ExpandFrom(LogicalNode x, const Tuple& active,
     if (opts_.prov == ProvMode::kSet) {
       router_.Send(x, nb, kPortFix, Update::Insert(derived, pv));
     } else {
-      node(x).ship->ProcessInsert(derived, pv);
+      state.ship->ProcessInsert(derived, pv);
     }
   }
 }
 
 void RegionRuntime::NotifyViewInsert(LogicalNode at, const Tuple& active) {
+  LogViewDelta(active, /*added=*/true);
   LogicalNode owner = AggOwner(static_cast<int>(active.IntAt(0)));
   router_.Send(at, owner, kPortAgg, Update::Insert(active, TrueProv()));
 }
 
 void RegionRuntime::NotifyViewDelete(LogicalNode at, const Tuple& active) {
+  LogViewDelta(active, /*added=*/false);
   LogicalNode owner = AggOwner(static_cast<int>(active.IntAt(0)));
   router_.Send(at, owner, kPortAgg, Update::Delete(active));
 }
 
-void RegionRuntime::HandleActiveInsert(LogicalNode at, const Tuple& tuple,
-                                       const Prov& pv) {
+void RegionRuntime::HandleActiveInsert(LogicalNode at, NodeState& state,
+                                       const Tuple& tuple, const Prov& pv) {
   Prov guarded = GuardIncoming(pv);
   if (guarded.IsFalse()) return;
-  bool is_new = !node(at).fix->Contains(tuple);
-  std::optional<Prov> delta = node(at).fix->ProcessInsert(tuple, guarded);
+  bool is_new = false;
+  std::optional<Prov> delta = state.fix->ProcessInsert(tuple, guarded, &is_new);
   if (!delta.has_value()) return;
   if (is_new) NotifyViewInsert(at, tuple);
   const auto& trig = trig_var_[static_cast<size_t>(at)];
@@ -175,14 +177,15 @@ void RegionRuntime::HandleActiveInsert(LogicalNode at, const Tuple& tuple,
   if (opts_.prov == ProvMode::kRelative) {
     // Derivation-edge model: neighbors reference this membership tuple;
     // only its first derivation expands.
-    if (is_new) ExpandFrom(at, tuple, RefProv(tuple).And(trig_pv));
+    if (is_new) ExpandFrom(at, state, tuple, RefProv(tuple).And(trig_pv));
     return;
   }
-  ExpandFrom(at, tuple, delta->And(trig_pv));
+  ExpandFrom(at, state, tuple, delta->And(trig_pv));
 }
 
-void RegionRuntime::HandleActiveDelete(LogicalNode at, const Tuple& tuple) {
-  if (!node(at).fix->ProcessDelete(tuple)) return;
+void RegionRuntime::HandleActiveDelete(LogicalNode at, NodeState& state,
+                                       const Tuple& tuple) {
+  if (!state.fix->ProcessDelete(tuple)) return;
   NotifyViewDelete(at, tuple);
   // Over-delete cascade: derivations through this member die too.
   if (trig_var_[static_cast<size_t>(at)].has_value()) {
@@ -194,68 +197,85 @@ void RegionRuntime::HandleActiveDelete(LogicalNode at, const Tuple& tuple) {
   }
 }
 
-void RegionRuntime::HandleKill(LogicalNode at,
+void RegionRuntime::HandleKill(LogicalNode at, NodeState& state,
                                const std::vector<bdd::Var>& killed) {
   std::vector<bdd::Var> fresh = AcceptKill(at, killed);
   if (fresh.empty()) return;
-  Fixpoint::KillResult result = node(at).fix->ProcessKill(fresh);
+  Fixpoint::KillResult result = state.fix->ProcessKill(fresh);
   for (const Tuple& removed : result.removed) NotifyViewDelete(at, removed);
-  node(at).ship->ProcessKill(fresh);
+  state.ship->ProcessKill(fresh);
   if (opts_.prov == ProvMode::kRelative) {
     for (const Tuple& removed : result.removed) OnTupleRemoved(at, removed);
     relative_check_pending_ = true;
   }
 }
 
-void RegionRuntime::HandleEnvelope(const Envelope& env) {
-  LogicalNode at = env.dst;
-  const Update& u = env.update;
-  switch (env.port) {
+void RegionRuntime::HandleBatch(const Envelope* envs, size_t n) {
+  // The run shares one (dst, port): resolve the destination's operator
+  // state and the port dispatch once, then apply the operator across the
+  // whole batch.
+  LogicalNode at = envs[0].dst;
+  NodeState& state = node(at);
+  switch (envs[0].port) {
     case kPortFix:
-      if (u.type == UpdateType::kInsert) {
-        HandleActiveInsert(at, u.tuple, u.pv);
-      } else {
-        HandleActiveDelete(at, u.tuple);
+      for (size_t i = 0; i < n; ++i) {
+        const Update& u = envs[i].update;
+        if (u.type == UpdateType::kInsert) {
+          HandleActiveInsert(at, state, u.tuple, u.pv);
+        } else {
+          HandleActiveDelete(at, state, u.tuple);
+        }
       }
       return;
     case kPortKill:
-      HandleKill(at, u.killed);
+      for (size_t i = 0; i < n; ++i) {
+        HandleKill(at, state, envs[i].update.killed);
+      }
       return;
     case kPortAgg: {
       // regionSizes aggregator for regions owned by this node.
-      GroupByAggregate& sizes = *node(at).region_sizes;
-      Tuple group = Tuple::OfInts({u.tuple.IntAt(0)});
-      auto before = sizes.Result(group);
-      if (u.type == UpdateType::kInsert) {
-        sizes.OnInsert(u.tuple);
-      } else {
-        sizes.OnDelete(u.tuple);
-      }
-      auto after = sizes.Result(group);
-      int64_t old_size = before.has_value() ? (*before)[0].AsInt() : 0;
-      int64_t new_size = after.has_value() ? (*after)[0].AsInt() : 0;
-      if (old_size != new_size) {
-        // Feed largestRegion at node 0 with the revised regionSizes row.
-        router_.Send(at, 0, kPortAggRoot,
-                     Update::Insert(
-                         Tuple::OfInts({u.tuple.IntAt(0), new_size}),
-                         TrueProv()));
-      }
-      return;
-    }
-    case kPortAggRoot: {
-      int region = static_cast<int>(u.tuple.IntAt(0));
-      int64_t size = u.tuple.IntAt(1);
-      if (size == 0) {
-        sizes_at_root_.erase(region);
-      } else {
-        sizes_at_root_[region] = size;
+      GroupByAggregate& sizes = *state.region_sizes;
+      for (size_t i = 0; i < n; ++i) {
+        const Update& u = envs[i].update;
+        Tuple group = Tuple::OfInts({u.tuple.IntAt(0)});
+        auto before = sizes.Result(group);
+        if (u.type == UpdateType::kInsert) {
+          sizes.OnInsert(u.tuple);
+        } else {
+          sizes.OnDelete(u.tuple);
+        }
+        auto after = sizes.Result(group);
+        int64_t old_size = before.has_value() ? (*before)[0].AsInt() : 0;
+        int64_t new_size = after.has_value() ? (*after)[0].AsInt() : 0;
+        if (old_size != new_size) {
+          // Feed largestRegion at node 0 with the revised regionSizes row.
+          router_.Send(at, 0, kPortAggRoot,
+                       Update::Insert(
+                           Tuple::OfInts({u.tuple.IntAt(0), new_size}),
+                           TrueProv()));
+        }
       }
       return;
     }
+    case kPortAggRoot:
+      for (size_t i = 0; i < n; ++i) {
+        const Update& u = envs[i].update;
+        int region = static_cast<int>(u.tuple.IntAt(0));
+        int64_t size = u.tuple.IntAt(1);
+        if (size == 0) {
+          sizes_at_root_.erase(region);
+        } else {
+          sizes_at_root_[region] = size;
+        }
+      }
+      return;
     default:
       RECNET_CHECK(false);
   }
+}
+
+void RegionRuntime::HandleEnvelope(const Envelope& env) {
+  HandleBatch(&env, 1);
 }
 
 bool RegionRuntime::AfterQuiescent() {
@@ -293,7 +313,7 @@ void RegionRuntime::SeedRederivation() {
                    Update::Insert(Tuple::OfInts({r, x}), TrueProv()));
     }
     for (const auto& [tuple, pv] : node(x).fix->contents()) {
-      ExpandFrom(x, tuple, TrueProv());
+      ExpandFrom(x, node(x), tuple, TrueProv());
     }
   }
 }

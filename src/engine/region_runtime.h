@@ -57,6 +57,9 @@ class RegionRuntime : public RuntimeBase {
   int num_regions() const { return static_cast<int>(field_.seed_sensors.size()); }
 
  protected:
+  // Vectorized delivery: one (dst, port) switch and node-state lookup per
+  // run, with the operator applied across the whole batch.
+  void HandleBatch(const Envelope* envs, size_t n) override;
   void HandleEnvelope(const Envelope& env) override;
   bool AfterQuiescent() override;
   size_t StateSizeBytes() const override;
@@ -78,11 +81,17 @@ class RegionRuntime : public RuntimeBase {
     return static_cast<LogicalNode>(region % num_logical());
   }
 
-  void HandleActiveInsert(LogicalNode at, const Tuple& tuple, const Prov& pv);
-  void HandleActiveDelete(LogicalNode at, const Tuple& tuple);
-  void HandleKill(LogicalNode at, const std::vector<bdd::Var>& killed);
+  // The handlers take the destination's NodeState, resolved once per
+  // delivery batch rather than once per envelope.
+  void HandleActiveInsert(LogicalNode at, NodeState& state, const Tuple& tuple,
+                          const Prov& pv);
+  void HandleActiveDelete(LogicalNode at, NodeState& state,
+                          const Tuple& tuple);
+  void HandleKill(LogicalNode at, NodeState& state,
+                  const std::vector<bdd::Var>& killed);
   // Derives neighbors of x from activeRegion(r, x), given x is triggered.
-  void ExpandFrom(LogicalNode x, const Tuple& active, const Prov& pv);
+  void ExpandFrom(LogicalNode x, NodeState& state, const Tuple& active,
+                  const Prov& pv);
   void NotifyViewInsert(LogicalNode at, const Tuple& active);
   void NotifyViewDelete(LogicalNode at, const Tuple& active);
   void SeedRederivation();

@@ -16,6 +16,10 @@ RuntimeBase::RuntimeBase(int num_logical, const RuntimeOptions& options)
 }
 
 bool RuntimeBase::Run() {
+  // A fresh run supersedes any frozen abort snapshot: its metrics must be
+  // visible again (converged_ stays false until ResetMetrics, recording
+  // that some run since the last reset was cut off).
+  abort_metrics_.reset();
   auto start = std::chrono::steady_clock::now();
   bool ok = true;
   uint64_t processed = 0;
@@ -51,14 +55,22 @@ bool RuntimeBase::Run() {
   wall_seconds_ += std::chrono::duration<double>(end - start).count();
   if (!ok) {
     // Drop the stale queue so the aborted run is recorded explicitly and a
-    // later Run() cannot silently resume mid-fixpoint.
+    // later Run() cannot silently resume mid-fixpoint. AbortRun uncharges
+    // the dropped messages, and the metrics snapshot freezes the cell at
+    // the moment of the cutoff.
     router_.AbortRun();
     converged_ = false;
+    abort_metrics_ = ComputeMetrics();
   }
   return ok;
 }
 
 RunMetrics RuntimeBase::Metrics() const {
+  if (abort_metrics_.has_value()) return *abort_metrics_;
+  return ComputeMetrics();
+}
+
+RunMetrics RuntimeBase::ComputeMetrics() const {
   const NetworkStats& s = router_.stats();
   RunMetrics m;
   m.per_tuple_prov_bytes = s.AvgProvBytesPerTuple();
@@ -81,6 +93,7 @@ void RuntimeBase::ResetMetrics() {
   router_.stats().Reset();
   wall_seconds_ = 0;
   converged_ = true;
+  abort_metrics_.reset();
 }
 
 bdd::Var RuntimeBase::AllocVar() {

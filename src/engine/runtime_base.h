@@ -1,11 +1,14 @@
 #ifndef RECNET_ENGINE_RUNTIME_BASE_H_
 #define RECNET_ENGINE_RUNTIME_BASE_H_
 
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "bdd/bdd.h"
+#include "common/flat_table.h"
 #include "engine/metrics.h"
 #include "net/router.h"
 #include "operators/min_ship.h"
@@ -44,7 +47,7 @@ struct RuntimeOptions {
   double time_budget_s = 0;
   // Mean per-message latency for the simulated convergence estimate.
   double per_msg_latency_s = 0.0005;
-  // Coalesce same-destination delivery runs into single handler batches.
+  // Coalesce same-(dst, port) delivery runs into single handler batches.
   // Purely a dispatch-cost optimization: delivery order, results, and all
   // traffic counters except NetworkStats::batches are identical with it
   // off (kept as a switch for A/B measurement).
@@ -75,11 +78,30 @@ class RuntimeBase {
   // budget. Returns false if the budget was exhausted.
   bool Run();
 
-  // Metrics accumulated since construction (or the last ResetMetrics).
+  // Metrics accumulated since construction (or the last ResetMetrics). If a
+  // run was aborted on budget exhaustion, this returns the snapshot taken
+  // at abort time — the dropped queue is already uncharged and operator
+  // state is frozen as of the cutoff — so a figure cell for a ">budget" run
+  // is consistent no matter when the bench reads it.
   RunMetrics Metrics() const;
   // Clears traffic and timing counters, e.g. to measure the deletion phase
   // separately from initial computation.
   void ResetMetrics();
+
+  // --- View-delta log (incremental scan caches) -----------------------------
+  //
+  // When enabled, the runtime records every recursive-view membership
+  // change — tuple entered (true) / left (false) the view — in
+  // chronological order. The facade's caching layer turns the log into
+  // patches for its materialized scan caches. Logging defaults to off so
+  // runs without live caches (all benchmarks) never pay for it.
+  void SetViewDeltaLogging(bool enabled) {
+    log_view_deltas_ = enabled;
+    if (!enabled) view_delta_log_.clear();
+  }
+  std::vector<std::pair<Tuple, bool>> TakeViewDeltaLog() {
+    return std::move(view_delta_log_);
+  }
 
   Router& router() { return router_; }
   const Router& router() const { return router_; }
@@ -89,9 +111,11 @@ class RuntimeBase {
   bool converged() const { return converged_; }
 
  protected:
-  // Delivers a contiguous run of same-destination envelopes. The default
-  // processes them in order through HandleEnvelope; runtimes with
-  // per-destination setup cost can override to hoist it out of the loop.
+  // Delivers a contiguous run of same-(dst, port) envelopes: every envelope
+  // of a run targets the same logical node and operator input. The default
+  // processes them in order through HandleEnvelope; the query runtimes
+  // override to hoist the per-destination/per-port state lookups out of the
+  // inner loop and apply the operator across the whole run.
   virtual void HandleBatch(const Envelope* envs, size_t n) {
     for (size_t i = 0; i < n; ++i) HandleEnvelope(envs[i]);
   }
@@ -102,6 +126,14 @@ class RuntimeBase {
   // Hook called at quiescence; return true to continue draining (used by
   // DRed to start its re-derivation phase after over-deletion finishes).
   virtual bool AfterQuiescent() { return false; }
+
+  // Records one recursive-view membership change (no-op unless logging is
+  // enabled). Runtimes call this at every point a tuple enters or leaves
+  // their fixpoint view.
+  void LogViewDelta(const Tuple& tuple, bool added) {
+    if (log_view_deltas_) view_delta_log_.emplace_back(tuple, added);
+  }
+  bool view_delta_logging() const { return log_view_deltas_; }
 
   // Total bytes of operator state across all logical nodes.
   virtual size_t StateSizeBytes() const = 0;
@@ -174,6 +206,10 @@ class RuntimeBase {
   Router router_;
 
  private:
+  // The live metric computation behind Metrics(); bypassed once an abort
+  // snapshot exists.
+  RunMetrics ComputeMetrics() const;
+
   std::vector<bool> dead_;
   size_t num_dead_ = 0;
   // Scratch for provenance-support extraction on the per-message path
@@ -182,15 +218,20 @@ class RuntimeBase {
   mutable std::vector<bdd::Var> support_scratch_;
   mutable std::vector<bdd::Var> dead_scratch_;
   // Relative mode: pseudo-variables standing for view tuples.
-  std::unordered_map<Tuple, bdd::Var, TupleHash> tuple_vars_;
+  FlatTable<Tuple, bdd::Var, TupleHash> tuple_vars_;
   std::unordered_map<bdd::Var, Tuple> var_tuples_;
   // Per logical node: variable -> destinations shipped annotations
   // mentioning it.
-  std::vector<std::unordered_map<bdd::Var, std::vector<LogicalNode>>> subs_;
+  std::vector<FlatTable<bdd::Var, std::vector<LogicalNode>>> subs_;
   // Per logical node: kills already applied.
   std::vector<std::unordered_set<bdd::Var>> kills_done_;
   double wall_seconds_ = 0;
   bool converged_ = true;
+  // Metrics frozen at the moment a run was cut off (budget exhaustion);
+  // cleared by ResetMetrics.
+  std::optional<RunMetrics> abort_metrics_;
+  bool log_view_deltas_ = false;
+  std::vector<std::pair<Tuple, bool>> view_delta_log_;
 };
 
 }  // namespace recnet

@@ -64,7 +64,7 @@ bool ValuesEqualNumeric(const Value& a, const Value& b) {
 // that hash-index probes agree with ValuesEqualNumeric (int 2 and double
 // 2.0 must land in the same bucket and compare equal).
 Tuple NormalizedPrefix(const Tuple& t, size_t len) {
-  std::vector<Value> vals;
+  Tuple::Values vals;
   vals.reserve(len);
   for (size_t i = 0; i < len; ++i) {
     const Value& v = t.at(i);
@@ -93,14 +93,17 @@ const AggViewSpec* FindAggView(const PlanSpec& plan, const std::string& name) {
 }
 
 // Scan dispatch shared by the adapters: the recursive view by name, else a
-// declared aggregate view evaluated over it.
+// declared aggregate view evaluated over it. Aggregate views read the
+// recursive view through the adapter's *cached* Scan, so they re-derive
+// from the incrementally patched rows instead of sweeping the runtime.
 template <typename ScanFn>
-StatusOr<std::vector<Tuple>> ScanByName(const PlanSpec& plan,
+StatusOr<std::vector<Tuple>> ScanByName(const QueryRuntime& rt,
+                                        const PlanSpec& plan,
                                         const std::string& view,
                                         ScanFn&& scan_view) {
   if (view == plan.view) return scan_view();
   if (const AggViewSpec* agg = FindAggView(plan, view)) {
-    StatusOr<std::vector<Tuple>> rows = scan_view();
+    StatusOr<std::vector<Tuple>> rows = rt.Scan(plan.view);
     if (!rows.ok()) return rows.status();
     return EvalAggView(*agg, rows.value());
   }
@@ -133,8 +136,20 @@ class ReachableAdapter : public QueryRuntime {
 
   Status ApplyUpdates() override { return RunToFixpoint(&rt_); }
 
+  std::string IncrementalView() const override { return plan_.view; }
+  void BeginViewDeltaLog(bool enabled) override {
+    rt_.SetViewDeltaLogging(enabled);
+  }
+  bool DrainViewDeltas(std::vector<Tuple>* removed,
+                       std::vector<Tuple>* added) override {
+    // The runtime's reachable(src, dst) fixpoint tuples are the view rows.
+    CompressDeltaLog(rt_.TakeViewDeltaLog(), removed, added);
+    return true;
+  }
+
   StatusOr<std::vector<Tuple>> ScanView(const std::string& view) const override {
-    return ScanByName(plan_, view, [this]() -> StatusOr<std::vector<Tuple>> {
+    return ScanByName(*this, plan_, view,
+                      [this]() -> StatusOr<std::vector<Tuple>> {
       std::vector<Tuple> out;
       for (int src = 0; src < rt_.num_logical(); ++src) {
         for (LogicalNode dst : rt_.ReachableFrom(src)) {
@@ -225,8 +240,73 @@ class ShortestPathAdapter : public QueryRuntime {
 
   Status ApplyUpdates() override { return RunToFixpoint(&rt_); }
 
+  std::string IncrementalView() const override { return plan_.view; }
+  void BeginViewDeltaLog(bool enabled) override {
+    rt_.SetViewDeltaLogging(enabled);
+  }
+  bool DrainViewDeltas(std::vector<Tuple>* removed,
+                       std::vector<Tuple>* added) override {
+    // The view rows are the min-cost projection of the runtime's path
+    // tuples: a fixpoint delta for path(src, dst, ...) means the (src, dst)
+    // row may have changed. Recompute each affected pair and diff it
+    // against the cached row.
+    std::vector<std::pair<Tuple, bool>> log = rt_.TakeViewDeltaLog();
+    if (log.empty()) return true;
+    const std::vector<Tuple>* rows = CachedRows(plan_.view);
+    if (rows == nullptr) return false;
+    // Distinct affected destinations, grouped per source so each source's
+    // partition is swept once (MinCosts) no matter how many of its pairs a
+    // delta touched.
+    FlatTable<Tuple, bool, TupleHash> seen;
+    seen.reserve(log.size());
+    FlatTable<LogicalNode, std::vector<LogicalNode>> by_src;
+    for (const auto& [path, was_added] : log) {
+      (void)was_added;
+      auto [it, fresh] =
+          seen.try_emplace(Tuple::OfInts({path.IntAt(0), path.IntAt(1)}));
+      if (fresh) {
+        by_src[static_cast<LogicalNode>(path.IntAt(0))].push_back(
+            static_cast<LogicalNode>(path.IntAt(1)));
+      }
+    }
+    for (const auto& [src, dsts] : by_src) {
+      std::vector<std::optional<double>> costs = rt_.MinCosts(src, dsts);
+      for (size_t i = 0; i < dsts.size(); ++i) {
+        LogicalNode dst = dsts[i];
+        Tuple pair = Tuple::OfInts({src, dst});
+        // Rows are sorted by (src, dst, cost); binary-search the pair.
+        auto it = std::lower_bound(
+            rows->begin(), rows->end(), pair,
+            [](const Tuple& row, const Tuple& key) {
+              if (row.IntAt(0) != key.IntAt(0)) {
+                return row.IntAt(0) < key.IntAt(0);
+              }
+              return row.IntAt(1) < key.IntAt(1);
+            });
+        const Tuple* old_row = nullptr;
+        if (it != rows->end() && it->IntAt(0) == src && it->IntAt(1) == dst) {
+          old_row = &*it;
+        }
+        std::optional<Tuple> new_row;
+        if (costs[i].has_value()) {
+          new_row = Tuple({Value(static_cast<int64_t>(src)),
+                           Value(static_cast<int64_t>(dst)),
+                           Value(*costs[i])});
+        }
+        if (old_row != nullptr && new_row.has_value() &&
+            *old_row == *new_row) {
+          continue;
+        }
+        if (old_row != nullptr) removed->push_back(*old_row);
+        if (new_row.has_value()) added->push_back(*new_row);
+      }
+    }
+    return true;
+  }
+
   StatusOr<std::vector<Tuple>> ScanView(const std::string& view) const override {
-    return ScanByName(plan_, view, [this]() -> StatusOr<std::vector<Tuple>> {
+    return ScanByName(*this, plan_, view,
+                      [this]() -> StatusOr<std::vector<Tuple>> {
       // The materialized path view is pruned by aggregate selection; its
       // stable projection is the min-cost tuple per (src, dst).
       std::vector<Tuple> out;
@@ -310,8 +390,21 @@ class RegionAdapter : public QueryRuntime {
 
   Status ApplyUpdates() override { return RunToFixpoint(&rt_); }
 
+  std::string IncrementalView() const override { return plan_.view; }
+  void BeginViewDeltaLog(bool enabled) override {
+    rt_.SetViewDeltaLogging(enabled);
+  }
+  bool DrainViewDeltas(std::vector<Tuple>* removed,
+                       std::vector<Tuple>* added) override {
+    // The runtime's activeRegion(region, sensor) fixpoint tuples are the
+    // view rows.
+    CompressDeltaLog(rt_.TakeViewDeltaLog(), removed, added);
+    return true;
+  }
+
   StatusOr<std::vector<Tuple>> ScanView(const std::string& view) const override {
-    return ScanByName(plan_, view, [this]() -> StatusOr<std::vector<Tuple>> {
+    return ScanByName(*this, plan_, view,
+                      [this]() -> StatusOr<std::vector<Tuple>> {
       std::vector<Tuple> out;
       for (int r = 0; r < rt_.num_regions(); ++r) {
         for (int member : rt_.RegionMembers(r)) {
@@ -402,18 +495,124 @@ std::map<PlanKind, RuntimeFactory>& Registry() {
 // --- Caching layer (QueryRuntime public entry points) ------------------------
 
 Status QueryRuntime::Insert(const std::string& relation, const Tuple& fact) {
-  InvalidateViewCaches();
+  // Base mutations only enqueue into the dataflow; no view state (and thus
+  // no cache) can change before Apply().
   return InsertFact(relation, fact);
 }
 
 Status QueryRuntime::Delete(const std::string& relation, const Tuple& fact) {
-  InvalidateViewCaches();
   return DeleteFact(relation, fact);
 }
 
 Status QueryRuntime::Apply() {
-  InvalidateViewCaches();
-  return ApplyUpdates();
+  const std::string inc = IncrementalView();
+  const bool patching = !inc.empty() && view_caches_.count(inc) > 0;
+  // Delta logging is armed only while a cache exists to patch, so runs
+  // without live readers (every benchmark) never pay for it.
+  if (patching) BeginViewDeltaLog(true);
+  Status st = ApplyUpdates();
+  if (!patching) {
+    InvalidateViewCaches();
+    return st;
+  }
+  std::vector<Tuple> removed, added;
+  bool drained = st.ok() && DrainViewDeltas(&removed, &added);
+  BeginViewDeltaLog(false);  // Disarm only after the log is drained.
+  if (!drained) {
+    // Aborted runs may have dropped part of the delta stream with the
+    // queue; fall back to a rebuild rather than patch from a torn log.
+    InvalidateViewCaches();
+    return st;
+  }
+  if (removed.empty() && added.empty()) return st;  // View unchanged.
+  ApplyRowDelta(&view_caches_[inc], std::move(removed), std::move(added));
+  // Dependent (aggregate) caches re-derive lazily from the patched rows;
+  // drop just their entries.
+  for (auto it = view_caches_.begin(); it != view_caches_.end();) {
+    if (it->first == inc) {
+      ++it;
+    } else {
+      it = view_caches_.erase(it);
+    }
+  }
+  return st;
+}
+
+const std::vector<Tuple>* QueryRuntime::CachedRows(
+    const std::string& view) const {
+  auto it = view_caches_.find(view);
+  return it == view_caches_.end() ? nullptr : &it->second.rows;
+}
+
+void QueryRuntime::CompressDeltaLog(std::vector<std::pair<Tuple, bool>> log,
+                                    std::vector<Tuple>* removed,
+                                    std::vector<Tuple>* added) {
+  // Chronological membership events; the final event per tuple decides
+  // whether it ends up present (added) or absent (removed). ApplyRowDelta
+  // tolerates adds of already-present rows and removals of absent ones, so
+  // no diff against the pre-run rows is needed.
+  FlatTable<Tuple, bool, TupleHash> last;
+  last.reserve(log.size());
+  for (auto& [tuple, was_added] : log) last[tuple] = was_added;
+  for (const auto& [tuple, was_added] : last) {
+    (was_added ? added : removed)->push_back(tuple);
+  }
+}
+
+void QueryRuntime::ApplyRowDelta(ViewCache* cache, std::vector<Tuple> removed,
+                                 std::vector<Tuple> added) {
+  std::sort(removed.begin(), removed.end());
+  std::sort(added.begin(), added.end());
+  // One merge pass keeps the rows sorted: skip removed rows, interleave the
+  // additions, collapse adds of rows that are already present.
+  std::vector<Tuple> next;
+  next.reserve(cache->rows.size() + added.size());
+  size_t ri = 0, ai = 0;
+  // Added rows are copied (not moved): the index patch below still needs
+  // them.
+  for (Tuple& row : cache->rows) {
+    while (ai < added.size() && added[ai] < row) next.push_back(added[ai++]);
+    if (ai < added.size() && added[ai] == row) ++ai;  // Already present.
+    while (ri < removed.size() && removed[ri] < row) ++ri;
+    if (ri < removed.size() && removed[ri] == row) continue;
+    next.push_back(std::move(row));
+  }
+  while (ai < added.size()) next.push_back(added[ai++]);
+  cache->rows = std::move(next);
+
+  // Patch the live lookup indexes. An index maps each normalized prefix to
+  // its first (smallest) matching row; entries whose first match was
+  // removed are recomputed in one pass over the patched rows.
+  for (auto& [len, index] : cache->index) {
+    FlatTable<Tuple, bool, TupleHash> repair;
+    for (const Tuple& r : removed) {
+      if (r.size() < len) continue;
+      Tuple prefix = NormalizedPrefix(r, len);
+      auto hit = index.find(prefix);
+      if (hit != index.end() && hit->second == r) {
+        index.erase(prefix);
+        repair[std::move(prefix)] = false;
+      }
+    }
+    for (const Tuple& a : added) {
+      if (a.size() < len) continue;
+      Tuple prefix = NormalizedPrefix(a, len);
+      if (repair.contains(prefix)) continue;  // Repair pass decides.
+      auto [hit, inserted] = index.try_emplace(prefix, a);
+      if (!inserted && a < hit->second) hit->second = a;
+    }
+    if (!repair.empty()) {
+      size_t outstanding = repair.size();
+      for (const Tuple& row : cache->rows) {
+        if (row.size() < len) continue;
+        auto hit = repair.find(NormalizedPrefix(row, len));
+        if (hit == repair.end() || hit->second) continue;
+        hit->second = true;
+        index[hit->first] = row;
+        if (--outstanding == 0) break;
+      }
+    }
+  }
 }
 
 StatusOr<QueryRuntime::ViewCache*> QueryRuntime::CacheFor(
@@ -424,6 +623,9 @@ StatusOr<QueryRuntime::ViewCache*> QueryRuntime::CacheFor(
   if (!rows.ok()) return rows.status();
   ViewCache& cache = view_caches_[view];
   cache.rows = std::move(rows).value();
+  // Adapters enumerate sorted; enforce the invariant incremental patching
+  // relies on regardless.
+  std::sort(cache.rows.begin(), cache.rows.end());
   return &cache;
 }
 
@@ -441,23 +643,24 @@ StatusOr<Tuple> QueryRuntime::Lookup(const std::string& view,
   auto idx_it = cache->index.find(key.size());
   if (idx_it == cache->index.end()) {
     // First probe with this key length: index the cached rows by normalized
-    // prefix. emplace keeps the first row per prefix, preserving the
+    // prefix. try_emplace keeps the first row per prefix, preserving the
     // first-match-in-scan-order contract of the old linear search.
-    std::unordered_map<Tuple, size_t, TupleHash> built;
+    idx_it = cache->index.emplace(key.size(),
+                                  FlatTable<Tuple, Tuple, TupleHash>())
+                 .first;
+    FlatTable<Tuple, Tuple, TupleHash>& built = idx_it->second;
     built.reserve(cache->rows.size());
-    for (size_t i = 0; i < cache->rows.size(); ++i) {
-      const Tuple& row = cache->rows[i];
+    for (const Tuple& row : cache->rows) {
       if (row.size() < key.size()) continue;
-      built.emplace(NormalizedPrefix(row, key.size()), i);
+      built.try_emplace(NormalizedPrefix(row, key.size()), row);
     }
-    idx_it = cache->index.emplace(key.size(), std::move(built)).first;
   }
   auto hit = idx_it->second.find(NormalizedPrefix(key, key.size()));
   if (hit == idx_it->second.end()) {
     return Status::NotFound("no tuple matching " + key.ToString() +
                             " in view '" + view + "'");
   }
-  return cache->rows[hit->second];
+  return hit->second;
 }
 
 StatusOr<std::vector<Tuple>> QueryRuntime::Explain(
@@ -502,7 +705,7 @@ std::vector<Tuple> EvalAggView(const AggViewSpec& spec,
   std::vector<Tuple> out;
   out.reserve(groups.size());
   for (const auto& [key, acc] : groups) {
-    std::vector<Value> vals = key.values();
+    std::vector<Value> vals(key.values().begin(), key.values().end());
     switch (spec.agg) {
       case datalog::AggKind::kCount:
         vals.push_back(Value(acc.count));

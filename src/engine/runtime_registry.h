@@ -5,8 +5,10 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/flat_table.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "datalog/planner.h"
@@ -38,11 +40,18 @@ struct EngineOptions {
 //
 // View reads are served from materialized per-view caches: the first Scan
 // of a view enumerates the runtime's partitions once (ScanView) and caches
-// the rows; Lookup consults a lazily built hash index over the cached rows
-// instead of a linear search. Every mutation entry point — Insert, Delete
-// (including the soft-state TTL expirations the engine converts to
-// deletions), and Apply — invalidates the caches, so reads between updates
-// are O(1) amortized and never stale.
+// the rows (kept in sorted order); Lookup consults a lazily built flat hash
+// index over the cached rows instead of a linear search.
+//
+// The caches maintain themselves incrementally: base-relation Insert /
+// Delete only enqueue updates (view state cannot change before Apply), and
+// Apply patches the cached rows and indexes from the run's view deltas —
+// the runtime's log of tuples that entered or left the view — instead of
+// rebuilding from scratch. Dependent (aggregate) view caches re-derive
+// lazily from the patched recursive rows, never from a runtime sweep. The
+// only full-rebuild paths are soft-state TTL expiry
+// (InvalidateCachesForExpiry), aborted runs, and adapters that opt out of
+// delta reporting.
 class QueryRuntime {
  public:
   virtual ~QueryRuntime() = default;
@@ -55,6 +64,11 @@ class QueryRuntime {
   // Runs the distributed dataflow to fixpoint. ResourceExhausted when the
   // message or time budget was exceeded before convergence.
   Status Apply();
+
+  // Soft-state TTL expiry hook (called by the engine clock): drops every
+  // materialized cache. Expiry-driven deletions renew base variables
+  // outside the normal delta flow, so this stays a full rebuild.
+  void InvalidateCachesForExpiry() { InvalidateViewCaches(); }
 
   // All tuples of the recursive view or of a declared aggregate view, in
   // deterministic (sorted) order. NotFound for unknown view names. Served
@@ -88,26 +102,62 @@ class QueryRuntime {
                             const Tuple& fact) = 0;
   virtual Status ApplyUpdates() = 0;
   // Enumerates `view` from runtime state (the expensive partition sweep the
-  // cache amortizes).
+  // cache amortizes away). Adapters must return rows in sorted order (all
+  // runtimes enumerate sorted today); the cache keeps that invariant under
+  // incremental patching.
   virtual StatusOr<std::vector<Tuple>> ScanView(
       const std::string& view) const = 0;
 
+  // --- Incremental maintenance interface -----------------------------------
+
+  // Name of the view whose cache the adapter can patch from run deltas
+  // (the recursive view); empty disables incremental maintenance.
+  virtual std::string IncrementalView() const { return std::string(); }
+  // Arms / disarms the wrapped runtime's view-delta log. Called with true
+  // right before ApplyUpdates whenever IncrementalView()'s cache is live.
+  virtual void BeginViewDeltaLog(bool /*enabled*/) {}
+  // Translates the armed run's delta log into exact rows removed from and
+  // added to IncrementalView(). Returns false when the adapter cannot say
+  // (the caching layer then falls back to full invalidation).
+  virtual bool DrainViewDeltas(std::vector<Tuple>* removed,
+                               std::vector<Tuple>* added) {
+    (void)removed;
+    (void)added;
+    return false;
+  }
+
+  // Currently cached rows of `view` (nullptr when not materialized); lets
+  // adapters diff run deltas against what readers have seen.
+  const std::vector<Tuple>* CachedRows(const std::string& view) const;
+
+  // Last-write-wins compression of a chronological membership log into
+  // disjoint removed/added row sets (relative to the pre-run view).
+  static void CompressDeltaLog(std::vector<std::pair<Tuple, bool>> log,
+                               std::vector<Tuple>* removed,
+                               std::vector<Tuple>* added);
+
   // For adapters whose native accessors mutate view state outside the
-  // wrapped entry points (none today; defensive hook).
+  // wrapped entry points, and for the TTL full-rebuild path.
   void InvalidateViewCaches() const { view_caches_.clear(); }
 
  private:
   struct ViewCache {
+    // Sorted, deduplicated view rows (the Scan result).
     std::vector<Tuple> rows;
     // Lookup indexes, built lazily per probed key length: normalized key
-    // prefix -> index of the first matching row.
-    std::unordered_map<size_t, std::unordered_map<Tuple, size_t, TupleHash>>
-        index;
+    // prefix -> the first matching row in scan order. Patched in place by
+    // ApplyRowDelta.
+    std::unordered_map<size_t, FlatTable<Tuple, Tuple, TupleHash>> index;
   };
 
   // Returns the cache entry for `view`, materializing it via ScanView on
   // first use.
   StatusOr<ViewCache*> CacheFor(const std::string& view) const;
+
+  // Patches `cache` (rows + live indexes) with the removed/added rows of
+  // one Apply run.
+  static void ApplyRowDelta(ViewCache* cache, std::vector<Tuple> removed,
+                            std::vector<Tuple> added);
 
   mutable std::unordered_map<std::string, ViewCache> view_caches_;
 };

@@ -14,7 +14,7 @@ constexpr size_t kLen = 4;
 
 Tuple MakePath(int64_t src, int64_t dst, std::string vec, double cost,
                int64_t len) {
-  std::vector<Value> values;
+  Tuple::Values values;
   values.reserve(5);
   values.emplace_back(src);
   values.emplace_back(dst);
@@ -96,7 +96,7 @@ std::vector<AggSpec> ShortestPathRuntime::AggSpecs() const {
 
 void ShortestPathRuntime::InsertLink(LogicalNode src, LogicalNode dst,
                                      double cost) {
-  std::vector<Value> link_values;
+  Tuple::Values link_values;
   link_values.emplace_back(static_cast<int64_t>(src));
   link_values.emplace_back(static_cast<int64_t>(dst));
   link_values.emplace_back(cost);
@@ -125,141 +125,163 @@ void ShortestPathRuntime::DeleteLink(LogicalNode src, LogicalNode dst) {
   }
 }
 
-void ShortestPathRuntime::ShipPath(LogicalNode at, const Tuple& tuple,
-                                   const Prov& pv) {
-  if (node(at).agg_ship != nullptr) {
+void ShortestPathRuntime::ShipPath(LogicalNode at, NodeState& state,
+                                   const Tuple& tuple, const Prov& pv) {
+  if (state.agg_ship != nullptr) {
     // Aggregate selection pushed into MinShip (Algorithm 3 lines 4-8).
-    for (Update& u : node(at).agg_ship->ProcessInsert(tuple, pv)) {
+    for (Update& u : state.agg_ship->ProcessInsert(tuple, pv)) {
       if (u.type == UpdateType::kInsert) {
-        node(at).ship->ProcessInsert(u.tuple, u.pv);
+        state.ship->ProcessInsert(u.tuple, u.pv);
       } else {
-        ShipRetraction(at, std::move(u.tuple));
+        ShipRetraction(at, state, std::move(u.tuple));
       }
     }
     return;
   }
-  node(at).ship->ProcessInsert(tuple, pv);
+  state.ship->ProcessInsert(tuple, pv);
 }
 
-void ShortestPathRuntime::ShipRetraction(LogicalNode at, Tuple tuple) {
+void ShortestPathRuntime::ShipRetraction(LogicalNode at, NodeState& state,
+                                         Tuple tuple) {
   LogicalNode dest = static_cast<LogicalNode>(tuple.IntAt(kSrc));
-  node(at).ship->ProcessDelete(tuple);
+  state.ship->ProcessDelete(tuple);
   router_.Send(at, dest, kPortFix, Update::Delete(std::move(tuple)));
 }
 
-void ShortestPathRuntime::ApplyFixInsert(LogicalNode at, const Tuple& tuple,
-                                         const Prov& pv) {
-  std::optional<Prov> delta = node(at).fix->ProcessInsert(tuple, pv);
+void ShortestPathRuntime::ApplyFixInsert(LogicalNode at, NodeState& state,
+                                         const Tuple& tuple, const Prov& pv) {
+  bool is_new = false;
+  std::optional<Prov> delta = state.fix->ProcessInsert(tuple, pv, &is_new);
   if (!delta.has_value()) return;
-  for (Update& out : node(at).join->ProcessInsert(PipelinedHashJoin::kRight,
-                                                  tuple, *delta)) {
+  if (is_new) LogViewDelta(tuple, /*added=*/true);
+  for (Update& out :
+       state.join->ProcessInsert(PipelinedHashJoin::kRight, tuple, *delta)) {
     if (out.type == UpdateType::kInsert) {
-      ShipPath(at, out.tuple, out.pv);
+      ShipPath(at, state, out.tuple, out.pv);
     } else {
-      ShipRetraction(at, std::move(out.tuple));
+      ShipRetraction(at, state, std::move(out.tuple));
     }
   }
 }
 
-void ShortestPathRuntime::ApplyFixDelete(LogicalNode at, const Tuple& tuple) {
-  if (!node(at).fix->ProcessDelete(tuple)) return;
+void ShortestPathRuntime::ApplyFixDelete(LogicalNode at, NodeState& state,
+                                         const Tuple& tuple) {
+  if (!state.fix->ProcessDelete(tuple)) return;
+  LogViewDelta(tuple, /*added=*/false);
   for (Update& out :
-       node(at).join->ProcessDelete(PipelinedHashJoin::kRight, tuple)) {
+       state.join->ProcessDelete(PipelinedHashJoin::kRight, tuple)) {
     // Retractions of this path's extensions cascade through the shipping
     // aggregate selection (replacement winners may be promoted).
-    if (node(at).agg_ship != nullptr) {
-      for (Update& agg_out : node(at).agg_ship->ProcessDelete(out.tuple)) {
+    if (state.agg_ship != nullptr) {
+      for (Update& agg_out : state.agg_ship->ProcessDelete(out.tuple)) {
         if (agg_out.type == UpdateType::kInsert) {
-          node(at).ship->ProcessInsert(agg_out.tuple, agg_out.pv);
+          state.ship->ProcessInsert(agg_out.tuple, agg_out.pv);
         } else {
-          ShipRetraction(at, std::move(agg_out.tuple));
+          ShipRetraction(at, state, std::move(agg_out.tuple));
         }
       }
     } else {
-      ShipRetraction(at, std::move(out.tuple));
+      ShipRetraction(at, state, std::move(out.tuple));
     }
   }
 }
 
-void ShortestPathRuntime::HandleFixStream(LogicalNode at, const Update& u) {
+void ShortestPathRuntime::HandleFixStream(LogicalNode at, NodeState& state,
+                                          const Update& u) {
   if (u.type == UpdateType::kInsert) {
     Prov guarded = GuardIncoming(u.pv);
     if (guarded.IsFalse()) return;
-    if (node(at).agg_fix != nullptr) {
+    if (state.agg_fix != nullptr) {
       // Aggregate selection pushed into the Fixpoint (Algorithm 1
       // lines 2-8).
-      for (Update& out : node(at).agg_fix->ProcessInsert(u.tuple, guarded)) {
+      for (Update& out : state.agg_fix->ProcessInsert(u.tuple, guarded)) {
         if (out.type == UpdateType::kInsert) {
-          ApplyFixInsert(at, out.tuple, out.pv);
+          ApplyFixInsert(at, state, out.tuple, out.pv);
         } else {
-          ApplyFixDelete(at, out.tuple);
+          ApplyFixDelete(at, state, out.tuple);
         }
       }
     } else {
-      ApplyFixInsert(at, u.tuple, guarded);
+      ApplyFixInsert(at, state, u.tuple, guarded);
     }
     return;
   }
   // Retraction stream (displaced aggregate winners).
-  if (node(at).agg_fix != nullptr) {
-    for (Update& out : node(at).agg_fix->ProcessDelete(u.tuple)) {
+  if (state.agg_fix != nullptr) {
+    for (Update& out : state.agg_fix->ProcessDelete(u.tuple)) {
       if (out.type == UpdateType::kInsert) {
-        ApplyFixInsert(at, out.tuple, out.pv);
+        ApplyFixInsert(at, state, out.tuple, out.pv);
       } else {
-        ApplyFixDelete(at, out.tuple);
+        ApplyFixDelete(at, state, out.tuple);
       }
     }
   } else {
-    ApplyFixDelete(at, u.tuple);
+    ApplyFixDelete(at, state, u.tuple);
   }
 }
 
-void ShortestPathRuntime::HandleKill(LogicalNode at,
+void ShortestPathRuntime::HandleKill(LogicalNode at, NodeState& state,
                                      const std::vector<bdd::Var>& killed) {
   std::vector<bdd::Var> fresh = AcceptKill(at, killed);
   if (fresh.empty()) return;
-  node(at).fix->ProcessKill(fresh);
-  node(at).join->ProcessKill(fresh);
-  if (node(at).agg_fix != nullptr) {
+  Fixpoint::KillResult result = state.fix->ProcessKill(fresh);
+  for (const Tuple& removed : result.removed) {
+    LogViewDelta(removed, /*added=*/false);
+  }
+  state.join->ProcessKill(fresh);
+  if (state.agg_fix != nullptr) {
     // Replacement winners re-enter the local fixpoint.
-    for (Update& out : node(at).agg_fix->ProcessKill(fresh)) {
+    for (Update& out : state.agg_fix->ProcessKill(fresh)) {
       RECNET_CHECK(out.type == UpdateType::kInsert);
-      ApplyFixInsert(at, out.tuple, out.pv);
+      ApplyFixInsert(at, state, out.tuple, out.pv);
     }
   }
-  if (node(at).agg_ship != nullptr) {
-    for (Update& out : node(at).agg_ship->ProcessKill(fresh)) {
+  if (state.agg_ship != nullptr) {
+    for (Update& out : state.agg_ship->ProcessKill(fresh)) {
       RECNET_CHECK(out.type == UpdateType::kInsert);
-      node(at).ship->ProcessInsert(out.tuple, out.pv);
+      state.ship->ProcessInsert(out.tuple, out.pv);
     }
   }
-  node(at).ship->ProcessKill(fresh);
+  state.ship->ProcessKill(fresh);
 }
 
-void ShortestPathRuntime::HandleEnvelope(const Envelope& env) {
-  LogicalNode at = env.dst;
-  const Update& u = env.update;
-  switch (env.port) {
-    case kPortJoinBuild: {
-      RECNET_CHECK(u.type == UpdateType::kInsert);
-      Prov guarded = GuardIncoming(u.pv);
-      if (guarded.IsFalse()) return;
-      for (Update& out : node(at).join->ProcessInsert(PipelinedHashJoin::kLeft,
-                                                      u.tuple, guarded)) {
-        RECNET_CHECK(out.type == UpdateType::kInsert);
-        ShipPath(at, out.tuple, out.pv);
+void ShortestPathRuntime::HandleBatch(const Envelope* envs, size_t n) {
+  // The run shares one (dst, port): resolve the destination's operator
+  // state and the port dispatch once, then apply the operator across the
+  // whole batch.
+  LogicalNode at = envs[0].dst;
+  NodeState& state = node(at);
+  switch (envs[0].port) {
+    case kPortJoinBuild:
+      for (size_t i = 0; i < n; ++i) {
+        const Update& u = envs[i].update;
+        RECNET_CHECK(u.type == UpdateType::kInsert);
+        Prov guarded = GuardIncoming(u.pv);
+        if (guarded.IsFalse()) continue;
+        for (Update& out : state.join->ProcessInsert(PipelinedHashJoin::kLeft,
+                                                     u.tuple, guarded)) {
+          RECNET_CHECK(out.type == UpdateType::kInsert);
+          ShipPath(at, state, out.tuple, out.pv);
+        }
       }
       return;
-    }
     case kPortFix:
-      HandleFixStream(at, u);
+      for (size_t i = 0; i < n; ++i) {
+        HandleFixStream(at, state, envs[i].update);
+      }
       return;
     case kPortKill:
-      HandleKill(at, u.killed);
+      for (size_t i = 0; i < n; ++i) {
+        HandleKill(at, state, envs[i].update.killed);
+      }
       return;
     default:
       RECNET_CHECK(false);
   }
+}
+
+void ShortestPathRuntime::HandleEnvelope(const Envelope& env) {
+  HandleBatch(&env, 1);
 }
 
 std::optional<double> ShortestPathRuntime::MinCost(LogicalNode src,
@@ -271,6 +293,23 @@ std::optional<double> ShortestPathRuntime::MinCost(LogicalNode src,
   }
   if (best == std::numeric_limits<double>::infinity()) return std::nullopt;
   return best;
+}
+
+std::vector<std::optional<double>> ShortestPathRuntime::MinCosts(
+    LogicalNode src, const std::vector<LogicalNode>& dsts) const {
+  std::vector<std::optional<double>> out(dsts.size());
+  std::vector<int32_t> slot_of(static_cast<size_t>(num_logical()), -1);
+  for (size_t i = 0; i < dsts.size(); ++i) {
+    slot_of[static_cast<size_t>(dsts[i])] = static_cast<int32_t>(i);
+  }
+  for (const auto& [tuple, pv] : node(src).fix->contents()) {
+    int32_t slot = slot_of[static_cast<size_t>(tuple.IntAt(kDst))];
+    if (slot < 0) continue;
+    double cost = tuple.DoubleAt(kCost);
+    auto& best = out[static_cast<size_t>(slot)];
+    if (!best.has_value() || cost < *best) best = cost;
+  }
+  return out;
 }
 
 std::optional<int64_t> ShortestPathRuntime::MinHops(LogicalNode src,

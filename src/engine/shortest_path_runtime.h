@@ -47,6 +47,11 @@ class ShortestPathRuntime : public RuntimeBase {
 
   // minCost(src, dst): cheapest path cost.
   std::optional<double> MinCost(LogicalNode src, LogicalNode dst) const;
+  // Batch variant: minimum cost for each destination in `dsts`, computed in
+  // one pass over src's path partition (the facade's incremental cache
+  // patching asks about many destinations of one source after a delta).
+  std::vector<std::optional<double>> MinCosts(
+      LogicalNode src, const std::vector<LogicalNode>& dsts) const;
   // minHops(src, dst): fewest-hop path length.
   std::optional<int64_t> MinHops(LogicalNode src, LogicalNode dst) const;
   // cheapestPath(src, dst): vec of a cost-minimal path.
@@ -69,6 +74,9 @@ class ShortestPathRuntime : public RuntimeBase {
   size_t ViewSize() const;
 
  protected:
+  // Vectorized delivery: one (dst, port) switch and node-state lookup per
+  // run, with the operator applied across the whole batch.
+  void HandleBatch(const Envelope* envs, size_t n) override;
   void HandleEnvelope(const Envelope& env) override;
   size_t StateSizeBytes() const override;
 
@@ -87,12 +95,17 @@ class ShortestPathRuntime : public RuntimeBase {
   }
 
   std::vector<AggSpec> AggSpecs() const;
-  void HandleFixStream(LogicalNode at, const Update& u);
-  void ApplyFixInsert(LogicalNode at, const Tuple& tuple, const Prov& pv);
-  void ApplyFixDelete(LogicalNode at, const Tuple& tuple);
-  void ShipPath(LogicalNode at, const Tuple& tuple, const Prov& pv);
-  void ShipRetraction(LogicalNode at, Tuple tuple);
-  void HandleKill(LogicalNode at, const std::vector<bdd::Var>& killed);
+  // The handlers take the destination's NodeState, resolved once per
+  // delivery batch rather than once per envelope.
+  void HandleFixStream(LogicalNode at, NodeState& state, const Update& u);
+  void ApplyFixInsert(LogicalNode at, NodeState& state, const Tuple& tuple,
+                      const Prov& pv);
+  void ApplyFixDelete(LogicalNode at, NodeState& state, const Tuple& tuple);
+  void ShipPath(LogicalNode at, NodeState& state, const Tuple& tuple,
+                const Prov& pv);
+  void ShipRetraction(LogicalNode at, NodeState& state, Tuple tuple);
+  void HandleKill(LogicalNode at, NodeState& state,
+                  const std::vector<bdd::Var>& killed);
 
   AggSelPolicy policy_;
   std::vector<NodeState> nodes_;

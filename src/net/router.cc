@@ -26,6 +26,10 @@ Router::Router(int num_logical, int num_physical)
   RECNET_CHECK_GT(num_logical, 0);
   RECNET_CHECK_GT(num_physical, 0);
   stats_.per_peer_bytes.assign(static_cast<size_t>(num_physical), 0);
+  // Head off the first run's reallocation cascade (every grow moves all
+  // pending envelopes).
+  current_.reserve(1024);
+  inbox_.reserve(1024);
 }
 
 void Router::ChargeSend(LogicalNode src, LogicalNode dst,
@@ -55,9 +59,11 @@ void Router::ChargeSend(LogicalNode src, LogicalNode dst,
   }
 }
 
-void Router::Send(LogicalNode src, LogicalNode dst, int port, Update update) {
+void Router::Send(LogicalNode src, LogicalNode dst, int port,
+                  Update&& update) {
   ChargeSend(src, dst, update);
-  inbox_.push_back(Envelope{src, dst, port, std::move(update)});
+  // Construct in place: one Update move, not temporary-then-move.
+  inbox_.emplace_back(src, dst, port, std::move(update));
 }
 
 void Router::SendBatch(LogicalNode src, LogicalNode dst, int port,
@@ -65,7 +71,7 @@ void Router::SendBatch(LogicalNode src, LogicalNode dst, int port,
   inbox_.reserve(inbox_.size() + updates.size());
   for (Update& update : updates) {
     ChargeSend(src, dst, update);
-    inbox_.push_back(Envelope{src, dst, port, std::move(update)});
+    inbox_.emplace_back(src, dst, port, std::move(update));
   }
 }
 
@@ -86,8 +92,12 @@ size_t Router::StepBatch(size_t max_n) {
   size_t end = start + 1;
   if (batching_) {
     LogicalNode dst = current_[start].dst;
+    int port = current_[start].port;
     size_t limit = std::min(current_.size(), start + max_n);
-    while (end < limit && current_[end].dst == dst) ++end;
+    while (end < limit && current_[end].dst == dst &&
+           current_[end].port == port) {
+      ++end;
+    }
   }
   size_t n = end - start;
   head_ = end;
@@ -116,8 +126,34 @@ bool Router::RunUntilQuiescent(uint64_t max_messages) {
   return true;
 }
 
+void Router::UnchargeSend(const Envelope& env) {
+  if (PhysicalOf(env.src) == PhysicalOf(env.dst)) {
+    --stats_.local_messages;
+    return;
+  }
+  size_t wire = env.update.WireSizeBytes();
+  --stats_.messages;
+  stats_.bytes -= wire;
+  stats_.per_peer_bytes[PhysicalOf(env.src)] -= wire;
+  switch (env.update.type) {
+    case UpdateType::kInsert:
+      --stats_.insert_messages;
+      stats_.prov_bytes -= env.update.pv.WireSizeBytes();
+      --stats_.prov_samples;
+      break;
+    case UpdateType::kDelete:
+      --stats_.delete_messages;
+      break;
+    case UpdateType::kKill:
+      --stats_.kill_messages;
+      break;
+  }
+}
+
 void Router::AbortRun() {
   stats_.dropped_messages += pending();
+  for (size_t i = head_; i < current_.size(); ++i) UnchargeSend(current_[i]);
+  for (const Envelope& env : inbox_) UnchargeSend(env);
   ++stats_.aborted_runs;
   current_.clear();
   head_ = 0;

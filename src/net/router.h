@@ -23,7 +23,7 @@ struct NetworkStats {
   uint64_t kill_messages = 0;
   uint64_t prov_bytes = 0;    // Annotation bytes on cross-physical inserts.
   uint64_t prov_samples = 0;  // Number of such inserts.
-  // Delivery batches (runs of same-destination messages handed to the
+  // Delivery batches (runs of same-(dst, port) messages handed to the
   // handler in one call). Equals deliveries when batching is off.
   uint64_t batches = 0;
   // Budget-exhaustion accounting: runs cut off before quiescence, and the
@@ -45,6 +45,10 @@ struct NetworkStats {
 
 // A message in flight between two logical nodes.
 struct Envelope {
+  Envelope() = default;
+  Envelope(LogicalNode s, LogicalNode d, int p, Update&& u)
+      : src(s), dst(d), port(p), update(std::move(u)) {}
+
   LogicalNode src = 0;
   LogicalNode dst = 0;
   int port = 0;  // Which operator input at the destination.
@@ -61,15 +65,18 @@ struct Envelope {
 // arrive via the network, assuming a FIFO channel").
 //
 // Delivery is batched: consecutive queued messages bound for the same
-// logical destination are handed to the batch handler as one contiguous run,
-// amortizing handler dispatch across the run. Batching never reorders
-// messages — a run is a prefix of the global FIFO — so runs are
-// delivery-for-delivery identical to unbatched execution and every
+// logical destination *and operator port* are handed to the batch handler as
+// one contiguous run, amortizing handler dispatch across the run and letting
+// runtimes hoist per-destination/per-port state lookups out of their inner
+// loops (every envelope of a run hits the same operator input). Batching
+// never reorders messages — a run is a prefix of the global FIFO — so runs
+// are delivery-for-delivery identical to unbatched execution and every
 // NetworkStats counter except `batches` matches exactly (wire accounting
 // happens at Send time, one message per update, batched or not).
 class Router {
  public:
   using Handler = std::function<void(const Envelope&)>;
+  // Receives contiguous same-(dst, port) runs.
   using BatchHandler = std::function<void(const Envelope* envs, size_t n)>;
 
   Router(int num_logical, int num_physical);
@@ -77,7 +84,7 @@ class Router {
   // Per-envelope handler. Used as a fallback when no batch handler is set
   // (each envelope of a batch is dispatched individually).
   void set_handler(Handler handler) { handler_ = std::move(handler); }
-  // Batch-aware handler: receives contiguous same-destination runs.
+  // Batch-aware handler: receives contiguous same-(dst, port) runs.
   void set_batch_handler(BatchHandler handler) {
     batch_handler_ = std::move(handler);
   }
@@ -91,8 +98,9 @@ class Router {
   int PhysicalOf(LogicalNode n) const { return n % num_physical_; }
 
   // Enqueues an update from `src` to `dst`. Wire cost is charged only when
-  // the endpoints live on different physical peers.
-  void Send(LogicalNode src, LogicalNode dst, int port, Update update);
+  // the endpoints live on different physical peers. Takes the update by
+  // rvalue: exactly one move lands it in the queue.
+  void Send(LogicalNode src, LogicalNode dst, int port, Update&& update);
 
   // Enqueues a batch of updates along one channel, equivalent to (and
   // charged exactly like) one Send per update. The contiguous enqueue makes
@@ -104,7 +112,7 @@ class Router {
   // the network is quiescent.
   bool Step();
 
-  // Delivers the oldest pending run of same-destination messages (at most
+  // Delivers the oldest pending run of same-(dst, port) messages (at most
   // `max_n`) as one batch. Returns the number of messages delivered, 0 when
   // quiescent.
   size_t StepBatch(size_t max_n = SIZE_MAX);
@@ -117,7 +125,13 @@ class Router {
   bool RunUntilQuiescent(uint64_t max_messages);
 
   // Discards all pending messages, recording them as dropped and the run as
-  // aborted. Called on budget exhaustion.
+  // aborted. Called on budget exhaustion. The dropped messages' wire
+  // charges are reversed: a message that never reached its destination is
+  // not communication the truncated run performed, so ">budget" figure
+  // cells report the traffic delivered up to the cutoff instead of
+  // whatever happened to be sitting in the queue. (Do not Reset stats while
+  // messages are pending; uncharging assumes the pending charges are still
+  // in the counters.)
   void AbortRun();
 
   size_t pending() const { return current_.size() - head_ + inbox_.size(); }
@@ -128,6 +142,8 @@ class Router {
 
  private:
   void ChargeSend(LogicalNode src, LogicalNode dst, const Update& update);
+  // Reverses ChargeSend for a message that is being dropped undelivered.
+  void UnchargeSend(const Envelope& env);
   // Moves inbox_ into the drain position once current_ is exhausted.
   // Returns false when both are empty (quiescent).
   bool Refill();

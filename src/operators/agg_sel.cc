@@ -18,8 +18,7 @@ AggSel::AggSel(ProvMode mode, std::vector<size_t> group_cols,
 }
 
 Tuple AggSel::GroupOf(const Tuple& t) const {
-  std::vector<Value> values;
-  values.reserve(group_cols_.size());
+  Tuple::Values values;
   for (size_t i : group_cols_) values.push_back(t.at(i));
   return Tuple(std::move(values));
 }

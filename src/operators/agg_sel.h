@@ -2,9 +2,9 @@
 #define RECNET_OPERATORS_AGG_SEL_H_
 
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.h"
 #include "operators/update.h"
 
 namespace recnet {
@@ -67,8 +67,8 @@ class AggSel {
   ProvMode mode_;
   std::vector<size_t> group_cols_;
   std::vector<AggSpec> aggs_;
-  std::unordered_map<Tuple, GroupState, TupleHash> groups_;
-  std::unordered_map<Tuple, Prov, TupleHash> prov_;  // Table P.
+  FlatTable<Tuple, GroupState, TupleHash> groups_;
+  FlatTable<Tuple, Prov, TupleHash> prov_;  // Table P.
 };
 
 }  // namespace recnet

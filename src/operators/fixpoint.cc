@@ -3,20 +3,27 @@
 namespace recnet {
 
 std::optional<Prov> Fixpoint::ProcessInsert(const Tuple& tuple,
-                                            const Prov& pv) {
+                                            const Prov& pv, bool* is_new) {
+  if (is_new != nullptr) *is_new = false;
   if (pv.IsFalse()) return std::nullopt;
-  auto it = view_.find(tuple);
-  if (it == view_.end()) {
+  // Single probe with one hash computation covers both the first-derivation
+  // and the merge path.
+  auto [it, inserted] = view_.try_emplace(tuple, pv);
+  if (inserted) {
     // Algorithm 1 lines 12-15: first derivation; store and propagate as-is.
-    view_.emplace(tuple, pv);
+    if (is_new != nullptr) *is_new = true;
     return pv;
   }
   // Algorithm 1 lines 17-25: merge and propagate the non-absorbed delta.
   Prov old_pv = it->second;
+  if (pv == old_pv) return std::nullopt;  // Trivially absorbed.
   Prov merged = old_pv.Or(pv);
   if (merged == old_pv) return std::nullopt;  // Fully absorbed.
   it->second = merged;
-  return merged.DeltaOver(old_pv);
+  // deltaPv = newPv ∧ ¬oldPv (line 19). Since newPv = oldPv ∨ pv, this
+  // equals pv ∧ ¬oldPv — the same canonical function computed over the
+  // (usually much smaller) incoming annotation instead of the merged one.
+  return pv.DeltaOver(old_pv);
 }
 
 Fixpoint::KillResult Fixpoint::ProcessKill(

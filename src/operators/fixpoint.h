@@ -2,9 +2,9 @@
 #define RECNET_OPERATORS_FIXPOINT_H_
 
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.h"
 #include "operators/update.h"
 
 namespace recnet {
@@ -37,7 +37,10 @@ class Fixpoint {
   // Handles an insertion u = (tuple, pv). Returns the delta provenance to
   // propagate (the whole pv for a first derivation; newPv ∧ ¬oldPv for a
   // merged one), or nullopt when the new derivation was fully absorbed.
-  std::optional<Prov> ProcessInsert(const Tuple& tuple, const Prov& pv);
+  // `is_new` (optional) reports whether the tuple entered the view, saving
+  // callers a second table probe.
+  std::optional<Prov> ProcessInsert(const Tuple& tuple, const Prov& pv,
+                                    bool* is_new = nullptr);
 
   struct KillResult {
     // Tuples whose provenance became false and were removed from the view.
@@ -53,14 +56,10 @@ class Fixpoint {
   // removed), i.e. the retraction must cascade.
   bool ProcessDelete(const Tuple& tuple);
 
-  bool Contains(const Tuple& tuple) const {
-    return view_.find(tuple) != view_.end();
-  }
+  bool Contains(const Tuple& tuple) const { return view_.contains(tuple); }
   const Prov* Lookup(const Tuple& tuple) const;
 
-  const std::unordered_map<Tuple, Prov, TupleHash>& contents() const {
-    return view_;
-  }
+  const FlatTable<Tuple, Prov, TupleHash>& contents() const { return view_; }
   size_t size() const { return view_.size(); }
 
   // Bytes of operator state (tuples + annotations); backs the paper's
@@ -69,7 +68,7 @@ class Fixpoint {
 
  private:
   ProvMode mode_;
-  std::unordered_map<Tuple, Prov, TupleHash> view_;
+  FlatTable<Tuple, Prov, TupleHash> view_;
 };
 
 }  // namespace recnet

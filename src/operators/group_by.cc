@@ -18,8 +18,7 @@ GroupByAggregate::GroupByAggregate(std::vector<size_t> group_cols,
 }
 
 Tuple GroupByAggregate::GroupOf(const Tuple& t) const {
-  std::vector<Value> values;
-  values.reserve(group_cols_.size());
+  Tuple::Values values;
   for (size_t i : group_cols_) values.push_back(t.at(i));
   return Tuple(std::move(values));
 }

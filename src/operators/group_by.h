@@ -3,9 +3,9 @@
 
 #include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.h"
 #include "common/value.h"
 
 namespace recnet {
@@ -64,7 +64,7 @@ class GroupByAggregate {
 
   std::vector<size_t> group_cols_;
   std::vector<GroupAggSpec> aggs_;
-  std::unordered_map<Tuple, GroupState, TupleHash> groups_;
+  FlatTable<Tuple, GroupState, TupleHash> groups_;
 };
 
 }  // namespace recnet

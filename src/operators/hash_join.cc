@@ -22,8 +22,7 @@ void PipelinedHashJoin::Reserve(size_t expected_per_side) {
 }
 
 Tuple PipelinedHashJoin::KeyOf(const SideState& s, const Tuple& t) const {
-  std::vector<Value> key_values;
-  key_values.reserve(s.key.size());
+  Tuple::Values key_values;
   for (size_t i : s.key) key_values.push_back(t.at(i));
   return Tuple(std::move(key_values));
 }
@@ -39,6 +38,7 @@ std::vector<Update> PipelinedHashJoin::Probe(Side probe_side,
   Tuple key = KeyOf(side_[self], tuple);
   auto it = side_[other].index.find(key);
   if (it == side_[other].index.end()) return out;
+  out.reserve(it->second.size());  // At most one update per match.
   for (const Tuple& match : it->second) {
     const Prov& match_pv = side_[other].prov.at(match);
     Tuple joined = (self == kLeft) ? combine_(tuple, match)
@@ -59,10 +59,9 @@ std::vector<Update> PipelinedHashJoin::ProcessInsert(Side side,
                                                      const Tuple& tuple,
                                                      const Prov& delta_pv) {
   SideState& s = side_[side];
-  auto it = s.prov.find(tuple);
-  if (it == s.prov.end()) {
+  auto [it, is_new] = s.prov.try_emplace(tuple, delta_pv);
+  if (is_new) {
     // HalfPipeIns lines 2-4: new tuple; index it under its join key.
-    s.prov.emplace(tuple, delta_pv);
     s.index[KeyOf(s, tuple)].push_back(tuple);
     return Probe(side, tuple, delta_pv, UpdateType::kInsert);
   }

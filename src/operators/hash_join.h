@@ -2,9 +2,9 @@
 #define RECNET_OPERATORS_HASH_JOIN_H_
 
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.h"
 #include "operators/update.h"
 
 namespace recnet {
@@ -65,9 +65,9 @@ class PipelinedHashJoin {
   struct SideState {
     std::vector<size_t> key;
     // Join key -> distinct tuples with that key.
-    std::unordered_map<Tuple, std::vector<Tuple>, TupleHash> index;
+    FlatTable<Tuple, std::vector<Tuple>, TupleHash> index;
     // Tuple -> merged provenance.
-    std::unordered_map<Tuple, Prov, TupleHash> prov;
+    FlatTable<Tuple, Prov, TupleHash> prov;
   };
 
   Tuple KeyOf(const SideState& s, const Tuple& t) const;

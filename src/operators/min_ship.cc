@@ -24,10 +24,10 @@ MinShip::MinShip(ProvMode prov_mode, ShipMode ship_mode, size_t batch_window,
 }
 
 void MinShip::ProcessInsert(const Tuple& tuple, const Prov& pv) {
-  auto sent = bsent_.find(tuple);
-  if (sent == bsent_.end()) {
+  // One probe handles both the first-derivation and the merge path.
+  auto [sent, is_new] = bsent_.try_emplace(tuple, pv);
+  if (is_new) {
     // Algorithm 3 lines 11-13: first derivation ships right away.
-    bsent_.emplace(tuple, pv);
     send_(tuple, pv);
   } else if (ship_mode_ == ShipMode::kDirect) {
     // Conventional Ship: forward every non-absorbed derivation.

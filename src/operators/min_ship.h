@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.h"
 #include "operators/update.h"
 
 namespace recnet {
@@ -74,7 +75,15 @@ class MinShip {
   size_t batch_window_;
   SendFn send_;
   size_t since_flush_ = 0;
-  std::unordered_map<Tuple, Prov, TupleHash> bsent_;
+  FlatTable<Tuple, Prov, TupleHash> bsent_;
+  // The eager-mode Flush ships the buffer in iteration order, and delivery
+  // order feeds back into absorption results (which annotation reaches a
+  // fixpoint first decides what later derivations are absorbed into), so
+  // the benchmark trajectories pin the exact message sequence. Pins stays
+  // on the node-based container whose iteration order that sequence was
+  // recorded under; it is the cold side of MinShip (only non-first
+  // derivations land here), while the per-insert hot path — Bsent — is
+  // flat.
   std::unordered_map<Tuple, Prov, TupleHash> pins_;
 };
 

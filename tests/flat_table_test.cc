@@ -1,0 +1,136 @@
+// FlatTable correctness: randomized interleavings of insert / erase / find /
+// rehash checked against std::unordered_map, plus the iterator-contract
+// details the operators rely on (erase-while-iterating, tombstone reuse).
+
+#include "common/flat_table.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/value.h"
+
+namespace recnet {
+namespace {
+
+Tuple RandomTuple(Rng* rng, int key_space) {
+  return Tuple::OfInts({static_cast<int64_t>(rng->NextBounded(key_space)),
+                        static_cast<int64_t>(rng->NextBounded(key_space))});
+}
+
+// Everything the reference sees, the table must see, in every state the
+// interleaving can produce (including tombstone-heavy and just-rehashed).
+TEST(FlatTableTest, RandomizedParityWithUnorderedMap) {
+  for (uint64_t seed : {1u, 7u, 42u, 1234u}) {
+    Rng rng(seed);
+    FlatTable<Tuple, int64_t, TupleHash> table;
+    std::unordered_map<Tuple, int64_t, TupleHash> ref;
+    for (int op = 0; op < 5000; ++op) {
+      int key_space = op < 2500 ? 40 : 400;  // Grow the live set mid-run.
+      Tuple key = RandomTuple(&rng, key_space);
+      switch (rng.NextBounded(5)) {
+        case 0:
+        case 1: {  // Insert-or-assign through try_emplace + merge.
+          int64_t v = static_cast<int64_t>(rng.NextBounded(1000));
+          auto [it, inserted] = table.try_emplace(key, v);
+          auto [rit, rinserted] = ref.try_emplace(key, v);
+          ASSERT_EQ(inserted, rinserted);
+          ASSERT_EQ(it->second, rit->second);
+          it->second += 3;
+          rit->second += 3;
+          break;
+        }
+        case 2: {  // Erase by key.
+          ASSERT_EQ(table.erase(key), ref.erase(key));
+          break;
+        }
+        case 3: {  // Find.
+          auto it = table.find(key);
+          auto rit = ref.find(key);
+          ASSERT_EQ(it == table.end(), rit == ref.end());
+          if (rit != ref.end()) {
+            ASSERT_EQ(it->second, rit->second);
+          }
+          break;
+        }
+        case 4: {  // operator[] default-constructs like unordered_map.
+          table[key] += 5;
+          ref[key] += 5;
+          break;
+        }
+      }
+      if (op % 613 == 0) table.reserve(rng.NextBounded(700));  // Force rehash.
+      ASSERT_EQ(table.size(), ref.size());
+    }
+    // Full-contents parity, independent of iteration order.
+    std::map<Tuple, int64_t> sorted_table(table.begin(), table.end());
+    std::map<Tuple, int64_t> sorted_ref(ref.begin(), ref.end());
+    EXPECT_EQ(sorted_table, sorted_ref);
+  }
+}
+
+TEST(FlatTableTest, EraseWhileIteratingVisitsEverySurvivor) {
+  FlatTable<int, int> table;
+  for (int i = 0; i < 100; ++i) table.try_emplace(i, i * 10);
+  std::vector<int> survivors;
+  for (auto it = table.begin(); it != table.end();) {
+    if (it->first % 3 == 0) {
+      it = table.erase(it);
+    } else {
+      survivors.push_back(it->first);
+      ++it;
+    }
+  }
+  EXPECT_EQ(table.size(), 66u);
+  EXPECT_EQ(survivors.size(), 66u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(table.contains(i), i % 3 != 0) << i;
+  }
+}
+
+TEST(FlatTableTest, TombstoneSlotsAreReusedAndRehashReclaims) {
+  FlatTable<int, std::string> table;
+  // Churn far more keys through the table than its high-water capacity: if
+  // tombstones leaked, probes would degrade or the table would grow without
+  // bound.
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      table.try_emplace(round * 20 + i, "v");
+    }
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_EQ(table.erase(round * 20 + i), 1u);
+    }
+  }
+  EXPECT_TRUE(table.empty());
+  table.try_emplace(-1, "last");
+  EXPECT_EQ(table.at(-1), "last");
+}
+
+TEST(FlatTableTest, HashedEntryPointsAgreeWithPlainOnes) {
+  FlatTable<Tuple, int, TupleHash> table;
+  Tuple key = Tuple::OfInts({3, 4});
+  size_t h = table.hash_of(key);
+  auto [it, inserted] = table.try_emplace_hashed(key, h, 9);
+  EXPECT_TRUE(inserted);
+  EXPECT_EQ(table.find_hashed(key, h)->second, 9);
+  EXPECT_EQ(table.find(key)->second, 9);
+}
+
+TEST(FlatTableTest, ClearKeepsCapacityAndResetsContents) {
+  FlatTable<int, int> table;
+  for (int i = 0; i < 50; ++i) table.try_emplace(i, i);
+  table.clear();
+  EXPECT_TRUE(table.empty());
+  EXPECT_EQ(table.begin(), table.end());
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(table.contains(i));
+  table.try_emplace(7, 7);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+}  // namespace
+}  // namespace recnet

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <utility>
+#include <vector>
+
 #include "engine/metrics.h"
 #include "engine/reachable_runtime.h"
 #include "engine/runtime_base.h"
@@ -65,6 +69,94 @@ TEST(RouterTest, BudgetExhaustionDropsQueueAndRecordsAbort) {
   EXPECT_EQ(router.pending(), 0u);
   EXPECT_EQ(router.stats().aborted_runs, 1u);
   EXPECT_GE(router.stats().dropped_messages, 1u);
+}
+
+TEST(RouterTest, AbortUnchargesTheDroppedQueue) {
+  // Metrics of an aborted run reflect the traffic delivered up to the
+  // cutoff: wire charges for messages dropped with the queue are reversed.
+  Router router(2, 2);
+  router.set_handler([](const Envelope&) {});
+  for (int64_t i = 0; i < 5; ++i) {
+    router.Send(0, 1, kPortFix, Ins(Tuple::OfInts({i})));
+  }
+  EXPECT_EQ(router.stats().messages, 5u);
+  uint64_t bytes_for_five = router.stats().bytes;
+  EXPECT_FALSE(router.RunUntilQuiescent(2));
+  EXPECT_EQ(router.stats().messages, 2u);
+  EXPECT_EQ(router.stats().insert_messages, 2u);
+  EXPECT_EQ(router.stats().bytes, bytes_for_five / 5 * 2);
+  EXPECT_EQ(router.stats().dropped_messages, 3u);
+  EXPECT_EQ(router.stats().aborted_runs, 1u);
+}
+
+TEST(RouterTest, BatchRunsNeverMixPortsAndPreserveOrder) {
+  // Same destination, alternating ports: runs must split at every port
+  // change (handlers hoist per-port operator dispatch, so a mixed run would
+  // be delivered to the wrong operator input).
+  Router router(4, 4);
+  std::vector<std::pair<int, int64_t>> order;  // (port, payload)
+  std::vector<size_t> batch_sizes;
+  router.set_batch_handler([&](const Envelope* envs, size_t n) {
+    batch_sizes.push_back(n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(envs[i].dst, envs[0].dst);
+      EXPECT_EQ(envs[i].port, envs[0].port);
+      order.emplace_back(envs[i].port, envs[i].update.tuple.IntAt(0));
+    }
+  });
+  router.Send(0, 1, kPortFix, Ins(Tuple::OfInts({0})));
+  router.Send(0, 1, kPortFix, Ins(Tuple::OfInts({1})));
+  router.Send(0, 1, kPortJoinBuild, Ins(Tuple::OfInts({2})));
+  router.Send(0, 1, kPortFix, Ins(Tuple::OfInts({3})));
+  router.Send(0, 2, kPortFix, Ins(Tuple::OfInts({4})));
+  EXPECT_TRUE(router.RunUntilQuiescent(100));
+  EXPECT_EQ(order, (std::vector<std::pair<int, int64_t>>{{kPortFix, 0},
+                                                         {kPortFix, 1},
+                                                         {kPortJoinBuild, 2},
+                                                         {kPortFix, 3},
+                                                         {kPortFix, 4}}));
+  EXPECT_EQ(batch_sizes, (std::vector<size_t>{2, 1, 1, 1}));
+}
+
+TEST(RouterTest, PortBatchingParityWithUnbatchedDelivery) {
+  // (dst, port)-batched delivery must be envelope-for-envelope identical to
+  // unbatched delivery — same order, same counters except `batches`.
+  std::vector<std::tuple<LogicalNode, int, int64_t>> reference;
+  NetworkStats reference_stats;
+  for (int batched = 0; batched < 2; ++batched) {
+    SCOPED_TRACE(batched);
+    Router a(6, 3);
+    a.set_batching(batched == 1);
+    std::vector<std::tuple<LogicalNode, int, int64_t>> seen;
+    a.set_batch_handler([&](const Envelope* envs, size_t n) {
+      for (size_t i = 0; i < n; ++i) {
+        seen.emplace_back(envs[i].dst, envs[i].port,
+                          envs[i].update.tuple.IntAt(0));
+        // Handlers re-sending mid-run exercises the inbox swap.
+        if (envs[i].update.tuple.IntAt(0) == 2) {
+          a.Send(envs[i].dst, (envs[i].dst + 1) % 6, kPortKill,
+                 Ins(Tuple::OfInts({100})));
+        }
+      }
+    });
+    for (int64_t i = 0; i < 12; ++i) {
+      a.Send(0, static_cast<LogicalNode>(i % 3 + 1), i % 2 == 0 ? kPortFix
+                                                                : kPortAgg,
+             Ins(Tuple::OfInts({i})));
+    }
+    EXPECT_TRUE(a.RunUntilQuiescent(100));
+    if (batched == 0) {
+      reference = seen;
+      reference_stats = a.stats();
+    } else {
+      EXPECT_EQ(seen, reference);
+      EXPECT_EQ(a.stats().messages, reference_stats.messages);
+      EXPECT_EQ(a.stats().bytes, reference_stats.bytes);
+      EXPECT_EQ(a.stats().local_messages, reference_stats.local_messages);
+      EXPECT_EQ(a.stats().insert_messages, reference_stats.insert_messages);
+      EXPECT_LE(a.stats().batches, reference_stats.batches);
+    }
+  }
 }
 
 TEST(RouterTest, BatchDeliveryCoalescesSameDestinationRuns) {
@@ -184,6 +276,25 @@ TEST(RouterTest, BatchedRunMatchesUnbatchedNetworkStats) {
       ASSERT_TRUE(rt.Run());
       stats[batched] = rt.router().stats();
       view_size[batched] = rt.ViewSize();
+      // Full view-content parity, not just sizes: batched delivery must
+      // leave every partition identical.
+      if (batched == 1) {
+        RuntimeOptions unbatched_opts = opts;
+        unbatched_opts.batch_delivery = false;
+        ReachableRuntime ref(8, unbatched_opts);
+        for (int i = 0; i < 8; ++i) {
+          ref.InsertLink(i, (i + 1) % 8);
+          ref.InsertLink(i, (i + 3) % 8);
+        }
+        ASSERT_TRUE(ref.Run());
+        ref.DeleteLink(2, 3);
+        ref.DeleteLink(5, 6);
+        ASSERT_TRUE(ref.Run());
+        for (int src = 0; src < 8; ++src) {
+          EXPECT_EQ(rt.ReachableFrom(src), ref.ReachableFrom(src))
+              << ProvModeName(prov) << " src " << src;
+        }
+      }
     }
     EXPECT_EQ(view_size[0], view_size[1]);
     EXPECT_EQ(stats[0].messages, stats[1].messages);

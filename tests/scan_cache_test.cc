@@ -175,6 +175,189 @@ TEST(ScanCacheTest, LookupIndexNormalizesNumericKeys) {
   EXPECT_EQ(*by_double, *by_int);
 }
 
+// The incremental patch path (cached rows + indexes updated from run
+// deltas) must be indistinguishable from a fresh engine that materializes
+// its caches from scratch at every step — across maintenance strategies,
+// for the recursive and the aggregate view, for scans and indexed lookups.
+TEST_P(ScanCacheProvTest, IncrementalPatchMatchesFreshEngine) {
+  const int n = 6;
+  auto cached = Engine::Compile(kReachable, GraphOptions(n, GetParam()));
+  ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+  // `fresh` replays the same ops but is re-compiled before every read, so
+  // its caches are always built by a full ScanView sweep.
+  std::vector<std::pair<bool, std::pair<int, int>>> ops = {
+      {true, {0, 1}},  {true, {1, 2}},  {true, {2, 3}},  {true, {3, 0}},
+      {false, {1, 2}}, {true, {1, 4}},  {true, {4, 5}},  {false, {0, 1}},
+      {true, {0, 2}},  {false, {2, 3}}, {true, {2, 3}},  {false, {4, 5}},
+  };
+  std::vector<std::pair<bool, std::pair<int, int>>> applied;
+  for (const auto& op : ops) {
+    applied.push_back(op);
+    Engine& c = **cached;
+    if (op.first) {
+      ASSERT_TRUE(c.Insert("link", {double(op.second.first),
+                                    double(op.second.second)}).ok());
+    } else {
+      ASSERT_TRUE(c.Delete("link", {double(op.second.first),
+                                    double(op.second.second)}).ok());
+    }
+    ASSERT_TRUE(c.Apply().ok());
+
+    auto fresh = Engine::Compile(kReachable, GraphOptions(n, GetParam()));
+    ASSERT_TRUE(fresh.ok());
+    for (const auto& past : applied) {
+      // Apply per op, like the cached engine above (DRed requires each
+      // deletion's over-delete/re-derive cycle to run in isolation).
+      if (past.first) {
+        ASSERT_TRUE((*fresh)->Insert("link", {double(past.second.first),
+                                              double(past.second.second)}).ok());
+      } else {
+        ASSERT_TRUE((*fresh)->Delete("link", {double(past.second.first),
+                                              double(past.second.second)}).ok());
+      }
+      ASSERT_TRUE((*fresh)->Apply().ok());
+    }
+
+    for (const char* view : {"reachable", "fanout"}) {
+      auto got = c.Scan(view);
+      auto want = (*fresh)->Scan(view);
+      ASSERT_TRUE(got.ok() && want.ok()) << view;
+      EXPECT_EQ(*got, *want) << view << " after op " << applied.size();
+    }
+    // Indexed lookups agree entry-for-entry with the fresh engine.
+    for (int src = 0; src < n; ++src) {
+      for (int dst = 0; dst < n; ++dst) {
+        auto got = c.Contains("reachable", {double(src), double(dst)});
+        auto want = (*fresh)->Contains("reachable", {double(src), double(dst)});
+        ASSERT_TRUE(got.ok() && want.ok());
+        EXPECT_EQ(*got, *want) << src << "->" << dst;
+      }
+      auto got = c.Lookup("fanout", {double(src)});
+      auto want = (*fresh)->Lookup("fanout", {double(src)});
+      ASSERT_EQ(got.ok(), want.ok()) << "fanout " << src;
+      if (got.ok()) {
+        EXPECT_EQ(*got, *want);
+      }
+    }
+  }
+}
+
+// Same equivalence for the shortest-path adapter's min-cost projection,
+// whose deltas are recomputed per affected (src, dst) pair.
+TEST(ScanCacheTest, ShortestPathIncrementalPatchMatchesFreshEngine) {
+  const int n = 5;
+  auto cached =
+      Engine::Compile(kShortestPath, GraphOptions(n, ProvMode::kAbsorption));
+  ASSERT_TRUE(cached.ok());
+  std::vector<std::pair<bool, std::vector<double>>> ops = {
+      {true, {0, 1, 1.0}}, {true, {1, 2, 1.0}}, {true, {0, 2, 5.0}},
+      {true, {2, 3, 2.0}}, {false, {1, 2}},     {true, {1, 2, 0.5}},
+      {true, {3, 4, 1.0}}, {false, {0, 2}},
+  };
+  std::vector<std::pair<bool, std::vector<double>>> applied;
+  for (const auto& op : ops) {
+    applied.push_back(op);
+    Engine& c = **cached;
+    Status st = op.first
+                    ? c.Insert("link",
+                               Tuple({Value(static_cast<int64_t>(op.second[0])),
+                                      Value(static_cast<int64_t>(op.second[1])),
+                                      Value(op.second[2])}))
+                    : c.Delete("link", Tuple::OfInts(
+                          {static_cast<int64_t>(op.second[0]),
+                           static_cast<int64_t>(op.second[1])}));
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    ASSERT_TRUE(c.Apply().ok());
+
+    auto fresh =
+        Engine::Compile(kShortestPath, GraphOptions(n, ProvMode::kAbsorption));
+    ASSERT_TRUE(fresh.ok());
+    for (const auto& past : applied) {
+      Status pst =
+          past.first
+              ? (*fresh)->Insert(
+                    "link",
+                    Tuple({Value(static_cast<int64_t>(past.second[0])),
+                           Value(static_cast<int64_t>(past.second[1])),
+                           Value(past.second[2])}))
+              : (*fresh)->Delete("link", Tuple::OfInts(
+                    {static_cast<int64_t>(past.second[0]),
+                     static_cast<int64_t>(past.second[1])}));
+      ASSERT_TRUE(pst.ok());
+      ASSERT_TRUE((*fresh)->Apply().ok());
+    }
+
+    for (const char* view : {"path", "minCost"}) {
+      auto got = c.Scan(view);
+      auto want = (*fresh)->Scan(view);
+      ASSERT_TRUE(got.ok() && want.ok()) << view;
+      EXPECT_EQ(*got, *want) << view << " after op " << applied.size();
+    }
+  }
+}
+
+// Same equivalence for the region adapter, replaying trigger/untrigger
+// sequences (kills, re-derivations, and relative-mode underivability
+// sweeps all flow through the delta log) across maintenance strategies.
+TEST_P(ScanCacheProvTest, RegionIncrementalPatchMatchesFreshEngine) {
+  SensorGridOptions grid;
+  grid.grid_dim = 4;
+  grid.num_seeds = 2;
+  grid.seed = 11;
+  EngineOptions options;
+  options.field = MakeSensorGrid(grid);
+  options.runtime.prov = GetParam();
+  options.runtime.num_physical = 4;
+
+  auto cached = Engine::Compile(kRegion, options);
+  ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+  int seed0 = options.field->seed_sensors[0];
+  int seed1 = options.field->seed_sensors[1];
+  const auto& nbrs = options.field->neighbors[static_cast<size_t>(seed0)];
+  // Trigger both seeds and a neighborhood, then untrigger parts of it.
+  std::vector<std::pair<bool, int>> ops = {{true, seed0}, {true, seed1}};
+  for (int nb : nbrs) ops.emplace_back(true, nb);
+  ops.emplace_back(false, seed0);
+  ops.emplace_back(true, seed0);
+  if (!nbrs.empty()) ops.emplace_back(false, nbrs[0]);
+  ops.emplace_back(false, seed1);
+
+  std::vector<std::pair<bool, int>> applied;
+  for (const auto& op : ops) {
+    applied.push_back(op);
+    Engine& c = **cached;
+    Status st = op.first ? c.Insert("triggered", {double(op.second)})
+                         : c.Delete("triggered", {double(op.second)});
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    ASSERT_TRUE(c.Apply().ok());
+
+    auto fresh = Engine::Compile(kRegion, options);
+    ASSERT_TRUE(fresh.ok());
+    for (const auto& past : applied) {
+      Status pst = past.first
+                       ? (*fresh)->Insert("triggered", {double(past.second)})
+                       : (*fresh)->Delete("triggered", {double(past.second)});
+      ASSERT_TRUE(pst.ok());
+      ASSERT_TRUE((*fresh)->Apply().ok());
+    }
+
+    for (const char* view : {"activeRegion", "regionSizes"}) {
+      auto got = c.Scan(view);
+      auto want = (*fresh)->Scan(view);
+      ASSERT_TRUE(got.ok() && want.ok()) << view;
+      EXPECT_EQ(*got, *want)
+          << view << " after op " << applied.size() << " ("
+          << ProvModeName(GetParam()) << ")";
+    }
+    auto got0 = c.Lookup("regionSizes", {0});
+    auto want0 = (*fresh)->Lookup("regionSizes", {0});
+    ASSERT_EQ(got0.ok(), want0.ok());
+    if (got0.ok()) {
+      EXPECT_EQ(*got0, *want0);
+    }
+  }
+}
+
 TEST(ScanCacheTest, RegionScansTrackTriggerChanges) {
   SensorGridOptions grid;
   grid.grid_dim = 4;
