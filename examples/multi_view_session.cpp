@@ -1,0 +1,71 @@
+// Multi-view sessions: two recursive programs co-resident on one substrate
+// (one router, one BDD manager, one shared link EDB), the paper's
+// many-views-over-one-network deployment. Each program keeps its own
+// incremental maintenance and its own traffic counters; base facts are
+// loaded once per session and fan out to every view that declares them.
+//
+// Build & run:  cmake -B build && cmake --build build -j
+//               ./build/example_multi_view_session
+
+#include <cstdio>
+
+#include "engine/session.h"
+
+int main() {
+  recnet::SessionOptions options;
+  options.num_nodes = 6;
+  recnet::Session session(options);
+
+  // View 1: transitive closure of `link` (paper Query 1).
+  auto reachable = session.AddProgram(R"(
+    reachable(x,y) :- link(x,y).
+    reachable(x,y) :- link(x,z), reachable(z,y).
+    fanout(x,count<y>) :- reachable(x,y).
+  )", {});
+  RECNET_CHECK(reachable.ok());
+
+  // View 2: the right-linear closure over the SAME link EDB — a second
+  // program, compiled into the same session, sharing the substrate.
+  auto spans = session.AddProgram(R"(
+    span(x,y) :- link(x,y).
+    span(x,y) :- span(x,z), link(z,y).
+  )", {});
+  RECNET_CHECK(spans.ok());
+
+  // One insert feeds both views; one Apply converges both in one shared
+  // fixpoint drain.
+  for (int i = 0; i < 5; ++i) {
+    RECNET_CHECK(session.Insert("link", {double(i), double(i + 1)}).ok());
+  }
+  RECNET_CHECK(session.Apply().ok());
+
+  auto reach_rows = (*reachable)->Scan("reachable");
+  auto span_rows = (*spans)->Scan("span");
+  RECNET_CHECK(reach_rows.ok() && span_rows.ok());
+  std::printf("reachable: %zu tuples   span: %zu tuples\n",
+              reach_rows->size(), span_rows->size());
+
+  // Per-view accounting on the shared router: each view reads exactly the
+  // counters it would have produced on a private one.
+  std::printf("reachable view traffic: %llu msgs   span view traffic: %llu msgs\n",
+              static_cast<unsigned long long>((*reachable)->Metrics().messages),
+              static_cast<unsigned long long>((*spans)->Metrics().messages));
+
+  // The node-id space is dynamic: a late fact naming unseen node 9 grows
+  // the topology for every graph view in the session.
+  RECNET_CHECK(session.Insert("link", {5, 9}).ok());
+  RECNET_CHECK(session.Apply().ok());
+  std::printf("after link(5,9): %d nodes, reachable(0,9)=%d span(0,9)=%d\n",
+              session.num_nodes(),
+              int(*(*reachable)->Contains("reachable", {0, 9})),
+              int(*(*spans)->Contains("span", {0, 9})));
+
+  // Incremental maintenance stays per-view correct under sharing: deleting
+  // the bridge contracts both closures.
+  RECNET_CHECK(session.Delete("link", {2, 3}).ok());
+  RECNET_CHECK(session.Apply().ok());
+  std::printf("after delete link(2,3): reachable(0,9)=%d span(0,9)=%d\n",
+              int(*(*reachable)->Contains("reachable", {0, 9})),
+              int(*(*spans)->Contains("span", {0, 9})));
+  return 0;
+}

@@ -328,6 +328,29 @@ const char* PlanKindName(PlanKind kind) {
   return "?";
 }
 
+std::vector<RelationDecl> PlanSpec::Relations() const {
+  switch (kind) {
+    case PlanKind::kReachable:
+      return {{edb, 2, /*dynamic=*/true}};
+    case PlanKind::kShortestPath:
+      return {{edb, 3, /*dynamic=*/true}};
+    case PlanKind::kRegion:
+      // The trigger relation is the only dynamic input; the seed and
+      // proximity EDBs are fixed by the sensor deployment.
+      return {{trigger_edb, 1, /*dynamic=*/true},
+              {edb, 2, /*dynamic=*/false},
+              {proximity_edb, 2, /*dynamic=*/false}};
+  }
+  return {};
+}
+
+bool PlanSpec::IsStaticRelation(const std::string& name) const {
+  for (const RelationDecl& decl : Relations()) {
+    if (decl.name == name) return !decl.dynamic;
+  }
+  return false;
+}
+
 std::string PlanSpec::ToString() const {
   std::ostringstream os;
   os << "Plan[" << PlanKindName(kind) << " view=" << view << " edb=" << edb;

@@ -34,6 +34,18 @@ enum class PlanKind {
 
 const char* PlanKindName(PlanKind kind);
 
+// One base relation a compiled plan touches. `dynamic` relations accept
+// runtime Insert/Delete traffic; static ones describe the deployment (the
+// region plan's seed and proximity EDBs) and are fixed at compile time.
+// Sessions use these declarations to route shared-EDB ingestion: a fact for
+// relation R fans out to every co-resident view declaring R, and two views
+// may share R only if their declarations agree.
+struct RelationDecl {
+  std::string name;
+  size_t arity = 0;
+  bool dynamic = true;
+};
+
 // The distributed plan shape the planner recognized, lowered from the
 // source program structurally (variable names are irrelevant).
 //
@@ -80,6 +92,14 @@ struct PlanSpec {
   // Ground EDB facts written directly in the program (e.g. `link(1,2).`),
   // loaded by the Engine as initial insertions.
   std::vector<Rule> facts;
+
+  // The base relations this plan ingests, with their expected arity and
+  // whether they are dynamic (see RelationDecl). This is the per-view
+  // namespace a Session consults when fanning one shared EDB fact out to
+  // every co-resident view that declares the relation.
+  std::vector<RelationDecl> Relations() const;
+  // True iff `name` is a deployment-defined (static) relation of this plan.
+  bool IsStaticRelation(const std::string& name) const;
 
   std::string ToString() const;
 };

@@ -1,175 +1,20 @@
 #include "engine/engine.h"
 
-#include <cmath>
 #include <utility>
 
-#include "datalog/analyzer.h"
-#include "datalog/parser.h"
-
 namespace recnet {
-namespace {
-
-// Numeric literals with an exact integral value become int64 (node ids);
-// everything else stays double (costs).
-Value NumberToValue(double d) {
-  if (std::floor(d) == d && std::abs(d) < 9.0e15) {
-    return Value(static_cast<int64_t>(d));
-  }
-  return Value(d);
-}
-
-Tuple TupleOfDoubles(std::initializer_list<double> vals) {
-  std::vector<Value> out;
-  out.reserve(vals.size());
-  for (double d : vals) out.push_back(NumberToValue(d));
-  return Tuple(std::move(out));
-}
-
-// A ground fact's arguments as a Tuple (the planner already rejected
-// non-constant arguments).
-Tuple FactTuple(const datalog::Rule& fact) {
-  std::vector<Value> out;
-  out.reserve(fact.head.args.size());
-  for (const datalog::Term& term : fact.head.args) {
-    if (term.kind == datalog::Term::Kind::kString) {
-      out.push_back(Value(term.text));
-    } else {
-      out.push_back(NumberToValue(term.number));
-    }
-  }
-  return Tuple(std::move(out));
-}
-
-}  // namespace
 
 StatusOr<std::unique_ptr<Engine>> Engine::Compile(
     const std::string& source, const EngineOptions& options) {
-  StatusOr<datalog::Program> program = datalog::Parse(source);
-  if (!program.ok()) return program.status();
-  StatusOr<datalog::ProgramInfo> info = datalog::Analyze(program.value());
-  if (!info.ok()) return info.status();
-  StatusOr<datalog::PlanSpec> plan =
-      datalog::PlanProgram(program.value(), info.value());
-  if (!plan.ok()) return plan.status();
-  StatusOr<std::unique_ptr<QueryRuntime>> runtime =
-      InstantiateRuntime(plan.value(), options);
-  if (!runtime.ok()) return runtime.status();
-
-  std::unique_ptr<Engine> engine(
-      new Engine(std::move(plan).value(), std::move(runtime).value()));
-  // Load the program's ground facts as initial insertions; the caller's
-  // first Apply() computes the view over them.
-  for (const datalog::Rule& fact : engine->plan_.facts) {
-    Status st = engine->runtime_->Insert(fact.head.predicate, FactTuple(fact));
-    if (!st.ok()) {
-      return Status(st.code(), "loading fact " + fact.ToString() + " (line " +
-                                   std::to_string(fact.line) +
-                                   "): " + st.message());
-    }
-  }
-  return engine;
-}
-
-Status Engine::Insert(const std::string& relation, const Tuple& fact) {
-  // A plain insert makes the fact permanent: drop any soft-state deadline
-  // a prior InsertWithTtl left behind so it cannot expire later.
-  clock_.Remove(ClockKey(relation, fact));
-  return runtime_->Insert(relation, fact);
-}
-
-Status Engine::Delete(const std::string& relation, const Tuple& fact) {
-  clock_.Remove(ClockKey(relation, fact));
-  return runtime_->Delete(relation, fact);
-}
-
-Status Engine::Insert(const std::string& relation,
-                      std::initializer_list<double> fact) {
-  return Insert(relation, TupleOfDoubles(fact));
-}
-
-Status Engine::Delete(const std::string& relation,
-                      std::initializer_list<double> fact) {
-  return Delete(relation, TupleOfDoubles(fact));
-}
-
-Status Engine::InsertWithTtl(const std::string& relation, const Tuple& fact,
-                             double ttl) {
-  Tuple key = ClockKey(relation, fact);
-  if (clock_.Contains(key)) {
-    // Soft-state renewal: extend the deadline; the live fact and its base
-    // variable stay put, so nothing propagates.
-    clock_.Insert(key, ttl);
-    return Status::OK();
-  }
-  RECNET_RETURN_IF_ERROR(runtime_->Insert(relation, fact));
-  clock_.Insert(key, ttl);
-  return Status::OK();
-}
-
-Status Engine::AdvanceTime(double t) {
-  if (t < clock_.now()) {
-    return Status::InvalidArgument("clock cannot run backwards (now=" +
-                                   std::to_string(clock_.now()) + ")");
-  }
-  std::vector<Tuple> expirations = clock_.AdvanceTo(t);
-  // TTL expiry is the one mutation source outside the incremental delta
-  // flow (deadlines fire from the engine clock, not the dataflow); it stays
-  // a full cache rebuild.
-  if (!expirations.empty()) runtime_->InvalidateCachesForExpiry();
-  for (const Tuple& expired : expirations) {
-    std::vector<Value> fact(expired.values().begin() + 1,
-                            expired.values().end());
-    RECNET_RETURN_IF_ERROR(
-        runtime_->Delete(expired.StringAt(0), Tuple(std::move(fact))));
-  }
-  return Status::OK();
-}
-
-Status Engine::Apply() { return runtime_->Apply(); }
-
-StatusOr<std::vector<Tuple>> Engine::Scan(const std::string& view) const {
-  return runtime_->Scan(view);
-}
-
-StatusOr<bool> Engine::Contains(const std::string& view,
-                                const Tuple& tuple) const {
-  StatusOr<Tuple> found = runtime_->Lookup(view, tuple);
-  if (found.ok()) return true;
-  if (found.status().code() == StatusCode::kNotFound) return false;
-  return found.status();
-}
-
-StatusOr<bool> Engine::Contains(const std::string& view,
-                                std::initializer_list<double> tuple) const {
-  return Contains(view, TupleOfDoubles(tuple));
-}
-
-StatusOr<Tuple> Engine::Lookup(const std::string& view,
-                               const Tuple& key) const {
-  return runtime_->Lookup(view, key);
-}
-
-StatusOr<Tuple> Engine::Lookup(const std::string& view,
-                               std::initializer_list<double> key) const {
-  return Lookup(view, TupleOfDoubles(key));
-}
-
-StatusOr<std::vector<Tuple>> Engine::Explain(const std::string& view,
-                                             const Tuple& tuple) const {
-  if (view != plan_.view) {
-    return Status::InvalidArgument(
-        "provenance witnesses exist for the recursive view '" + plan_.view +
-        "' only, not '" + view + "'");
-  }
-  return runtime_->Explain(tuple);
-}
-
-Tuple Engine::ClockKey(const std::string& relation, const Tuple& fact) {
-  std::vector<Value> key;
-  key.reserve(fact.size() + 1);
-  key.push_back(Value(relation));
-  for (const Value& v : fact.values()) key.push_back(v);
-  return Tuple(std::move(key));
+  SessionOptions session_options;
+  session_options.num_nodes = options.num_nodes;
+  session_options.num_physical = options.runtime.num_physical;
+  session_options.batch_delivery = options.runtime.batch_delivery;
+  auto session = std::make_unique<Session>(session_options);
+  StatusOr<View*> view = session->AddProgram(source, options);
+  if (!view.ok()) return view.status();
+  return std::unique_ptr<Engine>(
+      new Engine(std::move(session), view.value()));
 }
 
 }  // namespace recnet

@@ -18,26 +18,52 @@ ReachableRuntime::ReachableRuntime(int num_nodes,
   nodes_.resize(static_cast<size_t>(num_nodes));
   links_by_src_.resize(static_cast<size_t>(num_nodes));
   for (int n = 0; n < num_nodes; ++n) {
-    NodeState& state = nodes_[static_cast<size_t>(n)];
-    state.fix = std::make_unique<Fixpoint>(opts_.prov);
-    // The view partition reachable(n, *) holds at most one tuple per
-    // destination node; size the operator tables for it up front.
-    state.fix->Reserve(static_cast<size_t>(num_nodes));
-    // Join key: link.dst (attr 1) = reachable.src (attr 0).
-    state.join = std::make_unique<PipelinedHashJoin>(
-        opts_.prov, std::vector<size_t>{1}, std::vector<size_t>{0},
-        CombineLinkReach);
-    state.join->Reserve(static_cast<size_t>(num_nodes));
-    // DRed (set mode) ships directly; the provenance schemes use MinShip.
-    ShipMode ship_mode =
-        opts_.prov == ProvMode::kSet ? ShipMode::kDirect : opts_.ship;
-    state.ship = std::make_unique<MinShip>(
-        opts_.prov, ship_mode, opts_.batch_window,
-        [this, n](const Tuple& tuple, const Prov& pv) {
-          LogicalNode dest = static_cast<LogicalNode>(tuple.IntAt(0));
-          ShipInsert(n, dest, kPortFix, tuple, pv);
-        });
-    state.ship->Reserve(static_cast<size_t>(num_nodes));
+    InitNode(n, static_cast<size_t>(num_nodes));
+  }
+}
+
+ReachableRuntime::ReachableRuntime(std::shared_ptr<Substrate> substrate,
+                                   int num_nodes,
+                                   const RuntimeOptions& options)
+    : RuntimeBase(std::move(substrate), num_nodes, options) {
+  nodes_.resize(static_cast<size_t>(num_nodes));
+  links_by_src_.resize(static_cast<size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) {
+    InitNode(n, static_cast<size_t>(num_nodes));
+  }
+}
+
+void ReachableRuntime::InitNode(int n, size_t expected_nodes) {
+  NodeState& state = nodes_[static_cast<size_t>(n)];
+  state.fix = std::make_unique<Fixpoint>(opts_.prov);
+  // The view partition reachable(n, *) holds at most one tuple per
+  // destination node; size the operator tables for it up front.
+  state.fix->Reserve(expected_nodes);
+  // Join key: link.dst (attr 1) = reachable.src (attr 0).
+  state.join = std::make_unique<PipelinedHashJoin>(
+      opts_.prov, std::vector<size_t>{1}, std::vector<size_t>{0},
+      CombineLinkReach);
+  state.join->Reserve(expected_nodes);
+  // DRed (set mode) ships directly; the provenance schemes use MinShip.
+  ShipMode ship_mode =
+      opts_.prov == ProvMode::kSet ? ShipMode::kDirect : opts_.ship;
+  state.ship = std::make_unique<MinShip>(
+      opts_.prov, ship_mode, opts_.batch_window,
+      [this, n](const Tuple& tuple, const Prov& pv) {
+        LogicalNode dest = static_cast<LogicalNode>(tuple.IntAt(0));
+        ShipInsert(n, dest, kPortFix, tuple, pv);
+      });
+  state.ship->Reserve(expected_nodes);
+}
+
+void ReachableRuntime::OnTopologyGrown(int num_nodes) {
+  if (num_nodes <= num_logical()) return;
+  int old_nodes = num_logical();
+  GrowKillRouting(num_nodes);
+  nodes_.resize(static_cast<size_t>(num_nodes));
+  links_by_src_.resize(static_cast<size_t>(num_nodes));
+  for (int n = old_nodes; n < num_nodes; ++n) {
+    InitNode(n, static_cast<size_t>(num_nodes));
   }
 }
 
@@ -49,7 +75,7 @@ void ReachableRuntime::InsertLink(LogicalNode src, LogicalNode dst) {
   links_by_src_[static_cast<size_t>(src)].push_back(dst);
   Prov pv = VarProv(v);
   // Base case (DistributedScan -> Fixpoint): local, no wire cost.
-  router_.Send(src, src, kPortFix, Update::Insert(Tuple::OfInts({src, dst}), pv));
+  Send(src, src, kPortFix, Update::Insert(Tuple::OfInts({src, dst}), pv));
   // Distributed join: ship the link to the node owning its dst attribute.
   ShipInsert(src, dst, kPortJoinBuild, link, pv);
 }
@@ -66,8 +92,8 @@ void ReachableRuntime::DeleteLink(LogicalNode src, LogicalNode dst) {
   if (opts_.prov == ProvMode::kSet) {
     // DRed over-deletion phase: retract the base-case tuple locally and the
     // shipped link copy at the join; retractions cascade through the plan.
-    router_.Send(src, src, kPortFix, Update::Delete(Tuple::OfInts({src, dst})));
-    router_.Send(src, dst, kPortJoinBuild, Update::Delete(link));
+    Send(src, src, kPortFix, Update::Delete(Tuple::OfInts({src, dst})));
+    Send(src, dst, kPortJoinBuild, Update::Delete(link));
     rederive_pending_ = true;
     return;
   }
@@ -120,7 +146,7 @@ void ReachableRuntime::ShipJoinOutputs(LogicalNode at, NodeState& state,
         // DRed ships every derivation directly; duplicates are eliminated
         // only after reaching their destination (paper §3.2).
         LogicalNode dest = static_cast<LogicalNode>(out.tuple.IntAt(0));
-        router_.Send(at, dest, kPortFix, std::move(out));
+        Send(at, dest, kPortFix, std::move(out));
       } else {
         state.ship->ProcessInsert(out.tuple, out.pv);
       }
@@ -134,7 +160,7 @@ void ReachableRuntime::SendDirect(LogicalNode at, NodeState& state,
                                   Update out) {
   LogicalNode dest = static_cast<LogicalNode>(out.tuple.IntAt(0));
   state.ship->ProcessDelete(out.tuple);
-  router_.Send(at, dest, kPortFix, std::move(out));
+  Send(at, dest, kPortFix, std::move(out));
 }
 
 void ReachableRuntime::HandleFixInsert(LogicalNode at, NodeState& state,
@@ -198,7 +224,7 @@ void ReachableRuntime::HandleBatch(const Envelope* envs, size_t n) {
   // whole batch.
   LogicalNode at = envs[0].dst;
   NodeState& state = node(at);
-  switch (envs[0].port) {
+  switch (LocalPort(envs[0])) {
     case kPortJoinBuild:
       for (size_t i = 0; i < n; ++i) {
         const Update& u = envs[i].update;
@@ -283,7 +309,7 @@ void ReachableRuntime::SeedRederivation() {
       for (LogicalNode dst : by_src) {
         batch.push_back(Update::Insert(Tuple::OfInts({n, dst}), TrueProv()));
       }
-      router_.SendBatch(n, n, kPortFix, std::move(batch));
+      SendBatch(n, n, kPortFix, std::move(batch));
     }
     // Recursive case: re-fire the join over surviving reachable tuples.
     for (const Tuple& tuple :

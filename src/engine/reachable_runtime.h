@@ -31,6 +31,9 @@ namespace recnet {
 class ReachableRuntime : public RuntimeBase {
  public:
   ReachableRuntime(int num_nodes, const RuntimeOptions& options);
+  // Co-resident construction: one view on a shared session substrate.
+  ReachableRuntime(std::shared_ptr<Substrate> substrate, int num_nodes,
+                   const RuntimeOptions& options);
 
   // Injects link(src, dst) at node src (call Run() to propagate). Inserting
   // a link twice is a no-op while the first copy is alive; re-inserting
@@ -65,6 +68,9 @@ class ReachableRuntime : public RuntimeBase {
   void HandleBatch(const Envelope* envs, size_t n) override;
   void HandleEnvelope(const Envelope& env) override;
   bool AfterQuiescent() override;
+  // Dynamic node-id space: extends the per-node operator state when the
+  // substrate's topology grows (late facts mentioning unseen node ids).
+  void OnTopologyGrown(int num_nodes) override;
   size_t StateSizeBytes() const override;
 
  private:
@@ -78,6 +84,9 @@ class ReachableRuntime : public RuntimeBase {
   const NodeState& node(LogicalNode n) const {
     return nodes_[static_cast<size_t>(n)];
   }
+
+  // Builds node n's operator pipeline, sizing tables for `expected_nodes`.
+  void InitNode(int n, size_t expected_nodes);
 
   // The handlers take the destination's NodeState, resolved once per
   // delivery batch rather than once per envelope.

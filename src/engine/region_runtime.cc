@@ -13,6 +13,18 @@ constexpr int kPortAggRoot = 4;
 RegionRuntime::RegionRuntime(const SensorField& field,
                              const RuntimeOptions& options)
     : RuntimeBase(field.num_sensors, options), field_(field) {
+  InitNodes();
+}
+
+RegionRuntime::RegionRuntime(std::shared_ptr<Substrate> substrate,
+                             const SensorField& field,
+                             const RuntimeOptions& options)
+    : RuntimeBase(std::move(substrate), field.num_sensors, options),
+      field_(field) {
+  InitNodes();
+}
+
+void RegionRuntime::InitNodes() {
   nodes_.resize(static_cast<size_t>(field_.num_sensors));
   trig_var_.resize(static_cast<size_t>(field_.num_sensors));
   seeds_of_.resize(static_cast<size_t>(field_.num_sensors));
@@ -49,7 +61,7 @@ void RegionRuntime::Trigger(int sensor) {
   Prov trig_pv = opts_.prov == ProvMode::kSet ? TrueProv() : VarProv(v);
   // Base case: seed(r, sensor) ∧ isTriggered(sensor) -> active(r, sensor).
   for (int r : seeds_of_[static_cast<size_t>(sensor)]) {
-    router_.Send(sensor, sensor, kPortFix,
+    Send(sensor, sensor, kPortFix,
                  Update::Insert(Tuple::OfInts({r, sensor}), trig_pv));
   }
   // Recursive case unblocked: existing memberships of this sensor can now
@@ -73,13 +85,13 @@ void RegionRuntime::Untrigger(int sensor) {
     // DRed over-deletion: retract the seed memberships and everything this
     // sensor's trigger helped derive.
     for (int r : seeds_of_[static_cast<size_t>(sensor)]) {
-      router_.Send(sensor, sensor, kPortFix,
+      Send(sensor, sensor, kPortFix,
                    Update::Delete(Tuple::OfInts({r, sensor})));
     }
     for (const auto& [tuple, pv] : node(sensor).fix->contents()) {
       int64_t region = tuple.IntAt(0);
       for (int nb : field_.neighbors[static_cast<size_t>(sensor)]) {
-        router_.Send(sensor, nb, kPortFix,
+        Send(sensor, nb, kPortFix,
                      Update::Delete(Tuple::OfInts({region, nb})));
       }
     }
@@ -143,7 +155,7 @@ void RegionRuntime::ExpandFrom(LogicalNode x, NodeState& state,
   for (int nb : field_.neighbors[static_cast<size_t>(x)]) {
     Tuple derived = Tuple::OfInts({region, nb});
     if (opts_.prov == ProvMode::kSet) {
-      router_.Send(x, nb, kPortFix, Update::Insert(derived, pv));
+      Send(x, nb, kPortFix, Update::Insert(derived, pv));
     } else {
       state.ship->ProcessInsert(derived, pv);
     }
@@ -153,13 +165,13 @@ void RegionRuntime::ExpandFrom(LogicalNode x, NodeState& state,
 void RegionRuntime::NotifyViewInsert(LogicalNode at, const Tuple& active) {
   LogViewDelta(active, /*added=*/true);
   LogicalNode owner = AggOwner(static_cast<int>(active.IntAt(0)));
-  router_.Send(at, owner, kPortAgg, Update::Insert(active, TrueProv()));
+  Send(at, owner, kPortAgg, Update::Insert(active, TrueProv()));
 }
 
 void RegionRuntime::NotifyViewDelete(LogicalNode at, const Tuple& active) {
   LogViewDelta(active, /*added=*/false);
   LogicalNode owner = AggOwner(static_cast<int>(active.IntAt(0)));
-  router_.Send(at, owner, kPortAgg, Update::Delete(active));
+  Send(at, owner, kPortAgg, Update::Delete(active));
 }
 
 void RegionRuntime::HandleActiveInsert(LogicalNode at, NodeState& state,
@@ -191,7 +203,7 @@ void RegionRuntime::HandleActiveDelete(LogicalNode at, NodeState& state,
   if (trig_var_[static_cast<size_t>(at)].has_value()) {
     int64_t region = tuple.IntAt(0);
     for (int nb : field_.neighbors[static_cast<size_t>(at)]) {
-      router_.Send(at, nb, kPortFix,
+      Send(at, nb, kPortFix,
                    Update::Delete(Tuple::OfInts({region, nb})));
     }
   }
@@ -216,7 +228,7 @@ void RegionRuntime::HandleBatch(const Envelope* envs, size_t n) {
   // whole batch.
   LogicalNode at = envs[0].dst;
   NodeState& state = node(at);
-  switch (envs[0].port) {
+  switch (LocalPort(envs[0])) {
     case kPortFix:
       for (size_t i = 0; i < n; ++i) {
         const Update& u = envs[i].update;
@@ -249,7 +261,7 @@ void RegionRuntime::HandleBatch(const Envelope* envs, size_t n) {
         int64_t new_size = after.has_value() ? (*after)[0].AsInt() : 0;
         if (old_size != new_size) {
           // Feed largestRegion at node 0 with the revised regionSizes row.
-          router_.Send(at, 0, kPortAggRoot,
+          Send(at, 0, kPortAggRoot,
                        Update::Insert(
                            Tuple::OfInts({u.tuple.IntAt(0), new_size}),
                            TrueProv()));
@@ -309,7 +321,7 @@ void RegionRuntime::SeedRederivation() {
   for (int x = 0; x < field_.num_sensors; ++x) {
     if (!trig_var_[static_cast<size_t>(x)].has_value()) continue;
     for (int r : seeds_of_[static_cast<size_t>(x)]) {
-      router_.Send(x, x, kPortFix,
+      Send(x, x, kPortFix,
                    Update::Insert(Tuple::OfInts({r, x}), TrueProv()));
     }
     for (const auto& [tuple, pv] : node(x).fix->contents()) {

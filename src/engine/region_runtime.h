@@ -33,6 +33,11 @@ namespace recnet {
 class RegionRuntime : public RuntimeBase {
  public:
   RegionRuntime(const SensorField& field, const RuntimeOptions& options);
+  // Co-resident construction: one view on a shared session substrate. The
+  // view spans the field's sensors; unlike the graph runtimes it is
+  // deployment-bound and does not extend when the session topology grows.
+  RegionRuntime(std::shared_ptr<Substrate> substrate, const SensorField& field,
+                const RuntimeOptions& options);
 
   // Marks sensor as triggered / untriggered (inserts or deletes the
   // isTriggered(sensor) base fact). Call Run() to propagate.
@@ -76,6 +81,9 @@ class RegionRuntime : public RuntimeBase {
   const NodeState& node(LogicalNode n) const {
     return nodes_[static_cast<size_t>(n)];
   }
+
+  // Builds the per-sensor operator pipelines (shared by both ctors).
+  void InitNodes();
 
   LogicalNode AggOwner(int region) const {
     return static_cast<LogicalNode>(region % num_logical());

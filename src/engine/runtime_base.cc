@@ -6,13 +6,35 @@
 namespace recnet {
 
 RuntimeBase::RuntimeBase(int num_logical, const RuntimeOptions& options)
-    : opts_(options),
-      router_(num_logical, std::min(num_logical, options.num_physical)) {
-  router_.set_batch_handler(
-      [this](const Envelope* envs, size_t n) { HandleBatch(envs, n); });
-  router_.set_batching(options.batch_delivery);
+    : RuntimeBase(std::make_shared<Substrate>(
+                      num_logical, SubstrateOptions{options.num_physical,
+                                                    options.batch_delivery}),
+                  num_logical, options) {}
+
+RuntimeBase::RuntimeBase(std::shared_ptr<Substrate> substrate, int num_logical,
+                         const RuntimeOptions& options)
+    : opts_(options), sub_(std::move(substrate)) {
+  RECNET_CHECK(sub_ != nullptr);
+  // Grow the shared node-id space first (only other views are notified —
+  // this one is being built at the requested size), then claim a port
+  // namespace.
+  sub_->EnsureNodes(num_logical);
+  num_logical_ = num_logical;
+  ns_ = sub_->Attach(this);
+  port_base_ = ns_ * Router::kPortsPerNamespace;
   subs_.resize(static_cast<size_t>(num_logical));
   kills_done_.resize(static_cast<size_t>(num_logical));
+}
+
+RuntimeBase::~RuntimeBase() {
+  if (sub_ != nullptr) sub_->Detach(this);
+}
+
+void RuntimeBase::GrowKillRouting(int num_nodes) {
+  if (num_nodes <= num_logical_) return;
+  num_logical_ = num_nodes;
+  subs_.resize(static_cast<size_t>(num_nodes));
+  kills_done_.resize(static_cast<size_t>(num_nodes));
 }
 
 bool RuntimeBase::Run() {
@@ -21,45 +43,19 @@ bool RuntimeBase::Run() {
   // that some run since the last reset was cut off).
   abort_metrics_.reset();
   auto start = std::chrono::steady_clock::now();
-  bool ok = true;
-  uint64_t processed = 0;
-  // The wall-clock budget is polled every 32 deliveries, as the unbatched
-  // loop did; batches are clipped at the next poll point so a long
-  // coalesced run cannot overshoot the time cap unchecked.
-  uint64_t next_time_check = 32;
-  do {
-    while (router_.pending() > 0) {
-      uint64_t step_cap = opts_.message_budget - processed;
-      if (opts_.time_budget_s > 0) {
-        step_cap = std::min(step_cap, next_time_check - processed);
-      }
-      processed += router_.StepBatch(static_cast<size_t>(step_cap));
-      if (processed >= opts_.message_budget) {
-        ok = false;
-        break;
-      }
-      if (opts_.time_budget_s > 0 && processed >= next_time_check) {
-        next_time_check = processed + 32;
-        double elapsed = std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - start)
-                             .count();
-        if (elapsed > opts_.time_budget_s) {
-          ok = false;
-          break;
-        }
-      }
-    }
-    if (!ok) break;
-  } while (AfterQuiescent());
+  bool ok = sub_->DrainToFixpoint(
+      Substrate::DrainBudget{opts_.message_budget, opts_.time_budget_s});
   auto end = std::chrono::steady_clock::now();
   wall_seconds_ += std::chrono::duration<double>(end - start).count();
   if (!ok) {
     // Drop the stale queue so the aborted run is recorded explicitly and a
     // later Run() cannot silently resume mid-fixpoint. AbortRun uncharges
-    // the dropped messages, and the metrics snapshot freezes the cell at
-    // the moment of the cutoff.
-    router_.AbortRun();
-    converged_ = false;
+    // the dropped messages (per owning view), every co-resident view is
+    // marked non-converged (their in-flight state went down with the shared
+    // queue), and the metrics snapshot freezes this view's cell at the
+    // moment of the cutoff.
+    router().AbortRun(ns_);
+    sub_->MarkAllAborted();
     abort_metrics_ = ComputeMetrics();
   }
   return ok;
@@ -71,14 +67,14 @@ RunMetrics RuntimeBase::Metrics() const {
 }
 
 RunMetrics RuntimeBase::ComputeMetrics() const {
-  const NetworkStats& s = router_.stats();
+  const NetworkStats& s = router().stats(ns_);
   RunMetrics m;
   m.per_tuple_prov_bytes = s.AvgProvBytesPerTuple();
   m.comm_mb = s.CommMB();
   m.state_mb = static_cast<double>(StateSizeBytes()) / (1024.0 * 1024.0);
   m.wall_seconds = wall_seconds_;
   m.sim_seconds = EstimateSimSeconds(wall_seconds_, s.messages,
-                                     router_.num_physical(),
+                                     router().num_physical(),
                                      opts_.per_msg_latency_s);
   m.messages = s.messages;
   m.kill_messages = s.kill_messages;
@@ -90,33 +86,21 @@ RunMetrics RuntimeBase::ComputeMetrics() const {
 }
 
 void RuntimeBase::ResetMetrics() {
-  router_.stats().Reset();
+  router().stats(ns_).Reset();
   wall_seconds_ = 0;
   converged_ = true;
   abort_metrics_.reset();
 }
 
-bdd::Var RuntimeBase::AllocVar() {
-  bdd::Var v = static_cast<bdd::Var>(dead_.size());
-  dead_.push_back(false);
-  return v;
-}
-
-void RuntimeBase::MarkDead(bdd::Var v) {
-  RECNET_CHECK_LT(v, dead_.size());
-  if (!dead_[v]) {
-    dead_[v] = true;
-    ++num_dead_;
-  }
-}
-
 Prov RuntimeBase::GuardIncoming(const Prov& pv) const {
+  // Per-view fast path: only this view's own dead variables can appear in
+  // its annotations, so neighbors' kills never force the support scan.
   if (num_dead_ == 0 || opts_.prov == ProvMode::kSet) return pv;
   support_scratch_.clear();
   pv.SupportVars(&support_scratch_);
   dead_scratch_.clear();
   for (bdd::Var v : support_scratch_) {
-    if (dead_[v]) dead_scratch_.push_back(v);
+    if (sub_->is_dead(v)) dead_scratch_.push_back(v);
   }
   if (dead_scratch_.empty()) return pv;
   return pv.RestrictFalse(dead_scratch_);
@@ -135,12 +119,12 @@ void RuntimeBase::ShipInsert(LogicalNode from, LogicalNode to, int port,
       }
     }
   }
-  router_.Send(from, to, port, Update::Insert(std::move(tuple), std::move(pv)));
+  Send(from, to, port, Update::Insert(std::move(tuple), std::move(pv)));
 }
 
 void RuntimeBase::StartKill(LogicalNode origin, std::vector<bdd::Var> killed) {
   for (bdd::Var v : killed) MarkDead(v);
-  router_.Send(origin, origin, kPortKill, Update::Kill(std::move(killed)));
+  Send(origin, origin, kPortKill, Update::Kill(std::move(killed)));
 }
 
 std::vector<bdd::Var> RuntimeBase::AcceptKill(
@@ -161,7 +145,7 @@ std::vector<bdd::Var> RuntimeBase::AcceptKill(
     for (LogicalNode dest : it->second) forward[dest].push_back(v);
   }
   for (auto& [dest, vars] : forward) {
-    router_.Send(at, dest, kPortKill, Update::Kill(std::move(vars)));
+    Send(at, dest, kPortKill, Update::Kill(std::move(vars)));
   }
   return fresh;
 }
@@ -176,7 +160,7 @@ bdd::Var RuntimeBase::TupleVar(const Tuple& t) {
 }
 
 Prov RuntimeBase::RefProv(const Tuple& t) {
-  return Prov::BaseVar(opts_.prov, &bdd_, TupleVar(t));
+  return Prov::BaseVar(opts_.prov, sub_->bdd_manager(), TupleVar(t));
 }
 
 void RuntimeBase::OnTupleRemoved(LogicalNode owner, const Tuple& t) {
@@ -208,7 +192,7 @@ std::vector<std::pair<LogicalNode, Tuple>> RuntimeBase::FindUnderivable(
       for (const auto& derivation : view[i].pv->rel().derivations) {
         bool valid = true;
         for (bdd::Var v : derivation) {
-          if (v < dead_.size() && dead_[v]) {
+          if (sub_->is_dead(v)) {
             valid = false;
             break;
           }

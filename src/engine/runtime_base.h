@@ -1,6 +1,7 @@
 #ifndef RECNET_ENGINE_RUNTIME_BASE_H_
 #define RECNET_ENGINE_RUNTIME_BASE_H_
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -10,13 +11,17 @@
 #include "bdd/bdd.h"
 #include "common/flat_table.h"
 #include "engine/metrics.h"
+#include "engine/substrate.h"
 #include "net/router.h"
 #include "operators/min_ship.h"
 #include "operators/update.h"
 
 namespace recnet {
 
-// Operator input ports shared by the query runtimes.
+// Operator input ports shared by the query runtimes. These are *local*
+// ports: on the wire they are offset by the runtime's port-namespace base
+// (view v occupies absolute ports [v*Router::kPortsPerNamespace, ...)), so
+// co-resident views never collide on one router.
 inline constexpr int kPortJoinBuild = 0;  // Re-partitioned base tuples.
 inline constexpr int kPortFix = 1;        // Recursive view stream.
 inline constexpr int kPortKill = 2;       // Base-deletion notifications.
@@ -36,6 +41,8 @@ struct RuntimeOptions {
   // approximates one wall-clock second of their cluster's message rate).
   size_t batch_window = 256;
   // Physical peers the logical nodes are mapped onto (paper default: 12).
+  // Substrate-level: when a runtime attaches to a shared Substrate, the
+  // substrate's own deployment wins.
   int num_physical = 12;
   // Work budget: maximum message deliveries per Run(). Exceeding it marks
   // the run non-converged (the paper's "did not complete within 5 min").
@@ -50,13 +57,21 @@ struct RuntimeOptions {
   // Coalesce same-(dst, port) delivery runs into single handler batches.
   // Purely a dispatch-cost optimization: delivery order, results, and all
   // traffic counters except NetworkStats::batches are identical with it
-  // off (kept as a switch for A/B measurement).
+  // off (kept as a switch for A/B measurement). Substrate-level, like
+  // num_physical.
   bool batch_delivery = true;
 };
 
-// Common machinery of the distributed query runtimes: the router, the BDD
-// manager, base-variable allocation, deletion ("kill") routing, and run/
-// metrics bookkeeping.
+// Common machinery of the distributed query runtimes: substrate access
+// (router + BDD manager + base-variable allocation), the view-scoped port
+// namespace, view-scoped deletion ("kill") routing, and run/metrics
+// bookkeeping.
+//
+// A runtime either owns a private Substrate (the historical standalone
+// construction: `ReachableRuntime rt(num_nodes, options)`) or attaches to a
+// shared one as a co-resident view of a recnet::Session. In both cases it
+// keeps its own kill-subscription tables, kill dedup sets, and metrics, so
+// a view's observable behavior is independent of its neighbors.
 //
 // Deletion routing: when an update is shipped, the sender records, for each
 // base variable in the update's provenance support, that the destination is
@@ -68,21 +83,30 @@ struct RuntimeOptions {
 // case" (Section 4).
 class RuntimeBase {
  public:
+  // Standalone: builds a private substrate of `num_logical` nodes (the
+  // historical one-router-per-runtime construction).
   RuntimeBase(int num_logical, const RuntimeOptions& options);
-  virtual ~RuntimeBase() = default;
+  // Co-resident: attaches to `substrate` as one view spanning `num_logical`
+  // of the substrate's nodes (the substrate grows to at least that many).
+  RuntimeBase(std::shared_ptr<Substrate> substrate, int num_logical,
+              const RuntimeOptions& options);
+  virtual ~RuntimeBase();
 
   RuntimeBase(const RuntimeBase&) = delete;
   RuntimeBase& operator=(const RuntimeBase&) = delete;
 
-  // Drains the network to quiescence (fixpoint), honoring the message
-  // budget. Returns false if the budget was exhausted.
+  // Drains the substrate to quiescence (fixpoint), honoring the message
+  // budget. On a shared substrate this drains every co-resident view's
+  // pending messages too (they share one FIFO); each view's handlers and
+  // counters stay its own. Returns false if the budget was exhausted.
   bool Run();
 
-  // Metrics accumulated since construction (or the last ResetMetrics). If a
-  // run was aborted on budget exhaustion, this returns the snapshot taken
-  // at abort time — the dropped queue is already uncharged and operator
-  // state is frozen as of the cutoff — so a figure cell for a ">budget" run
-  // is consistent no matter when the bench reads it.
+  // Metrics accumulated since construction (or the last ResetMetrics),
+  // scoped to this view's traffic. If a run was aborted on budget
+  // exhaustion, this returns the snapshot taken at abort time — the dropped
+  // queue is already uncharged and operator state is frozen as of the
+  // cutoff — so a figure cell for a ">budget" run is consistent no matter
+  // when the bench reads it.
   RunMetrics Metrics() const;
   // Clears traffic and timing counters, e.g. to measure the deletion phase
   // separately from initial computation.
@@ -103,11 +127,16 @@ class RuntimeBase {
     return std::move(view_delta_log_);
   }
 
-  Router& router() { return router_; }
-  const Router& router() const { return router_; }
-  bdd::Manager* bdd_manager() { return &bdd_; }
+  Substrate& substrate() { return *sub_; }
+  const std::shared_ptr<Substrate>& substrate_ptr() const { return sub_; }
+  Router& router() { return sub_->router(); }
+  const Router& router() const { return sub_->router(); }
+  bdd::Manager* bdd_manager() { return sub_->bdd_manager(); }
   const RuntimeOptions& options() const { return opts_; }
-  int num_logical() const { return router_.num_logical(); }
+  // Nodes this view spans (<= the substrate's logical node count when
+  // co-resident with a larger view).
+  int num_logical() const { return num_logical_; }
+  int port_namespace() const { return ns_; }
   bool converged() const { return converged_; }
 
  protected:
@@ -125,7 +154,18 @@ class RuntimeBase {
 
   // Hook called at quiescence; return true to continue draining (used by
   // DRed to start its re-derivation phase after over-deletion finishes).
+  // On a shared substrate every attached view is polled each round.
   virtual bool AfterQuiescent() { return false; }
+
+  // Called when the substrate's node-id space grows to `num_nodes`.
+  // Graph-shaped runtimes override to extend their per-node state (and must
+  // call GrowKillRouting); deployment-bound runtimes (region) keep their
+  // fixed span and ignore it.
+  virtual void OnTopologyGrown(int num_nodes) { (void)num_nodes; }
+
+  // Extends the view's kill-routing tables (and num_logical()) to
+  // `num_nodes`. Called by OnTopologyGrown overrides.
+  void GrowKillRouting(int num_nodes);
 
   // Records one recursive-view membership change (no-op unless logging is
   // enabled). Runtimes call this at every point a tuple enters or leaves
@@ -138,18 +178,46 @@ class RuntimeBase {
   // Total bytes of operator state across all logical nodes.
   virtual size_t StateSizeBytes() const = 0;
 
-  // --- Base-variable lifecycle ---------------------------------------------
+  // --- Namespaced transport -------------------------------------------------
+  //
+  // All runtime traffic goes through these wrappers, which offset the local
+  // operator port by the view's namespace base so co-resident views share
+  // the router without port collisions (and so the router charges the
+  // message to this view's stats).
 
-  bdd::Var AllocVar();
-  void MarkDead(bdd::Var v);
+  void Send(LogicalNode src, LogicalNode dst, int port, Update&& update) {
+    sub_->router().Send(src, dst, port_base_ + port, std::move(update));
+  }
+  void SendBatch(LogicalNode src, LogicalNode dst, int port,
+                 std::vector<Update> updates) {
+    sub_->router().SendBatch(src, dst, port_base_ + port, std::move(updates));
+  }
+  // The local operator port of a delivered envelope.
+  int LocalPort(const Envelope& env) const { return env.port - port_base_; }
+
+  // --- Base-variable lifecycle ---------------------------------------------
+  //
+  // Variables come from the substrate's session-wide allocator, so
+  // co-resident views sharing the BDD manager never collide. The dead set
+  // lives on the substrate, but each view counts only its own kills: a
+  // view's annotations never mention another view's variables, so its
+  // GuardIncoming fast path must not degrade because a neighbor deleted
+  // something.
+
+  bdd::Var AllocVar() { return sub_->AllocVar(); }
+  void MarkDead(bdd::Var v) {
+    if (sub_->MarkDead(v)) ++num_dead_;
+  }
   bool AnyDead() const { return num_dead_ > 0; }
 
   // Restricts an incoming annotation by any base variables that died while
   // the update was in flight, so late arrivals cannot resurrect state.
   Prov GuardIncoming(const Prov& pv) const;
 
-  Prov TrueProv() { return Prov::True(opts_.prov, &bdd_); }
-  Prov VarProv(bdd::Var v) { return Prov::BaseVar(opts_.prov, &bdd_, v); }
+  Prov TrueProv() { return Prov::True(opts_.prov, sub_->bdd_manager()); }
+  Prov VarProv(bdd::Var v) {
+    return Prov::BaseVar(opts_.prov, sub_->bdd_manager(), v);
+  }
 
   // --- Shipping & kill routing ---------------------------------------------
 
@@ -202,15 +270,24 @@ class RuntimeBase {
       const std::vector<ViewEntry>& view) const;
 
   RuntimeOptions opts_;
-  bdd::Manager bdd_;
-  Router router_;
 
  private:
+  friend class Substrate;
+
+  // Substrate entry points (dispatch, abort fan-out).
+  void DeliverBatch(const Envelope* envs, size_t n) { HandleBatch(envs, n); }
+  void MarkAborted() { converged_ = false; }
+
   // The live metric computation behind Metrics(); bypassed once an abort
   // snapshot exists.
   RunMetrics ComputeMetrics() const;
 
-  std::vector<bool> dead_;
+  std::shared_ptr<Substrate> sub_;
+  int ns_ = 0;         // Port namespace id on the substrate's router.
+  int port_base_ = 0;  // ns_ * Router::kPortsPerNamespace.
+  int num_logical_ = 0;
+  // Variables THIS view killed (fast path for GuardIncoming; the full dead
+  // set is the substrate's).
   size_t num_dead_ = 0;
   // Scratch for provenance-support extraction on the per-message path
   // (GuardIncoming / ShipInsert): reused so the common case allocates
@@ -221,7 +298,8 @@ class RuntimeBase {
   FlatTable<Tuple, bdd::Var, TupleHash> tuple_vars_;
   std::unordered_map<bdd::Var, Tuple> var_tuples_;
   // Per logical node: variable -> destinations shipped annotations
-  // mentioning it.
+  // mentioning it. View-scoped: co-resident views keep separate
+  // subscription universes even though kills ride one router.
   std::vector<FlatTable<bdd::Var, std::vector<LogicalNode>>> subs_;
   // Per logical node: kills already applied.
   std::vector<std::unordered_set<bdd::Var>> kills_done_;

@@ -6,6 +6,7 @@
 
 #include "engine/reachable_runtime.h"
 #include "engine/region_runtime.h"
+#include "engine/session.h"
 
 namespace recnet {
 namespace {
@@ -39,6 +40,37 @@ Status CheckNode(const std::string& relation, const Tuple& fact, size_t i,
                               std::to_string(i) + " node id " +
                               std::to_string(v) + " outside [0, " +
                               std::to_string(limit) + ")");
+  }
+  return Status::OK();
+}
+
+// Cap on the dynamic node-id space. The runtimes keep dense per-node
+// operator state, so a topology is bounded by memory, not by int range; a
+// fact naming an id beyond this is a typo or an attack, not a deployment.
+constexpr int64_t kMaxNodeId = (int64_t{1} << 20) - 1;  // ~1M nodes.
+
+// Graph plans have a dynamic node-id space: a fact column naming an unseen
+// (non-negative, bounded) node id grows the session topology (and with it
+// every graph-shaped view on the substrate) instead of erroring. Negative,
+// non-integral, or absurd ids stay typed errors.
+Status GrowNodeSpace(RuntimeBase& rt, const std::string& relation,
+                     const Tuple& fact, size_t i, bool grow = true) {
+  if (!fact.at(i).is_int()) {
+    return Status::InvalidArgument("relation '" + relation + "' column " +
+                                   std::to_string(i) +
+                                   " must be an integer node id, got " +
+                                   fact.at(i).ToString());
+  }
+  int64_t v = fact.IntAt(i);
+  if (v < 0 || v > kMaxNodeId) {
+    return Status::OutOfRange("relation '" + relation + "' column " +
+                              std::to_string(i) + " node id " +
+                              std::to_string(v) + " outside [0, " +
+                              std::to_string(kMaxNodeId) +
+                              "] (node state is dense per id)");
+  }
+  if (grow && v >= rt.num_logical()) {
+    rt.substrate().EnsureNodes(static_cast<int>(v) + 1);
   }
   return Status::OK();
 }
@@ -117,8 +149,9 @@ StatusOr<std::vector<Tuple>> ScanByName(const QueryRuntime& rt,
 
 class ReachableAdapter : public QueryRuntime {
  public:
-  ReachableAdapter(const PlanSpec& plan, const EngineOptions& options)
-      : plan_(plan), rt_(options.num_nodes, options.runtime) {}
+  ReachableAdapter(const PlanSpec& plan, const EngineOptions& options,
+                   int num_nodes, Session& session)
+      : plan_(plan), rt_(session.substrate(), num_nodes, options.runtime) {}
 
   Status InsertFact(const std::string& relation, const Tuple& fact) override {
     RECNET_RETURN_IF_ERROR(CheckLink(relation, fact));
@@ -128,7 +161,11 @@ class ReachableAdapter : public QueryRuntime {
   }
 
   Status DeleteFact(const std::string& relation, const Tuple& fact) override {
-    RECNET_RETURN_IF_ERROR(CheckLink(relation, fact));
+    RECNET_RETURN_IF_ERROR(CheckLink(relation, fact, /*grow=*/false));
+    if (fact.IntAt(0) >= rt_.num_logical() ||
+        fact.IntAt(1) >= rt_.num_logical()) {
+      return Status::OK();  // Unknown node: the link cannot exist.
+    }
     rt_.DeleteLink(static_cast<LogicalNode>(fact.IntAt(0)),
                    static_cast<LogicalNode>(fact.IntAt(1)));
     return Status::OK();
@@ -166,6 +203,10 @@ class ReachableAdapter : public QueryRuntime {
       return Status::Unimplemented(
           "provenance witnesses require ProvMode::kAbsorption");
     }
+    RECNET_RETURN_IF_ERROR(
+        CheckNode(plan_.view, view_tuple, 0, rt_.num_logical()));
+    RECNET_RETURN_IF_ERROR(
+        CheckNode(plan_.view, view_tuple, 1, rt_.num_logical()));
     LogicalNode src = static_cast<LogicalNode>(view_tuple.IntAt(0));
     LogicalNode dst = static_cast<LogicalNode>(view_tuple.IntAt(1));
     const Prov* pv = rt_.ViewProvenance(src, dst);
@@ -195,11 +236,15 @@ class ReachableAdapter : public QueryRuntime {
   const RuntimeOptions& options() const override { return rt_.options(); }
 
  private:
-  Status CheckLink(const std::string& relation, const Tuple& fact) const {
+  // Validates an incoming link fact. Inserts grow the node-id space for
+  // unseen ids (the dynamic-topology path); deletes only validate — a
+  // fact on an unknown node cannot exist, so nothing should grow for it.
+  Status CheckLink(const std::string& relation, const Tuple& fact,
+                   bool grow = true) {
     if (relation != plan_.edb) return UnknownRelation(relation, plan_.edb);
     RECNET_RETURN_IF_ERROR(CheckArity(relation, fact, 2));
-    RECNET_RETURN_IF_ERROR(CheckNode(relation, fact, 0, rt_.num_logical()));
-    return CheckNode(relation, fact, 1, rt_.num_logical());
+    RECNET_RETURN_IF_ERROR(GrowNodeSpace(rt_, relation, fact, 0, grow));
+    return GrowNodeSpace(rt_, relation, fact, 1, grow);
   }
 
   PlanSpec plan_;
@@ -210,12 +255,13 @@ class ReachableAdapter : public QueryRuntime {
 
 class ShortestPathAdapter : public QueryRuntime {
  public:
-  ShortestPathAdapter(const PlanSpec& plan, const EngineOptions& options)
+  ShortestPathAdapter(const PlanSpec& plan, const EngineOptions& options,
+                      int num_nodes, Session& session)
       : plan_(plan),
-        rt_(options.num_nodes, options.runtime, options.aggsel) {}
+        rt_(session.substrate(), num_nodes, options.runtime, options.aggsel) {}
 
   Status InsertFact(const std::string& relation, const Tuple& fact) override {
-    RECNET_RETURN_IF_ERROR(CheckEndpoints(relation, fact, 3));
+    RECNET_RETURN_IF_ERROR(GrowEndpoints(relation, fact, 3));
     const Value& cost = fact.at(plan_.cost_col);
     if (!cost.is_int() && !cost.is_double()) {
       return Status::InvalidArgument("relation '" + relation +
@@ -231,8 +277,13 @@ class ShortestPathAdapter : public QueryRuntime {
 
   Status DeleteFact(const std::string& relation, const Tuple& fact) override {
     // Deletion is keyed by the link endpoints; the cost column is optional.
-    RECNET_RETURN_IF_ERROR(
-        CheckEndpoints(relation, fact, fact.size() == 2 ? 2 : 3));
+    RECNET_RETURN_IF_ERROR(GrowEndpoints(relation, fact,
+                                         fact.size() == 2 ? 2 : 3,
+                                         /*grow=*/false));
+    if (fact.IntAt(0) >= rt_.num_logical() ||
+        fact.IntAt(1) >= rt_.num_logical()) {
+      return Status::OK();  // Unknown node: the link cannot exist.
+    }
     rt_.DeleteLink(static_cast<LogicalNode>(fact.IntAt(0)),
                    static_cast<LogicalNode>(fact.IntAt(1)));
     return Status::OK();
@@ -351,18 +402,65 @@ class ShortestPathAdapter : public QueryRuntime {
     return QueryRuntime::Lookup(view, key);
   }
 
+  StatusOr<std::vector<Tuple>> Explain(const Tuple& view_tuple) const override {
+    // Witnesses explain the min-cost projection Lookup surfaces; the key is
+    // (src, dst) or (src, dst, cost), like a Lookup key.
+    RECNET_RETURN_IF_ERROR(CheckEndpoints(plan_.view, view_tuple,
+                                          view_tuple.size() == 2 ? 2 : 3));
+    LogicalNode src = static_cast<LogicalNode>(view_tuple.IntAt(0));
+    LogicalNode dst = static_cast<LogicalNode>(view_tuple.IntAt(1));
+    const Prov* pv = rt_.ViewProvenance(src, dst);
+    if (pv == nullptr) {
+      return Status::NotFound("tuple " + view_tuple.ToString() +
+                              " is not in view '" + plan_.view + "'");
+    }
+    if (view_tuple.size() == 3) {
+      std::optional<double> cost = rt_.MinCost(src, dst);
+      if (!cost.has_value() ||
+          !ValuesEqualNumeric(view_tuple.at(2), Value(*cost))) {
+        return Status::NotFound("min-cost path " + view_tuple.ToString() +
+                                " is not in view '" + plan_.view + "'");
+      }
+    }
+    std::vector<std::pair<bdd::Var, bool>> assignment;
+    const bdd::Bdd& b = pv->bdd();
+    if (!b.manager()->AnyWitness(b.index(), &assignment)) {
+      return Status::NotFound("no witness for " + view_tuple.ToString());
+    }
+    std::vector<Tuple> links;
+    for (const auto& [var, value] : assignment) {
+      if (!value) continue;
+      std::optional<Tuple> link = rt_.LinkOfVar(var);
+      if (link.has_value()) links.push_back(std::move(*link));
+    }
+    return links;
+  }
+
   RunMetrics Metrics() const override { return rt_.Metrics(); }
   void ResetMetrics() override { rt_.ResetMetrics(); }
   bool converged() const override { return rt_.converged(); }
   const RuntimeOptions& options() const override { return rt_.options(); }
 
  private:
+  // Read path: endpoints must name existing nodes.
   Status CheckEndpoints(const std::string& relation, const Tuple& fact,
                         size_t arity) const {
-    if (relation != plan_.edb) return UnknownRelation(relation, plan_.edb);
+    if (relation != plan_.edb && relation != plan_.view) {
+      return UnknownRelation(relation, plan_.edb);
+    }
     RECNET_RETURN_IF_ERROR(CheckArity(relation, fact, arity));
     RECNET_RETURN_IF_ERROR(CheckNode(relation, fact, 0, rt_.num_logical()));
     return CheckNode(relation, fact, 1, rt_.num_logical());
+  }
+
+  // Ingestion path: unseen endpoints grow the node-id space on insert;
+  // deletes only validate (a fact on an unknown node cannot exist).
+  Status GrowEndpoints(const std::string& relation, const Tuple& fact,
+                       size_t arity, bool grow = true) {
+    if (relation != plan_.edb) return UnknownRelation(relation, plan_.edb);
+    RECNET_RETURN_IF_ERROR(CheckArity(relation, fact, arity));
+    RECNET_RETURN_IF_ERROR(GrowNodeSpace(rt_, relation, fact, 0, grow));
+    return GrowNodeSpace(rt_, relation, fact, 1, grow);
   }
 
   PlanSpec plan_;
@@ -373,8 +471,9 @@ class ShortestPathAdapter : public QueryRuntime {
 
 class RegionAdapter : public QueryRuntime {
  public:
-  RegionAdapter(const PlanSpec& plan, const EngineOptions& options)
-      : plan_(plan), rt_(*options.field, options.runtime) {}
+  RegionAdapter(const PlanSpec& plan, const SensorField& field,
+                const EngineOptions& options, Session& session)
+      : plan_(plan), rt_(session.substrate(), field, options.runtime) {}
 
   Status InsertFact(const std::string& relation, const Tuple& fact) override {
     RECNET_RETURN_IF_ERROR(CheckTrigger(relation, fact));
@@ -442,23 +541,32 @@ class RegionAdapter : public QueryRuntime {
 
 // --- Registry ---------------------------------------------------------------
 
-StatusOr<std::unique_ptr<QueryRuntime>> MakeReachable(
-    const PlanSpec& plan, const EngineOptions& options) {
-  if (options.num_nodes <= 0) {
+// The node span of a graph-shaped view: at least EngineOptions::num_nodes,
+// and never smaller than the session's current topology (graph views track
+// the shared node-id space, so all of them grow in lockstep).
+StatusOr<int> GraphViewNodes(const PlanSpec& plan, const EngineOptions& options,
+                             Session& session) {
+  if (options.num_nodes < 0) {
     return Status::InvalidArgument(
-        "EngineOptions::num_nodes must be positive for the " +
-        std::string(PlanKindName(plan.kind)) + " plan");
+        "EngineOptions::num_nodes must be non-negative for the " +
+        std::string(PlanKindName(plan.kind)) +
+        " plan (the node-id space grows on demand; 0 starts empty)");
   }
-  return std::unique_ptr<QueryRuntime>(new ReachableAdapter(plan, options));
+  return std::max(options.num_nodes, session.substrate()->num_logical());
+}
+
+StatusOr<std::unique_ptr<QueryRuntime>> MakeReachable(
+    const PlanSpec& plan, const EngineOptions& options, Session& session) {
+  StatusOr<int> num_nodes = GraphViewNodes(plan, options, session);
+  if (!num_nodes.ok()) return num_nodes.status();
+  return std::unique_ptr<QueryRuntime>(
+      new ReachableAdapter(plan, options, num_nodes.value(), session));
 }
 
 StatusOr<std::unique_ptr<QueryRuntime>> MakeShortestPath(
-    const PlanSpec& plan, const EngineOptions& options) {
-  if (options.num_nodes <= 0) {
-    return Status::InvalidArgument(
-        "EngineOptions::num_nodes must be positive for the " +
-        std::string(PlanKindName(plan.kind)) + " plan");
-  }
+    const PlanSpec& plan, const EngineOptions& options, Session& session) {
+  StatusOr<int> num_nodes = GraphViewNodes(plan, options, session);
+  if (!num_nodes.ok()) return num_nodes.status();
   if (options.runtime.prov != ProvMode::kAbsorption) {
     // The runtime CHECK-fails otherwise (the paper's Figure 14 evaluates
     // aggregate selection under the main scheme only); surface a typed
@@ -466,17 +574,130 @@ StatusOr<std::unique_ptr<QueryRuntime>> MakeShortestPath(
     return Status::Unimplemented(
         "the shortest-path runtime runs under absorption provenance only");
   }
-  return std::unique_ptr<QueryRuntime>(new ShortestPathAdapter(plan, options));
+  return std::unique_ptr<QueryRuntime>(
+      new ShortestPathAdapter(plan, options, num_nodes.value(), session));
+}
+
+// Derives the sensor deployment from the program's ground facts:
+// seed(region, sensor) facts anchor the regions and near(x, y) facts are
+// the precomputed proximity EDB (write both directions for symmetric
+// contiguity). Positions are not needed at runtime — proximity is already
+// explicit — so they are left at the origin.
+StatusOr<SensorField> DeriveFieldFromFacts(const PlanSpec& plan) {
+  auto int_arg = [](const datalog::Rule& fact, size_t i) -> StatusOr<int> {
+    const datalog::Term& term = fact.head.args[i];
+    if (term.kind == datalog::Term::Kind::kString ||
+        term.number != static_cast<double>(static_cast<int>(term.number)) ||
+        term.number < 0) {
+      return Status::InvalidArgument(
+          "deployment fact " + fact.ToString() + " (line " +
+          std::to_string(fact.line) + "): argument " + std::to_string(i) +
+          " must be a non-negative integer");
+    }
+    return static_cast<int>(term.number);
+  };
+
+  std::map<int, int> seed_of_region;
+  std::vector<std::pair<int, int>> nears;
+  int max_sensor = -1;
+  for (const datalog::Rule& fact : plan.facts) {
+    const std::string& rel = fact.head.predicate;
+    bool is_seed = rel == plan.edb;
+    bool is_near = rel == plan.proximity_edb;
+    if (!is_seed && !is_near) continue;
+    if (fact.head.args.size() != 2) {
+      return Status::InvalidArgument(
+          "deployment fact " + fact.ToString() + " (line " +
+          std::to_string(fact.line) + "): '" + rel + "' has arity 2");
+    }
+    StatusOr<int> a = int_arg(fact, 0);
+    if (!a.ok()) return a.status();
+    StatusOr<int> b = int_arg(fact, 1);
+    if (!b.ok()) return b.status();
+    if (is_seed) {
+      auto [it, fresh] = seed_of_region.emplace(a.value(), b.value());
+      if (!fresh && it->second != b.value()) {
+        return Status::InvalidArgument(
+            "deployment fact " + fact.ToString() + " (line " +
+            std::to_string(fact.line) + "): region " +
+            std::to_string(a.value()) + " already has seed sensor " +
+            std::to_string(it->second));
+      }
+      max_sensor = std::max(max_sensor, b.value());
+    } else {
+      nears.emplace_back(a.value(), b.value());
+      max_sensor = std::max({max_sensor, a.value(), b.value()});
+    }
+  }
+  if (seed_of_region.empty()) {
+    return Status::InvalidArgument("no ground " + plan.edb +
+                                   "(region, sensor) facts to derive the "
+                                   "region deployment from");
+  }
+  // Regions are dense ids 0..R-1 (the runtime owns one partition slot per
+  // region id).
+  int num_regions = static_cast<int>(seed_of_region.size());
+  if (seed_of_region.rbegin()->first != num_regions - 1 ||
+      seed_of_region.begin()->first != 0) {
+    return Status::InvalidArgument(
+        "ground " + plan.edb + " facts must cover contiguous region ids 0.." +
+        std::to_string(num_regions - 1));
+  }
+
+  SensorField field;
+  field.num_sensors = max_sensor + 1;
+  field.positions.assign(static_cast<size_t>(field.num_sensors), {0.0, 0.0});
+  field.seed_sensors.resize(static_cast<size_t>(num_regions));
+  for (const auto& [region, sensor] : seed_of_region) {
+    field.seed_sensors[static_cast<size_t>(region)] = sensor;
+  }
+  field.neighbors.resize(static_cast<size_t>(field.num_sensors));
+  for (const auto& [x, y] : nears) {
+    if (x == y) continue;
+    auto& nbrs = field.neighbors[static_cast<size_t>(x)];
+    if (std::find(nbrs.begin(), nbrs.end(), y) == nbrs.end()) {
+      nbrs.push_back(y);
+    }
+  }
+  return field;
 }
 
 StatusOr<std::unique_ptr<QueryRuntime>> MakeRegion(
-    const PlanSpec& plan, const EngineOptions& options) {
-  if (!options.field.has_value() || options.field->num_sensors <= 0) {
-    return Status::InvalidArgument(
-        "EngineOptions::field (sensor deployment) is required for the "
-        "region plan");
+    const PlanSpec& plan, const EngineOptions& options, Session& session) {
+  bool has_deployment_facts = false;
+  for (const datalog::Rule& fact : plan.facts) {
+    if (fact.head.predicate == plan.edb ||
+        fact.head.predicate == plan.proximity_edb) {
+      has_deployment_facts = true;
+      break;
+    }
   }
-  return std::unique_ptr<QueryRuntime>(new RegionAdapter(plan, options));
+  SensorField field;
+  if (options.field.has_value()) {
+    if (options.field->num_sensors <= 0) {
+      return Status::InvalidArgument(
+          "EngineOptions::field (sensor deployment) has no sensors");
+    }
+    if (has_deployment_facts) {
+      return Status::InvalidArgument(
+          "ambiguous region deployment: both EngineOptions::field and ground "
+          "'" + plan.edb + "'/'" + plan.proximity_edb +
+          "' facts were provided; use one");
+    }
+    field = *options.field;
+  } else if (has_deployment_facts) {
+    StatusOr<SensorField> derived = DeriveFieldFromFacts(plan);
+    if (!derived.ok()) return derived.status();
+    field = std::move(derived).value();
+  } else {
+    return Status::InvalidArgument(
+        "the region plan needs a sensor deployment: set "
+        "EngineOptions::field or write ground '" + plan.edb +
+        "(region, sensor)' / '" + plan.proximity_edb +
+        "(x, y)' facts in the program");
+  }
+  return std::unique_ptr<QueryRuntime>(
+      new RegionAdapter(plan, field, options, session));
 }
 
 std::map<PlanKind, RuntimeFactory>& Registry() {
@@ -504,27 +725,31 @@ Status QueryRuntime::Delete(const std::string& relation, const Tuple& fact) {
   return DeleteFact(relation, fact);
 }
 
-Status QueryRuntime::Apply() {
+void QueryRuntime::PrepareApply() {
   const std::string inc = IncrementalView();
-  const bool patching = !inc.empty() && view_caches_.count(inc) > 0;
+  patching_ = !inc.empty() && view_caches_.count(inc) > 0;
   // Delta logging is armed only while a cache exists to patch, so runs
   // without live readers (every benchmark) never pay for it.
-  if (patching) BeginViewDeltaLog(true);
-  Status st = ApplyUpdates();
-  if (!patching) {
+  if (patching_) BeginViewDeltaLog(true);
+}
+
+Status QueryRuntime::FinishApply(Status run_status) {
+  if (!patching_) {
     InvalidateViewCaches();
-    return st;
+    return run_status;
   }
+  patching_ = false;
+  const std::string inc = IncrementalView();
   std::vector<Tuple> removed, added;
-  bool drained = st.ok() && DrainViewDeltas(&removed, &added);
+  bool drained = run_status.ok() && DrainViewDeltas(&removed, &added);
   BeginViewDeltaLog(false);  // Disarm only after the log is drained.
   if (!drained) {
     // Aborted runs may have dropped part of the delta stream with the
     // queue; fall back to a rebuild rather than patch from a torn log.
     InvalidateViewCaches();
-    return st;
+    return run_status;
   }
-  if (removed.empty() && added.empty()) return st;  // View unchanged.
+  if (removed.empty() && added.empty()) return run_status;  // View unchanged.
   ApplyRowDelta(&view_caches_[inc], std::move(removed), std::move(added));
   // Dependent (aggregate) caches re-derive lazily from the patched rows;
   // drop just their entries.
@@ -535,7 +760,12 @@ Status QueryRuntime::Apply() {
       it = view_caches_.erase(it);
     }
   }
-  return st;
+  return run_status;
+}
+
+Status QueryRuntime::Apply() {
+  PrepareApply();
+  return FinishApply(ApplyUpdates());
 }
 
 const std::vector<Tuple>* QueryRuntime::CachedRows(
@@ -734,14 +964,15 @@ void RegisterRuntimeFactory(datalog::PlanKind kind, RuntimeFactory factory) {
 }
 
 StatusOr<std::unique_ptr<QueryRuntime>> InstantiateRuntime(
-    const datalog::PlanSpec& plan, const EngineOptions& options) {
+    const datalog::PlanSpec& plan, const EngineOptions& options,
+    Session& session) {
   auto it = Registry().find(plan.kind);
   if (it == Registry().end()) {
     return Status::Unimplemented(
         std::string("no runtime registered for plan kind '") +
         PlanKindName(plan.kind) + "'");
   }
-  return it->second(plan, options);
+  return it->second(plan, options, session);
 }
 
 }  // namespace recnet

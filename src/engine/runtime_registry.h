@@ -18,17 +18,23 @@
 
 namespace recnet {
 
-// Configuration of an Engine session: the shared RuntimeOptions plus the
-// deployment parameters a Datalog program cannot carry.
+class Session;
+
+// Configuration of one compiled program (one view): the shared
+// RuntimeOptions plus the deployment parameters a Datalog program cannot
+// carry.
 struct EngineOptions {
   RuntimeOptions runtime;
-  // Number of network nodes for the graph-shaped plans (reachable /
-  // shortest path). Required > 0 for those plans.
+  // Initial number of network nodes for the graph-shaped plans (reachable /
+  // shortest path). The node-id space is dynamic: facts mentioning unseen
+  // node ids grow the topology, so 0 (start empty) is valid; negative is
+  // not.
   int num_nodes = 0;
   // Aggregate-selection policy for the shortest-path runtime.
   AggSelPolicy aggsel = AggSelPolicy::kMulti;
   // Sensor deployment for region plans: defines the seed and proximity
-  // EDBs. Required for PlanKind::kRegion.
+  // EDBs. When unset, the deployment is derived from the program's ground
+  // seed/near facts; InvalidArgument when neither is present.
   std::optional<SensorField> field;
 };
 
@@ -62,7 +68,10 @@ class QueryRuntime {
   Status Delete(const std::string& relation, const Tuple& fact);
 
   // Runs the distributed dataflow to fixpoint. ResourceExhausted when the
-  // message or time budget was exceeded before convergence.
+  // message or time budget was exceeded before convergence. Equivalent to
+  // PrepareApply + ApplyUpdates + FinishApply; a Session coordinating
+  // several co-resident views calls the three phases itself so every view's
+  // delta log is armed before the shared queue drains.
   Status Apply();
 
   // Soft-state TTL expiry hook (called by the engine clock): drops every
@@ -141,6 +150,18 @@ class QueryRuntime {
   void InvalidateViewCaches() const { view_caches_.clear(); }
 
  private:
+  friend class Session;
+
+  // --- Session-coordinated Apply phases ------------------------------------
+  //
+  // One Apply over a shared substrate drains every co-resident view's
+  // messages, so each view's cache maintenance must bracket the drain:
+  // PrepareApply (arm the delta log while a cache is live) on every view
+  // BEFORE the run, FinishApply (patch or invalidate) on every view after.
+
+  void PrepareApply();
+  Status FinishApply(Status run_status);
+
   struct ViewCache {
     // Sorted, deduplicated view rows (the Scan result).
     std::vector<Tuple> rows;
@@ -160,6 +181,9 @@ class QueryRuntime {
                             std::vector<Tuple> added);
 
   mutable std::unordered_map<std::string, ViewCache> view_caches_;
+  // Set by PrepareApply when the incremental view's cache is live (the
+  // delta log is armed); consumed by FinishApply.
+  bool patching_ = false;
 };
 
 // Evaluates a declared aggregate view over the scanned contents of the
@@ -169,16 +193,22 @@ class QueryRuntime {
 std::vector<Tuple> EvalAggView(const datalog::AggViewSpec& spec,
                                const std::vector<Tuple>& view_tuples);
 
-// Instantiates the runtime registered for `plan.kind`. InvalidArgument when
-// `options` lacks the deployment parameters the plan needs.
+// Instantiates the runtime registered for `plan.kind` as a co-resident view
+// of `session`: the runtime attaches to the session's substrate (shared
+// router, BDD manager, node-id space) instead of building its own.
+// InvalidArgument when `options` lacks the deployment parameters the plan
+// needs.
 StatusOr<std::unique_ptr<QueryRuntime>> InstantiateRuntime(
-    const datalog::PlanSpec& plan, const EngineOptions& options);
+    const datalog::PlanSpec& plan, const EngineOptions& options,
+    Session& session);
 
 // Extension point: future query shapes register a factory for their
-// PlanKind instead of forking a runtime. Re-registering a kind replaces the
-// builtin factory.
+// PlanKind instead of forking a runtime. Factories receive the owning
+// session and must attach their runtime to its substrate. Re-registering a
+// kind replaces the builtin factory.
 using RuntimeFactory = StatusOr<std::unique_ptr<QueryRuntime>> (*)(
-    const datalog::PlanSpec& plan, const EngineOptions& options);
+    const datalog::PlanSpec& plan, const EngineOptions& options,
+    Session& session);
 void RegisterRuntimeFactory(datalog::PlanKind kind, RuntimeFactory factory);
 
 }  // namespace recnet

@@ -1,0 +1,327 @@
+#include "engine/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "datalog/analyzer.h"
+#include "datalog/parser.h"
+
+namespace recnet {
+namespace {
+
+// Numeric literals with an exact integral value become int64 (node ids);
+// everything else stays double (costs).
+Value NumberToValue(double d) {
+  if (std::floor(d) == d && std::abs(d) < 9.0e15) {
+    return Value(static_cast<int64_t>(d));
+  }
+  return Value(d);
+}
+
+Tuple TupleOfDoubles(std::initializer_list<double> vals) {
+  std::vector<Value> out;
+  out.reserve(vals.size());
+  for (double d : vals) out.push_back(NumberToValue(d));
+  return Tuple(std::move(out));
+}
+
+// A ground fact's arguments as a Tuple (the planner already rejected
+// non-constant arguments).
+Tuple FactTuple(const datalog::Rule& fact) {
+  std::vector<Value> out;
+  out.reserve(fact.head.args.size());
+  for (const datalog::Term& term : fact.head.args) {
+    if (term.kind == datalog::Term::Kind::kString) {
+      out.push_back(Value(term.text));
+    } else {
+      out.push_back(NumberToValue(term.number));
+    }
+  }
+  return Tuple(std::move(out));
+}
+
+}  // namespace
+
+Session::Session(const SessionOptions& options)
+    // A negative initial size is clamped: AddProgram surfaces the typed
+    // InvalidArgument (the substrate itself must exist to report it).
+    : substrate_(std::make_shared<Substrate>(
+          options.num_nodes > 0 ? options.num_nodes : 0,
+          SubstrateOptions{options.num_physical, options.batch_delivery})) {}
+
+Session::~Session() = default;
+
+StatusOr<View*> Session::AddProgram(const std::string& source,
+                                    const EngineOptions& options) {
+  StatusOr<datalog::Program> program = datalog::Parse(source);
+  if (!program.ok()) return program.status();
+  StatusOr<datalog::ProgramInfo> info = datalog::Analyze(program.value());
+  if (!info.ok()) return info.status();
+  StatusOr<datalog::PlanSpec> plan =
+      datalog::PlanProgram(program.value(), info.value());
+  if (!plan.ok()) return plan.status();
+
+  // Shared-EDB schema agreement: a relation two views share must mean the
+  // same thing in both, or one fan-out fact would be valid for one view and
+  // an error for the other.
+  for (const datalog::RelationDecl& decl : plan.value().Relations()) {
+    auto it = relations_.find(decl.name);
+    if (it != relations_.end() && (it->second.arity != decl.arity ||
+                                   it->second.dynamic != decl.dynamic)) {
+      return Status::InvalidArgument(
+          "relation '" + decl.name + "' (arity " + std::to_string(decl.arity) +
+          (decl.dynamic ? ", dynamic" : ", deployment-defined") +
+          ") conflicts with a co-resident view's declaration (arity " +
+          std::to_string(it->second.arity) +
+          (it->second.dynamic ? ", dynamic" : ", deployment-defined") + ")");
+    }
+  }
+
+  StatusOr<std::unique_ptr<QueryRuntime>> runtime =
+      InstantiateRuntime(plan.value(), options, *this);
+  if (!runtime.ok()) return runtime.status();
+
+  std::unique_ptr<View> view(
+      new View(this, std::move(plan).value(), std::move(runtime).value()));
+  View* handle = view.get();
+
+  const std::vector<datalog::RelationDecl> decls = handle->plan_.Relations();
+
+  // Cross-view EDB sharing, part 1: the session's live facts flow into the
+  // late-added view so it starts from the shared base state.
+  for (const auto& [relation, fact] : fact_log_) {
+    if (relation.empty()) continue;  // Tombstone (deleted fact).
+    bool declared = false;
+    for (const datalog::RelationDecl& decl : decls) {
+      if (decl.dynamic && decl.name == relation) {
+        declared = true;
+        break;
+      }
+    }
+    if (!declared) continue;
+    Status st = handle->runtime_->Insert(relation, fact);
+    if (!st.ok()) {
+      return Status(st.code(), "replaying session fact " + relation +
+                                   fact.ToString() + ": " + st.message());
+    }
+  }
+
+  views_.push_back(std::move(view));
+  for (const datalog::RelationDecl& decl : decls) {
+    RelationInfo& info_entry = relations_[decl.name];
+    info_entry.arity = decl.arity;
+    info_entry.dynamic = decl.dynamic;
+    info_entry.views.push_back(handle);
+  }
+
+  // Cross-view EDB sharing, part 2: the program's own ground facts load
+  // through the session store, fanning out to every co-resident view that
+  // declares the relation. Deployment facts (the region plan's seed and
+  // proximity EDBs) were consumed by the runtime factory and stay static.
+  for (const datalog::Rule& fact : handle->plan_.facts) {
+    if (handle->plan_.IsStaticRelation(fact.head.predicate)) continue;
+    Status st = Insert(fact.head.predicate, FactTuple(fact));
+    if (!st.ok()) {
+      // The error must be rendered before the rollback below destroys the
+      // view (and with it the plan's fact storage `fact` points into).
+      Status out(st.code(), "loading fact " + fact.ToString() + " (line " +
+                                std::to_string(fact.line) +
+                                "): " + st.message());
+      // Keep the session consistent: retract the failed view's
+      // registration (facts already fanned to older views stay — shared
+      // enqueues cannot be unsent).
+      for (const datalog::RelationDecl& decl : decls) {
+        auto rel_it = relations_.find(decl.name);
+        if (rel_it == relations_.end()) continue;
+        auto& declaring = rel_it->second.views;
+        declaring.erase(
+            std::remove(declaring.begin(), declaring.end(), handle),
+            declaring.end());
+        if (declaring.empty()) relations_.erase(rel_it);
+      }
+      views_.pop_back();
+      return out;
+    }
+  }
+  return handle;
+}
+
+Tuple Session::TaggedFact(const std::string& relation, const Tuple& fact) {
+  std::vector<Value> key;
+  key.reserve(fact.size() + 1);
+  key.push_back(Value(relation));
+  for (const Value& v : fact.values()) key.push_back(v);
+  return Tuple(std::move(key));
+}
+
+Status Session::IngestInsert(const std::string& relation, const Tuple& fact) {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    return Status::NotFound("unknown base relation '" + relation +
+                            "' (no co-resident view declares it)");
+  }
+  for (View* view : it->second.views) {
+    RECNET_RETURN_IF_ERROR(view->runtime_->Insert(relation, fact));
+  }
+  // Record for replay into late-added programs (dynamic relations only; a
+  // static relation never reaches this point — its view rejected it
+  // above). A fact deleted earlier reclaims its tombstoned slot, so the
+  // log is bounded by the number of distinct facts, not by churn.
+  Tuple tag = TaggedFact(relation, fact);
+  auto [slot, fresh] = fact_index_.try_emplace(std::move(tag),
+                                               fact_log_.size());
+  if (fresh) {
+    fact_log_.emplace_back(relation, fact);
+  } else if (fact_log_[slot->second].first.empty()) {
+    fact_log_[slot->second].first = relation;
+  }
+  return Status::OK();
+}
+
+Status Session::IngestDelete(const std::string& relation, const Tuple& fact) {
+  auto it = relations_.find(relation);
+  if (it == relations_.end()) {
+    return Status::NotFound("unknown base relation '" + relation +
+                            "' (no co-resident view declares it)");
+  }
+  for (View* view : it->second.views) {
+    RECNET_RETURN_IF_ERROR(view->runtime_->Delete(relation, fact));
+  }
+  auto idx = fact_index_.find(TaggedFact(relation, fact));
+  if (idx != fact_index_.end()) {
+    // Tombstone the slot but keep the index entry: a re-insert reclaims it
+    // instead of growing the log.
+    fact_log_[idx->second].first.clear();
+  }
+  return Status::OK();
+}
+
+Status Session::Insert(const std::string& relation, const Tuple& fact) {
+  // A plain insert makes the fact permanent: drop any soft-state deadline
+  // a prior InsertWithTtl left behind so it cannot expire later.
+  clock_.Remove(TaggedFact(relation, fact));
+  return IngestInsert(relation, fact);
+}
+
+Status Session::Delete(const std::string& relation, const Tuple& fact) {
+  clock_.Remove(TaggedFact(relation, fact));
+  return IngestDelete(relation, fact);
+}
+
+Status Session::Insert(const std::string& relation,
+                       std::initializer_list<double> fact) {
+  return Insert(relation, TupleOfDoubles(fact));
+}
+
+Status Session::Delete(const std::string& relation,
+                       std::initializer_list<double> fact) {
+  return Delete(relation, TupleOfDoubles(fact));
+}
+
+Status Session::InsertWithTtl(const std::string& relation, const Tuple& fact,
+                              double ttl) {
+  Tuple key = TaggedFact(relation, fact);
+  if (clock_.Contains(key)) {
+    // Soft-state renewal: extend the deadline; the live fact and its base
+    // variables stay put, so nothing propagates.
+    clock_.Insert(key, ttl);
+    return Status::OK();
+  }
+  RECNET_RETURN_IF_ERROR(IngestInsert(relation, fact));
+  clock_.Insert(key, ttl);
+  return Status::OK();
+}
+
+Status Session::AdvanceTime(double t) {
+  if (t < clock_.now()) {
+    return Status::InvalidArgument("clock cannot run backwards (now=" +
+                                   std::to_string(clock_.now()) + ")");
+  }
+  std::vector<Tuple> expirations = clock_.AdvanceTo(t);
+  // TTL expiry is the one mutation source outside the incremental delta
+  // flow (deadlines fire from the session clock, not the dataflow); it
+  // stays a full cache rebuild, in every view.
+  if (!expirations.empty()) {
+    for (const auto& view : views_) {
+      view->runtime_->InvalidateCachesForExpiry();
+    }
+  }
+  // The clock has already dropped every deadline, so process the whole
+  // expiration batch even if one deletion fails — stopping early would
+  // silently make the remaining expired facts permanent.
+  Status first_error = Status::OK();
+  for (const Tuple& expired : expirations) {
+    std::vector<Value> fact(expired.values().begin() + 1,
+                            expired.values().end());
+    Status st = IngestDelete(expired.StringAt(0), Tuple(std::move(fact)));
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+Status Session::ApplyFrom(QueryRuntime* initiator) {
+  if (views_.empty()) return Status::OK();
+  if (initiator == nullptr) initiator = views_.front()->runtime_.get();
+  // One drain converges every co-resident view (they share the FIFO), so
+  // every view's cache maintenance must bracket it: arm all delta logs
+  // before, patch all caches after.
+  for (const auto& view : views_) view->runtime_->PrepareApply();
+  Status run_status = initiator->ApplyUpdates();
+  for (const auto& view : views_) view->runtime_->FinishApply(run_status);
+  return run_status;
+}
+
+Status Session::Apply() { return ApplyFrom(nullptr); }
+
+int Session::AddNode() {
+  int id = substrate_->num_logical();
+  substrate_->EnsureNodes(id + 1);
+  return id;
+}
+
+void Session::EnsureNodes(int num_nodes) { substrate_->EnsureNodes(num_nodes); }
+
+int Session::num_nodes() const { return substrate_->num_logical(); }
+
+// --- View -------------------------------------------------------------------
+
+Status View::Apply() { return session_->ApplyFrom(runtime_.get()); }
+
+StatusOr<std::vector<Tuple>> View::Scan(const std::string& view) const {
+  return runtime_->Scan(view);
+}
+
+StatusOr<bool> View::Contains(const std::string& view,
+                              const Tuple& tuple) const {
+  StatusOr<Tuple> found = runtime_->Lookup(view, tuple);
+  if (found.ok()) return true;
+  if (found.status().code() == StatusCode::kNotFound) return false;
+  return found.status();
+}
+
+StatusOr<bool> View::Contains(const std::string& view,
+                              std::initializer_list<double> tuple) const {
+  return Contains(view, TupleOfDoubles(tuple));
+}
+
+StatusOr<Tuple> View::Lookup(const std::string& view, const Tuple& key) const {
+  return runtime_->Lookup(view, key);
+}
+
+StatusOr<Tuple> View::Lookup(const std::string& view,
+                             std::initializer_list<double> key) const {
+  return Lookup(view, TupleOfDoubles(key));
+}
+
+StatusOr<std::vector<Tuple>> View::Explain(const std::string& view,
+                                           const Tuple& tuple) const {
+  if (view != plan_.view) {
+    return Status::InvalidArgument(
+        "provenance witnesses exist for the recursive view '" + plan_.view +
+        "' only, not '" + view + "'");
+  }
+  return runtime_->Explain(tuple);
+}
+
+}  // namespace recnet

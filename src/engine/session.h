@@ -1,0 +1,215 @@
+#ifndef RECNET_ENGINE_SESSION_H_
+#define RECNET_ENGINE_SESSION_H_
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "datalog/planner.h"
+#include "engine/runtime_registry.h"
+#include "engine/soft_state.h"
+#include "engine/substrate.h"
+
+namespace recnet {
+
+class View;
+
+// Deployment of one session's shared substrate (see Substrate): the
+// parameters that describe the simulated network rather than any one
+// compiled program.
+struct SessionOptions {
+  // Initial logical topology. The node-id space is dynamic — late facts and
+  // AddNode() grow it — so 0 (start empty) is valid.
+  int num_nodes = 0;
+  // Physical peers the logical nodes are mapped onto.
+  int num_physical = 12;
+  // Coalesce same-(dst, port) delivery runs into single handler batches.
+  bool batch_delivery = true;
+};
+
+// ---------------------------------------------------------------------------
+// recnet::Session — a long-lived context hosting many compiled Datalog
+// programs as co-resident views over one network substrate: one Router, one
+// BDD manager, one shared EDB store, one dynamic node-id space.
+//
+//   recnet::Session session(recnet::SessionOptions{/*num_nodes=*/12});
+//   auto* reach = *session.AddProgram(R"(
+//     reachable(x,y) :- link(x,y).
+//     reachable(x,y) :- link(x,z), reachable(z,y).
+//   )", {});
+//   auto* spans = *session.AddProgram(R"(
+//     span(x,y) :- link(x,y).
+//     span(x,y) :- span(x,z), link(z,y).
+//   )", {});
+//   session.Insert("link", {0, 1});      // One fact feeds both views.
+//   session.Apply();                     // One fixpoint over the substrate.
+//   reach->Contains("reachable", {0, 1});
+//   spans->Contains("span", {0, 1});
+//
+// Ingestion is session-scoped: a fact for relation R fans out to every view
+// declaring R (the declarations come from each plan's Relations()), and the
+// session records it so programs added later replay the shared EDB. Views
+// added to one session must agree on the schema of any relation they share.
+// Reads (Scan / Lookup / Contains / Explain) are per-view, through the View
+// handles AddProgram returns.
+//
+// recnet::Engine (engine/engine.h) is a thin one-program session and keeps
+// the original compile-one-program API.
+// ---------------------------------------------------------------------------
+class Session {
+ public:
+  explicit Session(const SessionOptions& options = SessionOptions());
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // Compiles `source` (parse -> analyze -> plan -> instantiate) as a
+  // co-resident view and returns its handle, valid for the session's
+  // lifetime. Session facts already recorded for relations the new program
+  // declares are replayed into it, and the program's own ground facts are
+  // loaded through the session store (fanning out to older views that share
+  // the relation). Errors mirror Engine::Compile, plus InvalidArgument when
+  // the program declares a relation whose schema conflicts with a
+  // co-resident view's declaration.
+  StatusOr<View*> AddProgram(const std::string& source,
+                             const EngineOptions& options);
+
+  // --- Shared fact ingestion, keyed by relation name ------------------------
+  //
+  // Fans out to every view declaring the relation; updates propagate on the
+  // next Apply(). NotFound when no view declares it. If the fact is valid
+  // for some declaring views but not all (co-resident schema drift), the
+  // error is returned after the earlier views already enqueued it.
+
+  Status Insert(const std::string& relation, const Tuple& fact);
+  Status Delete(const std::string& relation, const Tuple& fact);
+  Status Insert(const std::string& relation,
+                std::initializer_list<double> fact);
+  Status Delete(const std::string& relation,
+                std::initializer_list<double> fact);
+
+  // Soft-state ingestion (paper §3.1): the fact expires `ttl` time units
+  // after the session clock; expiry is processed as an ordinary deletion in
+  // every declaring view. Re-inserting a live fact renews its deadline
+  // without re-propagating.
+  Status InsertWithTtl(const std::string& relation, const Tuple& fact,
+                       double ttl);
+  // Advances the soft-state clock, enqueueing deletions for expired facts
+  // (propagated on the next Apply()).
+  Status AdvanceTime(double t);
+  double now() const { return clock_.now(); }
+
+  // Runs the shared dataflow to session-wide fixpoint (all views converge
+  // in one drain; each view's caches are patched from its own delta log).
+  // Budgets are taken from the first view's RuntimeOptions.
+  // ResourceExhausted when they were exceeded before convergence.
+  Status Apply();
+
+  // --- Dynamic node-id space ------------------------------------------------
+
+  // Registers one more logical node and returns its id. (Facts mentioning
+  // unseen node ids grow the space implicitly; this is the explicit form.)
+  int AddNode();
+  // Grows the space to at least `num_nodes`.
+  void EnsureNodes(int num_nodes);
+  int num_nodes() const;
+
+  size_t num_views() const { return views_.size(); }
+  const std::shared_ptr<Substrate>& substrate() const { return substrate_; }
+
+ private:
+  friend class View;
+
+  struct RelationInfo {
+    size_t arity = 0;
+    bool dynamic = true;
+    std::vector<View*> views;  // Declaring views, in AddProgram order.
+  };
+
+  // Tags a fact with its relation name (clock keys and the fact index must
+  // not collide across relations).
+  static Tuple TaggedFact(const std::string& relation, const Tuple& fact);
+
+  // Fan-out without touching the soft-state clock (Insert/Delete wrap these
+  // with clock maintenance; expiry calls them directly).
+  Status IngestInsert(const std::string& relation, const Tuple& fact);
+  Status IngestDelete(const std::string& relation, const Tuple& fact);
+
+  // Coordinated fixpoint: arms every view's cache-delta log, drains the
+  // substrate once through `initiator`'s runtime (its budgets apply), then
+  // patches every view's caches.
+  Status ApplyFrom(QueryRuntime* initiator);
+
+  std::shared_ptr<Substrate> substrate_;
+  std::vector<std::unique_ptr<View>> views_;
+  std::unordered_map<std::string, RelationInfo> relations_;
+  // Session EDB store: live facts in insertion order, for replay into views
+  // added later. Deleted entries are tombstoned (empty relation name) so
+  // replay order is stable; the index maps a tagged fact to its slot.
+  std::vector<std::pair<std::string, Tuple>> fact_log_;
+  std::unordered_map<Tuple, size_t, TupleHash> fact_index_;
+  SoftStateClock clock_;
+};
+
+// A compiled program co-resident in a Session: the per-view read surface
+// (the same Scan/Lookup/Contains/Explain/metrics contract Engine exposes).
+// Handles are owned by the session and valid for its lifetime.
+class View {
+ public:
+  // The plan the program lowered onto.
+  const datalog::PlanSpec& plan() const { return plan_; }
+
+  // Session-wide fixpoint using this view's budgets (all co-resident views
+  // share one queue, so convergence is necessarily collective).
+  Status Apply();
+
+  // All tuples of the recursive view or a declared aggregate view.
+  StatusOr<std::vector<Tuple>> Scan(const std::string& view) const;
+
+  // Membership test against the recursive view or an aggregate view.
+  StatusOr<bool> Contains(const std::string& view, const Tuple& tuple) const;
+  StatusOr<bool> Contains(const std::string& view,
+                          std::initializer_list<double> tuple) const;
+
+  // First tuple of `view` whose leading columns equal `key` (group-by
+  // columns for aggregate views). Path-view lookups surface the runtime's
+  // auxiliary columns: (src, dst, cost, vec, length).
+  StatusOr<Tuple> Lookup(const std::string& view, const Tuple& key) const;
+  StatusOr<Tuple> Lookup(const std::string& view,
+                         std::initializer_list<double> key) const;
+
+  // Provenance witness: one set of base facts supporting `tuple` in the
+  // recursive view — the paper's "why is this tuple here" diagnostic.
+  // Requires ProvMode::kAbsorption (reachable and shortest-path views).
+  StatusOr<std::vector<Tuple>> Explain(const std::string& view,
+                                       const Tuple& tuple) const;
+
+  // Run bookkeeping, scoped to this view's traffic on the shared router.
+  RunMetrics Metrics() const { return runtime_->Metrics(); }
+  void ResetMetrics() { runtime_->ResetMetrics(); }
+  bool converged() const { return runtime_->converged(); }
+  const RuntimeOptions& options() const { return runtime_->options(); }
+
+ private:
+  friend class Session;
+
+  View(Session* session, datalog::PlanSpec plan,
+       std::unique_ptr<QueryRuntime> runtime)
+      : session_(session),
+        plan_(std::move(plan)),
+        runtime_(std::move(runtime)) {}
+
+  Session* session_;
+  datalog::PlanSpec plan_;
+  std::unique_ptr<QueryRuntime> runtime_;
+};
+
+}  // namespace recnet
+
+#endif  // RECNET_ENGINE_SESSION_H_

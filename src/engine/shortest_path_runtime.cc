@@ -58,28 +58,54 @@ ShortestPathRuntime::ShortestPathRuntime(int num_nodes,
   RECNET_CHECK(opts_.prov == ProvMode::kAbsorption);
   nodes_.resize(static_cast<size_t>(num_nodes));
   for (int n = 0; n < num_nodes; ++n) {
-    NodeState& state = nodes_[static_cast<size_t>(n)];
-    state.fix = std::make_unique<Fixpoint>(opts_.prov);
-    // Aggregate selection prunes the path view towards one surviving tuple
-    // per (src, dst); size the operator tables for that bound up front.
-    state.fix->Reserve(static_cast<size_t>(num_nodes));
-    state.join = std::make_unique<PipelinedHashJoin>(
-        opts_.prov, std::vector<size_t>{1}, std::vector<size_t>{kSrc},
-        CombineLinkPath);
-    state.join->Reserve(static_cast<size_t>(num_nodes));
-    state.ship = std::make_unique<MinShip>(
-        opts_.prov, opts_.ship, opts_.batch_window,
-        [this, n](const Tuple& tuple, const Prov& pv) {
-          LogicalNode dest = static_cast<LogicalNode>(tuple.IntAt(kSrc));
-          ShipInsert(n, dest, kPortFix, tuple, pv);
-        });
-    state.ship->Reserve(static_cast<size_t>(num_nodes));
-    if (policy_ != AggSelPolicy::kNone) {
-      state.agg_fix = std::make_unique<AggSel>(
-          opts_.prov, std::vector<size_t>{kSrc, kDst}, AggSpecs());
-      state.agg_ship = std::make_unique<AggSel>(
-          opts_.prov, std::vector<size_t>{kSrc, kDst}, AggSpecs());
-    }
+    InitNode(n, static_cast<size_t>(num_nodes));
+  }
+}
+
+ShortestPathRuntime::ShortestPathRuntime(std::shared_ptr<Substrate> substrate,
+                                         int num_nodes,
+                                         const RuntimeOptions& options,
+                                         AggSelPolicy policy)
+    : RuntimeBase(std::move(substrate), num_nodes, options), policy_(policy) {
+  RECNET_CHECK(opts_.prov == ProvMode::kAbsorption);
+  nodes_.resize(static_cast<size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) {
+    InitNode(n, static_cast<size_t>(num_nodes));
+  }
+}
+
+void ShortestPathRuntime::InitNode(int n, size_t expected_nodes) {
+  NodeState& state = nodes_[static_cast<size_t>(n)];
+  state.fix = std::make_unique<Fixpoint>(opts_.prov);
+  // Aggregate selection prunes the path view towards one surviving tuple
+  // per (src, dst); size the operator tables for that bound up front.
+  state.fix->Reserve(expected_nodes);
+  state.join = std::make_unique<PipelinedHashJoin>(
+      opts_.prov, std::vector<size_t>{1}, std::vector<size_t>{kSrc},
+      CombineLinkPath);
+  state.join->Reserve(expected_nodes);
+  state.ship = std::make_unique<MinShip>(
+      opts_.prov, opts_.ship, opts_.batch_window,
+      [this, n](const Tuple& tuple, const Prov& pv) {
+        LogicalNode dest = static_cast<LogicalNode>(tuple.IntAt(kSrc));
+        ShipInsert(n, dest, kPortFix, tuple, pv);
+      });
+  state.ship->Reserve(expected_nodes);
+  if (policy_ != AggSelPolicy::kNone) {
+    state.agg_fix = std::make_unique<AggSel>(
+        opts_.prov, std::vector<size_t>{kSrc, kDst}, AggSpecs());
+    state.agg_ship = std::make_unique<AggSel>(
+        opts_.prov, std::vector<size_t>{kSrc, kDst}, AggSpecs());
+  }
+}
+
+void ShortestPathRuntime::OnTopologyGrown(int num_nodes) {
+  if (num_nodes <= num_logical()) return;
+  int old_nodes = num_logical();
+  GrowKillRouting(num_nodes);
+  nodes_.resize(static_cast<size_t>(num_nodes));
+  for (int n = old_nodes; n < num_nodes; ++n) {
+    InitNode(n, static_cast<size_t>(num_nodes));
   }
 }
 
@@ -109,7 +135,7 @@ void ShortestPathRuntime::InsertLink(LogicalNode src, LogicalNode dst,
   Tuple base = MakePath(src, dst,
                         std::to_string(src) + "." + std::to_string(dst), cost,
                         1);
-  router_.Send(src, src, kPortFix, Update::Insert(std::move(base), pv));
+  Send(src, src, kPortFix, Update::Insert(std::move(base), pv));
   // Distributed join: ship the link to its dst partition.
   ShipInsert(src, dst, kPortJoinBuild, link, pv);
 }
@@ -145,7 +171,7 @@ void ShortestPathRuntime::ShipRetraction(LogicalNode at, NodeState& state,
                                          Tuple tuple) {
   LogicalNode dest = static_cast<LogicalNode>(tuple.IntAt(kSrc));
   state.ship->ProcessDelete(tuple);
-  router_.Send(at, dest, kPortFix, Update::Delete(std::move(tuple)));
+  Send(at, dest, kPortFix, Update::Delete(std::move(tuple)));
 }
 
 void ShortestPathRuntime::ApplyFixInsert(LogicalNode at, NodeState& state,
@@ -251,7 +277,7 @@ void ShortestPathRuntime::HandleBatch(const Envelope* envs, size_t n) {
   // whole batch.
   LogicalNode at = envs[0].dst;
   NodeState& state = node(at);
-  switch (envs[0].port) {
+  switch (LocalPort(envs[0])) {
     case kPortJoinBuild:
       for (size_t i = 0; i < n; ++i) {
         const Update& u = envs[i].update;
@@ -310,6 +336,31 @@ std::vector<std::optional<double>> ShortestPathRuntime::MinCosts(
     if (!best.has_value() || cost < *best) best = cost;
   }
   return out;
+}
+
+const Prov* ShortestPathRuntime::ViewProvenance(LogicalNode src,
+                                                LogicalNode dst) const {
+  // The stable projection of the pruned path view is its min-cost tuple per
+  // (src, dst) — the same row Lookup surfaces — so witnesses explain that
+  // tuple's derivation.
+  const Prov* best_pv = nullptr;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const auto& [tuple, pv] : node(src).fix->contents()) {
+    if (tuple.IntAt(kDst) != dst) continue;
+    double cost = tuple.DoubleAt(kCost);
+    if (best_pv == nullptr || cost < best_cost) {
+      best_pv = &pv;
+      best_cost = cost;
+    }
+  }
+  return best_pv;
+}
+
+std::optional<Tuple> ShortestPathRuntime::LinkOfVar(bdd::Var v) const {
+  for (const auto& [link, var] : link_vars_) {
+    if (var == v) return link;
+  }
+  return std::nullopt;
 }
 
 std::optional<int64_t> ShortestPathRuntime::MinHops(LogicalNode src,

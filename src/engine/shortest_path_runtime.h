@@ -39,6 +39,9 @@ class ShortestPathRuntime : public RuntimeBase {
  public:
   ShortestPathRuntime(int num_nodes, const RuntimeOptions& options,
                       AggSelPolicy policy);
+  // Co-resident construction: one view on a shared session substrate.
+  ShortestPathRuntime(std::shared_ptr<Substrate> substrate, int num_nodes,
+                      const RuntimeOptions& options, AggSelPolicy policy);
 
   void InsertLink(LogicalNode src, LogicalNode dst, double cost);
   void DeleteLink(LogicalNode src, LogicalNode dst);
@@ -73,11 +76,23 @@ class ShortestPathRuntime : public RuntimeBase {
 
   size_t ViewSize() const;
 
+  // Provenance annotation of a cost-minimal path(src, dst) tuple, if one is
+  // materialized (the runtime always runs under absorption provenance);
+  // backs the facade's Explain witnesses for the path view.
+  const Prov* ViewProvenance(LogicalNode src, LogicalNode dst) const;
+
+  // Reverse-maps a base variable to the live link it annotates, as
+  // (src, dst, cost) — for rendering provenance witnesses.
+  std::optional<Tuple> LinkOfVar(bdd::Var v) const;
+
  protected:
   // Vectorized delivery: one (dst, port) switch and node-state lookup per
   // run, with the operator applied across the whole batch.
   void HandleBatch(const Envelope* envs, size_t n) override;
   void HandleEnvelope(const Envelope& env) override;
+  // Dynamic node-id space: extends the per-node operator state when the
+  // substrate's topology grows (late facts mentioning unseen node ids).
+  void OnTopologyGrown(int num_nodes) override;
   size_t StateSizeBytes() const override;
 
  private:
@@ -93,6 +108,9 @@ class ShortestPathRuntime : public RuntimeBase {
   const NodeState& node(LogicalNode n) const {
     return nodes_[static_cast<size_t>(n)];
   }
+
+  // Builds node n's operator pipeline, sizing tables for `expected_nodes`.
+  void InitNode(int n, size_t expected_nodes);
 
   std::vector<AggSpec> AggSpecs() const;
   // The handlers take the destination's NodeState, resolved once per

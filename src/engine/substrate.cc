@@ -1,0 +1,127 @@
+#include "engine/substrate.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "engine/runtime_base.h"
+
+namespace recnet {
+
+Substrate::Substrate(int num_nodes, const SubstrateOptions& options)
+    : router_(num_nodes,
+              // The physical peer pool is capped by the initial logical
+              // topology exactly as the one-runtime-per-router design did;
+              // a substrate created empty (num_nodes == 0, nodes arrive
+              // with the first facts) keeps the full peer pool.
+              num_nodes > 0 ? std::min(num_nodes, options.num_physical)
+                            : options.num_physical) {
+  router_.set_batch_handler(
+      [this](const Envelope* envs, size_t n) { Dispatch(envs, n); });
+  router_.set_batching(options.batch_delivery);
+}
+
+void Substrate::EnsureNodes(int num_nodes) {
+  if (num_nodes <= router_.num_logical()) return;
+  router_.GrowLogical(num_nodes);
+  for (RuntimeBase* rt : runtimes_) {
+    if (rt != nullptr) rt->OnTopologyGrown(num_nodes);
+  }
+}
+
+bdd::Var Substrate::AllocVar() {
+  bdd::Var v = static_cast<bdd::Var>(dead_.size());
+  dead_.push_back(0);
+  return v;
+}
+
+bool Substrate::MarkDead(bdd::Var v) {
+  RECNET_CHECK_LT(v, dead_.size());
+  if (dead_[v] != 0) return false;
+  dead_[v] = 1;
+  ++num_dead_;
+  return true;
+}
+
+int Substrate::Attach(RuntimeBase* runtime) {
+  int ns = static_cast<int>(runtimes_.size());
+  if (ns > 0) {
+    int router_ns = router_.AddNamespace();
+    RECNET_CHECK_EQ(router_ns, ns);
+  }
+  runtimes_.push_back(runtime);
+  return ns;
+}
+
+void Substrate::Detach(RuntimeBase* runtime) {
+  for (size_t ns = 0; ns < runtimes_.size(); ++ns) {
+    if (runtimes_[ns] != runtime) continue;
+    runtimes_[ns] = nullptr;
+    // Drop any traffic the retiring view still has queued, so a later
+    // drain cannot dispatch into the dead namespace (Dispatch CHECKs).
+    router_.PurgeNamespace(static_cast<int>(ns));
+  }
+}
+
+void Substrate::Dispatch(const Envelope* envs, size_t n) {
+  // A delivery run never mixes ports, so one namespace lookup routes the
+  // whole batch to its owning view.
+  size_t ns = static_cast<size_t>(envs[0].port) /
+              static_cast<size_t>(Router::kPortsPerNamespace);
+  if (ns >= runtimes_.size()) ns = runtimes_.size() - 1;
+  RuntimeBase* rt = runtimes_[ns];
+  RECNET_CHECK(rt != nullptr);
+  rt->DeliverBatch(envs, n);
+}
+
+bool Substrate::PollAfterQuiescent() {
+  // Every view is polled every round (no short-circuit): one view's
+  // re-derivation must not starve another's.
+  bool any = false;
+  for (RuntimeBase* rt : runtimes_) {
+    if (rt != nullptr && rt->AfterQuiescent()) any = true;
+  }
+  return any;
+}
+
+bool Substrate::DrainToFixpoint(const DrainBudget& budget) {
+  auto start = std::chrono::steady_clock::now();
+  bool ok = true;
+  uint64_t processed = 0;
+  // The wall-clock budget is polled every 32 deliveries; batches are
+  // clipped at the next poll point so a long coalesced run cannot overshoot
+  // the time cap unchecked.
+  uint64_t next_time_check = 32;
+  do {
+    while (router_.pending() > 0) {
+      uint64_t step_cap = budget.message_budget - processed;
+      if (budget.time_budget_s > 0) {
+        step_cap = std::min(step_cap, next_time_check - processed);
+      }
+      processed += router_.StepBatch(static_cast<size_t>(step_cap));
+      if (processed >= budget.message_budget) {
+        ok = false;
+        break;
+      }
+      if (budget.time_budget_s > 0 && processed >= next_time_check) {
+        next_time_check = processed + 32;
+        double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+        if (elapsed > budget.time_budget_s) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (!ok) break;
+  } while (PollAfterQuiescent());
+  return ok;
+}
+
+void Substrate::MarkAllAborted() {
+  for (RuntimeBase* rt : runtimes_) {
+    if (rt != nullptr) rt->MarkAborted();
+  }
+}
+
+}  // namespace recnet

@@ -1,0 +1,122 @@
+#ifndef RECNET_ENGINE_SUBSTRATE_H_
+#define RECNET_ENGINE_SUBSTRATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "net/router.h"
+
+namespace recnet {
+
+class RuntimeBase;
+
+// Deployment parameters of the shared substrate (they describe the network,
+// not any one view, so they are fixed per substrate rather than per
+// runtime).
+struct SubstrateOptions {
+  // Physical peers the logical nodes are mapped onto (paper default: 12).
+  int num_physical = 12;
+  // Coalesce same-(dst, port) delivery runs into single handler batches.
+  bool batch_delivery = true;
+};
+
+// The shared execution substrate of one session: a single Router, a single
+// BDD manager, a session-wide base-variable space, and a dynamic logical
+// node-id space. One or more distributed runtimes attach to it as
+// co-resident views; each attached runtime is assigned a router port
+// namespace so its messages interleave with the others' on the one FIFO
+// without collisions, and each keeps its own NetworkStats.
+//
+// A standalone runtime (the pre-session construction path used by tests and
+// benchmarks) owns a private Substrate with exactly one attached view,
+// which makes its behavior — message for message and counter for counter —
+// identical to the historical one-router-per-runtime design.
+class Substrate {
+ public:
+  Substrate(int num_nodes, const SubstrateOptions& options);
+
+  Substrate(const Substrate&) = delete;
+  Substrate& operator=(const Substrate&) = delete;
+
+  Router& router() { return router_; }
+  const Router& router() const { return router_; }
+  bdd::Manager* bdd_manager() { return &bdd_; }
+
+  int num_logical() const { return router_.num_logical(); }
+
+  // --- Dynamic node-id space ------------------------------------------------
+
+  // Grows the logical node-id space to at least `num_nodes` (no-op when the
+  // space is already that large) and notifies every attached runtime so
+  // graph-shaped views extend their per-node state. Late base facts that
+  // mention unseen node ids route through here instead of erroring.
+  void EnsureNodes(int num_nodes);
+
+  // --- Session-wide base-variable space -------------------------------------
+  //
+  // Base variables are allocated from one counter so co-resident views can
+  // share the BDD manager without id collisions; each view's variables keep
+  // their relative allocation order, which keeps its annotations isomorphic
+  // to the ones it would build on a private manager.
+
+  bdd::Var AllocVar();
+  // Returns true when `v` was newly marked (callers keep per-view dead
+  // counts for their fast paths).
+  bool MarkDead(bdd::Var v);
+  bool is_dead(bdd::Var v) const {
+    return v < dead_.size() && dead_[v] != 0;
+  }
+  bool AnyDead() const { return num_dead_ > 0; }
+
+  // --- View registration ----------------------------------------------------
+
+  // Attaches `runtime` as a co-resident view and returns its port-namespace
+  // id (0 for the first view). Delivery batches whose ports fall in that
+  // namespace are dispatched to the runtime's handler.
+  int Attach(RuntimeBase* runtime);
+  // Unregisters a runtime (called from ~RuntimeBase). Its namespace id is
+  // retired, never reused.
+  void Detach(RuntimeBase* runtime);
+
+  // --- Shared drain loop ----------------------------------------------------
+
+  struct DrainBudget {
+    // Maximum message deliveries for this drain.
+    uint64_t message_budget = 0;
+    // Wall-clock cap in seconds (0 = unlimited).
+    double time_budget_s = 0;
+  };
+
+  // Drains the shared FIFO to session-wide quiescence, honoring the budget,
+  // then polls every attached runtime's AfterQuiescent hook (DRed
+  // re-derivation, relative-mode derivability sweeps) and keeps draining
+  // until no view seeds more work. Returns false when the budget was
+  // exhausted first; the caller is responsible for aborting the run.
+  bool DrainToFixpoint(const DrainBudget& budget);
+
+  // Marks every attached runtime non-converged (one view's budget
+  // exhaustion drops the shared queue, so all co-resident views lose
+  // in-flight state).
+  void MarkAllAborted();
+
+ private:
+  void Dispatch(const Envelope* envs, size_t n);
+  bool PollAfterQuiescent();
+
+  // Declaration order is load-bearing: queued Envelopes hold Prov handles
+  // into bdd_, so the router (destroyed first, in reverse order) must be
+  // declared after the manager.
+  bdd::Manager bdd_;
+  Router router_;
+  // Attached runtimes, indexed by namespace id (nullptr once detached).
+  std::vector<RuntimeBase*> runtimes_;
+  // Session-wide dead-variable set (vector<char>: element access is
+  // branch-free, unlike vector<bool>).
+  std::vector<char> dead_;
+  size_t num_dead_ = 0;
+};
+
+}  // namespace recnet
+
+#endif  // RECNET_ENGINE_SUBSTRATE_H_

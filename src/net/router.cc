@@ -1,6 +1,7 @@
 #include "net/router.h"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "common/logging.h"
 
@@ -23,45 +24,57 @@ void NetworkStats::Reset() {
 
 Router::Router(int num_logical, int num_physical)
     : num_logical_(num_logical), num_physical_(num_physical) {
-  RECNET_CHECK_GT(num_logical, 0);
+  RECNET_CHECK_GE(num_logical, 0);
   RECNET_CHECK_GT(num_physical, 0);
-  stats_.per_peer_bytes.assign(static_cast<size_t>(num_physical), 0);
+  stats_.resize(1);
+  stats_[0].per_peer_bytes.assign(static_cast<size_t>(num_physical), 0);
   // Head off the first run's reallocation cascade (every grow moves all
   // pending envelopes).
   current_.reserve(1024);
   inbox_.reserve(1024);
 }
 
-void Router::ChargeSend(LogicalNode src, LogicalNode dst,
+int Router::AddNamespace() {
+  stats_.emplace_back();
+  stats_.back().per_peer_bytes.assign(static_cast<size_t>(num_physical_), 0);
+  return static_cast<int>(stats_.size()) - 1;
+}
+
+void Router::GrowLogical(int num_logical) {
+  if (num_logical > num_logical_) num_logical_ = num_logical;
+}
+
+void Router::ChargeSend(LogicalNode src, LogicalNode dst, int port,
                         const Update& update) {
   RECNET_DCHECK(src >= 0 && src < num_logical_);
   RECNET_DCHECK(dst >= 0 && dst < num_logical_);
+  NetworkStats& s = stats_[static_cast<size_t>(NamespaceOf(port))];
   if (PhysicalOf(src) == PhysicalOf(dst)) {
-    ++stats_.local_messages;
+    ++s.local_messages;
     return;
   }
   size_t wire = update.WireSizeBytes();
-  ++stats_.messages;
-  stats_.bytes += wire;
-  stats_.per_peer_bytes[PhysicalOf(src)] += wire;
+  ++s.messages;
+  s.bytes += wire;
+  s.per_peer_bytes[PhysicalOf(src)] += wire;
   switch (update.type) {
     case UpdateType::kInsert:
-      ++stats_.insert_messages;
-      stats_.prov_bytes += update.pv.WireSizeBytes();
-      ++stats_.prov_samples;
+      ++s.insert_messages;
+      s.prov_bytes += update.pv.WireSizeBytes();
+      ++s.prov_samples;
       break;
     case UpdateType::kDelete:
-      ++stats_.delete_messages;
+      ++s.delete_messages;
       break;
     case UpdateType::kKill:
-      ++stats_.kill_messages;
+      ++s.kill_messages;
       break;
   }
 }
 
 void Router::Send(LogicalNode src, LogicalNode dst, int port,
                   Update&& update) {
-  ChargeSend(src, dst, update);
+  ChargeSend(src, dst, port, update);
   // Construct in place: one Update move, not temporary-then-move.
   inbox_.emplace_back(src, dst, port, std::move(update));
 }
@@ -70,7 +83,7 @@ void Router::SendBatch(LogicalNode src, LogicalNode dst, int port,
                        std::vector<Update> updates) {
   inbox_.reserve(inbox_.size() + updates.size());
   for (Update& update : updates) {
-    ChargeSend(src, dst, update);
+    ChargeSend(src, dst, port, update);
     inbox_.emplace_back(src, dst, port, std::move(update));
   }
 }
@@ -102,7 +115,7 @@ size_t Router::StepBatch(size_t max_n) {
   size_t n = end - start;
   head_ = end;
   delivered_ += n;
-  ++stats_.batches;
+  ++stats_[static_cast<size_t>(NamespaceOf(current_[start].port))].batches;
   // Handlers may Send during dispatch; those enqueue into inbox_, so the
   // run we are pointing into cannot move under us.
   if (batch_handler_ != nullptr) {
@@ -127,34 +140,53 @@ bool Router::RunUntilQuiescent(uint64_t max_messages) {
 }
 
 void Router::UnchargeSend(const Envelope& env) {
+  NetworkStats& s = stats_[static_cast<size_t>(NamespaceOf(env.port))];
+  ++s.dropped_messages;
   if (PhysicalOf(env.src) == PhysicalOf(env.dst)) {
-    --stats_.local_messages;
+    --s.local_messages;
     return;
   }
   size_t wire = env.update.WireSizeBytes();
-  --stats_.messages;
-  stats_.bytes -= wire;
-  stats_.per_peer_bytes[PhysicalOf(env.src)] -= wire;
+  --s.messages;
+  s.bytes -= wire;
+  s.per_peer_bytes[PhysicalOf(env.src)] -= wire;
   switch (env.update.type) {
     case UpdateType::kInsert:
-      --stats_.insert_messages;
-      stats_.prov_bytes -= env.update.pv.WireSizeBytes();
-      --stats_.prov_samples;
+      --s.insert_messages;
+      s.prov_bytes -= env.update.pv.WireSizeBytes();
+      --s.prov_samples;
       break;
     case UpdateType::kDelete:
-      --stats_.delete_messages;
+      --s.delete_messages;
       break;
     case UpdateType::kKill:
-      --stats_.kill_messages;
+      --s.kill_messages;
       break;
   }
 }
 
-void Router::AbortRun() {
-  stats_.dropped_messages += pending();
+void Router::PurgeNamespace(int ns) {
+  auto in_ns = [this, ns](const Envelope& env) {
+    return NamespaceOf(env.port) == ns;
+  };
+  for (size_t i = head_; i < current_.size(); ++i) {
+    if (in_ns(current_[i])) UnchargeSend(current_[i]);
+  }
+  current_.erase(std::remove_if(current_.begin() +
+                                    static_cast<std::ptrdiff_t>(head_),
+                                current_.end(), in_ns),
+                 current_.end());
+  for (const Envelope& env : inbox_) {
+    if (in_ns(env)) UnchargeSend(env);
+  }
+  inbox_.erase(std::remove_if(inbox_.begin(), inbox_.end(), in_ns),
+               inbox_.end());
+}
+
+void Router::AbortRun(int ns) {
   for (size_t i = head_; i < current_.size(); ++i) UnchargeSend(current_[i]);
   for (const Envelope& env : inbox_) UnchargeSend(env);
-  ++stats_.aborted_runs;
+  ++stats_[static_cast<size_t>(ns)].aborted_runs;
   current_.clear();
   head_ = 0;
   inbox_.clear();

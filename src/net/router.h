@@ -73,13 +73,39 @@ struct Envelope {
 // are delivery-for-delivery identical to unbatched execution and every
 // NetworkStats counter except `batches` matches exactly (wire accounting
 // happens at Send time, one message per update, batched or not).
+//
+// Port namespaces: several co-resident runtimes (the views of one
+// recnet::Session) can share a router by operating in disjoint port ranges
+// of kPortsPerNamespace ports each — view v uses absolute ports
+// [v*kPortsPerNamespace, (v+1)*kPortsPerNamespace). Traffic accounting is
+// kept per namespace (charged from the port at Send time), so every view
+// reads exactly the counters it would have produced on a private router;
+// batching keys on (dst, absolute port), so runs never mix views. A router
+// starts with one namespace, which also absorbs any out-of-range port, so
+// single-runtime use is unchanged.
 class Router {
  public:
   using Handler = std::function<void(const Envelope&)>;
   // Receives contiguous same-(dst, port) runs.
   using BatchHandler = std::function<void(const Envelope* envs, size_t n)>;
 
+  // Width of one port namespace. Wider than any runtime's operator-port
+  // count (the region plan uses 5) to leave room for new operators.
+  static constexpr int kPortsPerNamespace = 8;
+
   Router(int num_logical, int num_physical);
+
+  // Registers one more port namespace and returns its id (the first
+  // namespace, id 0, always exists). Namespace `ns` owns absolute ports
+  // [ns*kPortsPerNamespace, (ns+1)*kPortsPerNamespace) and its own
+  // NetworkStats.
+  int AddNamespace();
+  int num_namespaces() const { return static_cast<int>(stats_.size()); }
+
+  // Extends the logical-node id space (the dynamic topology of a session);
+  // shrinking is not supported. Physical peer count is fixed at
+  // construction — new logical nodes map onto the existing peers.
+  void GrowLogical(int num_logical);
 
   // Per-envelope handler. Used as a fallback when no batch handler is set
   // (each envelope of a batch is dispatched individually).
@@ -125,23 +151,43 @@ class Router {
   bool RunUntilQuiescent(uint64_t max_messages);
 
   // Discards all pending messages, recording them as dropped and the run as
-  // aborted. Called on budget exhaustion. The dropped messages' wire
-  // charges are reversed: a message that never reached its destination is
-  // not communication the truncated run performed, so ">budget" figure
-  // cells report the traffic delivered up to the cutoff instead of
-  // whatever happened to be sitting in the queue. (Do not Reset stats while
-  // messages are pending; uncharging assumes the pending charges are still
-  // in the counters.)
-  void AbortRun();
+  // aborted (the abort is charged to namespace `ns`, the runtime whose
+  // budget ran out; dropped messages count against their own namespaces).
+  // Called on budget exhaustion. The dropped messages' wire charges are
+  // reversed: a message that never reached its destination is not
+  // communication the truncated run performed, so ">budget" figure cells
+  // report the traffic delivered up to the cutoff instead of whatever
+  // happened to be sitting in the queue. (Do not Reset stats while messages
+  // are pending; uncharging assumes the pending charges are still in the
+  // counters.)
+  void AbortRun(int ns = 0);
+
+  // Discards (and uncharges) the pending messages of one port namespace,
+  // leaving every other namespace's FIFO order intact. Called when a view
+  // detaches from a shared router with traffic still queued (e.g. a
+  // program whose ground-fact load failed after fanning out) so later
+  // drains cannot dispatch into the retired namespace.
+  void PurgeNamespace(int ns);
 
   size_t pending() const { return current_.size() - head_ + inbox_.size(); }
   uint64_t delivered() const { return delivered_; }
 
-  NetworkStats& stats() { return stats_; }
-  const NetworkStats& stats() const { return stats_; }
+  NetworkStats& stats(int ns = 0) { return stats_[static_cast<size_t>(ns)]; }
+  const NetworkStats& stats(int ns = 0) const {
+    return stats_[static_cast<size_t>(ns)];
+  }
 
  private:
-  void ChargeSend(LogicalNode src, LogicalNode dst, const Update& update);
+  // The namespace owning absolute port `port`. Out-of-range ports fall into
+  // the last namespace, so a single-namespace router accepts any port.
+  int NamespaceOf(int port) const {
+    int ns = port / kPortsPerNamespace;
+    int last = static_cast<int>(stats_.size()) - 1;
+    return ns < 0 ? 0 : (ns > last ? last : ns);
+  }
+
+  void ChargeSend(LogicalNode src, LogicalNode dst, int port,
+                  const Update& update);
   // Reverses ChargeSend for a message that is being dropped undelivered.
   void UnchargeSend(const Envelope& env);
   // Moves inbox_ into the drain position once current_ is exhausted.
@@ -161,7 +207,8 @@ class Router {
   std::vector<Envelope> current_;
   size_t head_ = 0;
   std::vector<Envelope> inbox_;
-  NetworkStats stats_;
+  // One NetworkStats per port namespace (size >= 1).
+  std::vector<NetworkStats> stats_;
   uint64_t delivered_ = 0;
 };
 

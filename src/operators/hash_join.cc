@@ -75,7 +75,10 @@ std::vector<Update> PipelinedHashJoin::ProcessInsert(Side side,
 
 std::vector<Update> PipelinedHashJoin::ProcessDelete(Side side,
                                                      const Tuple& tuple) {
-  RECNET_DCHECK(mode_ == ProvMode::kSet);
+  // Tuple-level deletion, used by DRed's over-deletion cascade (kSet) and
+  // by the shortest-path runtime's retraction stream in the provenance
+  // modes (aggregate selection displaces exact tuples; base-variable death
+  // goes through ProcessKill instead).
   SideState& s = side_[side];
   auto it = s.prov.find(tuple);
   if (it == s.prov.end()) return {};

@@ -61,7 +61,9 @@ Prov Prov::True(ProvMode mode, bdd::Manager* mgr) {
     case ProvMode::kSet:
       return Prov(ProvMode::kSet, true);
     case ProvMode::kAbsorption:
-      return FromBdd(bdd::Bdd(mgr, mgr->True()));
+      // The TRUE terminal is a manager-independent constant; `mgr` may be
+      // null for annotations that never compose (retraction markers).
+      return FromBdd(bdd::Bdd(mgr, bdd::kTrue));
     case ProvMode::kRelative:
       return FromRel(TrueRel());
   }
@@ -74,7 +76,7 @@ Prov Prov::False(ProvMode mode, bdd::Manager* mgr) {
     case ProvMode::kSet:
       return Prov(ProvMode::kSet, false);
     case ProvMode::kAbsorption:
-      return FromBdd(bdd::Bdd(mgr, mgr->False()));
+      return FromBdd(bdd::Bdd(mgr, bdd::kFalse));
     case ProvMode::kRelative:
       return FromRel(EmptyRel());
   }

@@ -292,17 +292,59 @@ TEST(EngineTest, IngestionErrorsAreTyped) {
   Engine& e = **engine;
   EXPECT_EQ(e.Insert("nolink", {0, 1}).code(), StatusCode::kNotFound);
   EXPECT_EQ(e.Insert("link", {0}).code(), StatusCode::kInvalidArgument);
-  EXPECT_EQ(e.Insert("link", {0, 99}).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(e.Insert("link", {0, -1}).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(e.Insert("link", {0, 1.5}).code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(e.Scan("nosuchview").status().code(), StatusCode::kNotFound);
   EXPECT_EQ(e.Lookup("reachable", {0, 1}).status().code(),
             StatusCode::kNotFound);  // Nothing applied yet.
 }
 
-TEST(EngineTest, CompileErrorsAreTyped) {
-  EngineOptions no_nodes;
-  EXPECT_EQ(Engine::Compile(kReachable, no_nodes).status().code(),
-            StatusCode::kInvalidArgument);
+TEST(EngineTest, LateFactsGrowTheNodeIdSpace) {
+  // The node-id space is dynamic: a fact naming an unseen node extends the
+  // topology instead of erroring (the pre-session facade rejected it with
+  // OutOfRange).
+  auto engine =
+      Engine::Compile(kReachable, GraphOptions(3, ProvMode::kAbsorption));
+  ASSERT_TRUE(engine.ok());
+  Engine& e = **engine;
+  ASSERT_TRUE(e.Insert("link", {0, 1}).ok());
+  ASSERT_TRUE(e.Insert("link", {1, 99}).ok());  // Grows 3 -> 100 nodes.
+  ASSERT_TRUE(e.Apply().ok());
+  EXPECT_EQ(e.session().num_nodes(), 100);
+  EXPECT_TRUE(*e.Contains("reachable", {0, 99}));
+  auto rows = e.Scan("reachable");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);  // 0->1, 0->99, 1->99.
 
+  // Deleting the grown link contracts the view again.
+  ASSERT_TRUE(e.Delete("link", {1, 99}).ok());
+  ASSERT_TRUE(e.Apply().ok());
+  EXPECT_FALSE(*e.Contains("reachable", {0, 99}));
+}
+
+TEST(EngineTest, CompileWithoutNumNodesStartsEmptyAndGrows) {
+  // num_nodes is no longer required up front: the topology starts empty and
+  // grows as facts arrive (ROADMAP's dynamic node-id space).
+  EngineOptions no_nodes;
+  auto engine = Engine::Compile(kReachable, no_nodes);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Engine& e = **engine;
+  EXPECT_EQ(e.session().num_nodes(), 0);
+  ASSERT_TRUE(e.Insert("link", {0, 1}).ok());
+  ASSERT_TRUE(e.Insert("link", {1, 2}).ok());
+  ASSERT_TRUE(e.Apply().ok());
+  EXPECT_EQ(e.session().num_nodes(), 3);
+  EXPECT_TRUE(*e.Contains("reachable", {0, 2}));
+
+  EngineOptions negative;
+  negative.num_nodes = -4;
+  EXPECT_EQ(Engine::Compile(kReachable, negative).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, CompileErrorsAreTyped) {
+  // A region program with neither EngineOptions::field nor in-program
+  // deployment facts has no sensor deployment to run on.
   EngineOptions no_field;
   EXPECT_EQ(Engine::Compile(kRegion, no_field).status().code(),
             StatusCode::kInvalidArgument);

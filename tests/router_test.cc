@@ -216,9 +216,13 @@ TEST(RouterTest, LocalMessagesAreFreeOnTheWire) {
 }
 
 TEST(RouterTest, StatsClassifyMessageTypes) {
+  // The manager must outlive the router: delivered envelopes (and the BDD
+  // handles inside their annotations) are retained in the router's FIFO
+  // storage until the next refill or destruction. The engine guarantees
+  // this ordering via Substrate; standalone senders must too.
+  bdd::Manager mgr;
   Router router(2, 2);
   router.set_handler([](const Envelope&) {});
-  bdd::Manager mgr;
   router.Send(0, 1, kPortFix,
               Update::Insert(Tuple::OfInts({1}),
                              Prov::BaseVar(ProvMode::kAbsorption, &mgr, 3)));
