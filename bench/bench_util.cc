@@ -27,8 +27,20 @@ BenchArgs ParseArgs(int argc, char** argv) {
       args.json_path = arg.substr(json_prefix.size());
       continue;
     }
+    const std::string shards_prefix = "--shards=";
+    if (arg.compare(0, shards_prefix.size(), shards_prefix) == 0) {
+      args.shards =
+          static_cast<int>(std::strtol(arg.c_str() + shards_prefix.size(),
+                                       nullptr, 10));
+      if (args.shards < 1) {
+        std::fprintf(stderr, "--shards must be >= 1\n");
+        std::exit(2);
+      }
+      continue;
+    }
     std::fprintf(stderr,
-                 "unknown argument '%s'\nusage: %s [--json=PATH]\n"
+                 "unknown argument '%s'\nusage: %s [--json=PATH] "
+                 "[--shards=N]\n"
                  "env: RECNET_PAPER_SCALE=1 (paper topology), RECNET_SEED=N\n",
                  arg.c_str(), argv[0]);
     std::exit(2);
@@ -90,6 +102,17 @@ void FigurePrinter::Add(const std::string& series, double x,
                         const RunMetrics& m) {
   if (std::find(xs_.begin(), xs_.end(), x) == xs_.end()) xs_.push_back(x);
   cells_[{series, x}] = m;
+}
+
+void FigurePrinter::AddShardCell(const std::string& series, double x,
+                                 int shards, const RunMetrics& m) {
+  shard_cells_.push_back(ShardCell{series, x, shards, m});
+  std::printf("  [shard sweep] %s x=%g shards=%d: %llu msgs, %llu kills, "
+              "%.3fs wall%s\n",
+              series.c_str(), x, shards,
+              static_cast<unsigned long long>(m.messages),
+              static_cast<unsigned long long>(m.kill_messages),
+              m.wall_seconds, m.converged ? "" : " (>budget)");
 }
 
 void FigurePrinter::PrintPanel(const std::string& panel_title,
@@ -212,7 +235,28 @@ bool FigurePrinter::WriteJson(const std::string& path) const {
                    m.converged ? "true" : "false");
     }
   }
-  std::fprintf(f, "\n  ],\n  \"total_wall_seconds\": ");
+  std::fprintf(f, "\n  ],\n  \"shards\": %d,\n  \"shard_sweep\": [", shards_);
+  // The shard sweep pins the sharded drain's determinism contract into the
+  // trajectory: for one workload, messages/kill_messages must be identical
+  // down the sweep while wall_seconds reflects the parallel drain.
+  for (size_t i = 0; i < shard_cells_.size(); ++i) {
+    const ShardCell& c = shard_cells_[i];
+    std::fprintf(f, "%s\n    {\"series\": \"%s\", \"x\": ",
+                 i == 0 ? "" : ",", JsonEscape(c.series).c_str());
+    PrintJsonDouble(f, c.x);
+    std::fprintf(f, ", \"shards\": %d, \"messages\": %llu, "
+                 "\"kill_messages\": %llu, \"comm_mb\": ",
+                 c.shards,
+                 static_cast<unsigned long long>(c.metrics.messages),
+                 static_cast<unsigned long long>(c.metrics.kill_messages));
+    PrintJsonDouble(f, c.metrics.comm_mb);
+    std::fprintf(f, ", \"wall_seconds\": ");
+    PrintJsonDouble(f, c.metrics.wall_seconds);
+    std::fprintf(f, ", \"converged\": %s}",
+                 c.metrics.converged ? "true" : "false");
+  }
+  std::fprintf(f, "%s,\n  \"total_wall_seconds\": ",
+               shard_cells_.empty() ? "]" : "\n  ]");
   PrintJsonDouble(f, total_wall);
   std::fprintf(f, "\n}\n");
   bool ok = std::fclose(f) == 0;

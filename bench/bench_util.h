@@ -28,6 +28,10 @@ struct BenchArgs {
   // --json=PATH: after the text tables, write the figure's cells as a
   // machine-readable JSON document (see FigurePrinter::WriteJson).
   std::string json_path;
+  // --shards=N: router shards for the main figure cells (default 1, the
+  // sequential drain). Results and traffic counters are bit-identical for
+  // any shard count; wall times are what changes.
+  int shards = 1;
 };
 
 // Parses argv; unknown flags abort with a usage message (exit code 2).
@@ -61,6 +65,18 @@ class FigurePrinter {
                 std::vector<std::string> series);
 
   void Add(const std::string& series, double x, const RunMetrics& m);
+
+  // Records one shard-sweep cell: the same (series, x) workload re-run at
+  // `shards` router shards. The sweep documents the sharded drain's
+  // determinism contract in the trajectory JSON — messages/kill_messages
+  // must be bit-identical down the sweep — plus the wall-clock effect of
+  // parallel drains.
+  void AddShardCell(const std::string& series, double x, int shards,
+                    const RunMetrics& m);
+
+  // Shard count of the main figure cells (recorded in the JSON).
+  void set_shards(int shards) { shards_ = shards; }
+
   void PrintAll() const;
 
   // Writes every recorded cell as JSON: figure/title/x_label, the series
@@ -75,12 +91,21 @@ class FigurePrinter {
                   double (*extract)(const RunMetrics&),
                   const char* format) const;
 
+  struct ShardCell {
+    std::string series;
+    double x;
+    int shards;
+    RunMetrics metrics;
+  };
+
   std::string figure_;
   std::string title_;
   std::string x_label_;
   std::vector<std::string> series_;
   std::vector<double> xs_;
   std::map<std::pair<std::string, double>, RunMetrics> cells_;
+  std::vector<ShardCell> shard_cells_;
+  int shards_ = 1;
   std::chrono::steady_clock::time_point start_;
 };
 

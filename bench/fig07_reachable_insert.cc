@@ -40,11 +40,13 @@ int main(int argc, char** argv) {
                     {"DRed", "Relative Eager", "Relative Lazy",
                      "Absorption Eager", "Absorption Lazy"});
 
+  fig.set_shards(args.shards);
   for (const Strategy& strategy : AllStrategies()) {
     for (double ratio : {0.5, 0.75, 1.0}) {
       EngineOptions options;
       options.num_nodes = topo.num_nodes;
       options.runtime = MakeOptions(strategy, 12, 30'000'000);
+      options.runtime.shards = args.shards;
       auto engine = Engine::Compile(kQuery1, options);
       if (!engine.ok()) {
         std::fprintf(stderr, "compile failed: %s\n",
@@ -62,6 +64,27 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>((*engine)->Metrics().messages));
     }
   }
+  // Shard sweep (determinism contract): the full-insert workload re-run at
+  // 1/2/4 router shards must produce bit-identical traffic counters; only
+  // wall time may move. Recorded into the JSON for cross-PR diffing.
+  std::printf("shard sweep (full insert):\n");
+  for (const Strategy& strategy : AllStrategies()) {
+    if (strategy.ship == ShipMode::kEager) continue;  // Time-capped cells.
+    for (int shards : {1, 2, 4}) {
+      EngineOptions options;
+      options.num_nodes = topo.num_nodes;
+      options.runtime = MakeOptions(strategy, 12, 30'000'000);
+      options.runtime.shards = shards;
+      auto engine = Engine::Compile(kQuery1, options);
+      if (!engine.ok()) return 1;
+      for (const LinkTuple& l : InsertionPrefix(topo, 1.0, env.seed)) {
+        (*engine)->Insert("link", {double(l.src), double(l.dst)});
+      }
+      (void)(*engine)->Apply();
+      fig.AddShardCell(strategy.name, 1.0, shards, (*engine)->Metrics());
+    }
+  }
+
   fig.PrintAll();
   if (!args.json_path.empty() && !fig.WriteJson(args.json_path)) return 1;
   return 0;

@@ -57,11 +57,13 @@ int main(int argc, char** argv) {
                     "insertion ratio",
                     {"DRed", "Absorption Eager", "Absorption Lazy"});
 
+  fig.set_shards(args.shards);
   for (const Strategy& strategy : RegionStrategies()) {
     for (double ratio : {0.5, 0.75, 1.0}) {
       EngineOptions options;
       options.field = field;
       options.runtime = MakeOptions(strategy, 12, 30'000'000);
+      options.runtime.shards = args.shards;
       auto engine = Engine::Compile(kQuery3, options);
       if (!engine.ok()) {
         std::fprintf(stderr, "compile failed: %s\n",
@@ -76,6 +78,27 @@ int main(int argc, char** argv) {
       fig.Add(strategy.name, ratio, (*engine)->Metrics());
     }
   }
+  // Shard sweep (determinism contract): the full-trigger workload re-run at
+  // 1/2/4 router shards must produce bit-identical traffic counters; only
+  // wall time may move. Recorded into the JSON for cross-PR diffing.
+  std::printf("shard sweep (full trigger set):\n");
+  for (const Strategy& strategy : RegionStrategies()) {
+    if (strategy.ship == ShipMode::kEager) continue;
+    for (int shards : {1, 2, 4}) {
+      EngineOptions options;
+      options.field = field;
+      options.runtime = MakeOptions(strategy, 12, 30'000'000);
+      options.runtime.shards = shards;
+      auto engine = Engine::Compile(kQuery3, options);
+      if (!engine.ok()) return 1;
+      for (int sensor : pool) {
+        (*engine)->Insert("triggered", {double(sensor)});
+      }
+      (void)(*engine)->Apply();
+      fig.AddShardCell(strategy.name, 1.0, shards, (*engine)->Metrics());
+    }
+  }
+
   fig.PrintAll();
   if (!args.json_path.empty() && !fig.WriteJson(args.json_path)) return 1;
   return 0;

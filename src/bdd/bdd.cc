@@ -120,12 +120,14 @@ void Manager::GrowBuckets() {
 }
 
 NodeIndex Manager::MakeVar(Var v) {
+  MaybeLock lock(this);
   RECNET_CHECK_NE(v, kTerminalVar);
   MaybeGc();
   return MakeNode(v, kFalse, kTrue);
 }
 
 NodeIndex Manager::And(NodeIndex a, NodeIndex b) {
+  MaybeLock lock(this);
   MaybeGc();
   in_operation_ = true;
   NodeIndex r = ApplyAndOr(Op::kAnd, a, b);
@@ -134,6 +136,7 @@ NodeIndex Manager::And(NodeIndex a, NodeIndex b) {
 }
 
 NodeIndex Manager::Or(NodeIndex a, NodeIndex b) {
+  MaybeLock lock(this);
   MaybeGc();
   in_operation_ = true;
   NodeIndex r = ApplyAndOr(Op::kOr, a, b);
@@ -142,6 +145,7 @@ NodeIndex Manager::Or(NodeIndex a, NodeIndex b) {
 }
 
 NodeIndex Manager::Not(NodeIndex a) {
+  MaybeLock lock(this);
   MaybeGc();
   in_operation_ = true;
   NodeIndex r = NotRec(a);
@@ -150,6 +154,7 @@ NodeIndex Manager::Not(NodeIndex a) {
 }
 
 NodeIndex Manager::Restrict(NodeIndex f, Var v, bool value) {
+  MaybeLock lock(this);
   MaybeGc();
   in_operation_ = true;
   NodeIndex r = RestrictRec(f, v, value);
@@ -158,6 +163,7 @@ NodeIndex Manager::Restrict(NodeIndex f, Var v, bool value) {
 }
 
 NodeIndex Manager::Diff(NodeIndex a, NodeIndex b) {
+  MaybeLock lock(this);
   MaybeGc();
   in_operation_ = true;
   NodeIndex r = ApplyDiff(a, b);
@@ -167,6 +173,7 @@ NodeIndex Manager::Diff(NodeIndex a, NodeIndex b) {
 
 NodeIndex Manager::RestrictAllFalse(NodeIndex f,
                                     const std::vector<Var>& vars) {
+  MaybeLock lock(this);
   // Pin each intermediate result across the next Restrict (which may GC).
   NodeIndex r = f;
   Ref(r);
@@ -271,6 +278,7 @@ NodeIndex Manager::RestrictRec(NodeIndex f, Var v, bool value) {
 }
 
 size_t Manager::CountNodes(NodeIndex f) const {
+  MaybeLock lock(this);
   if (IsTerminal(f)) return 0;
   // Wire-size accounting calls this once per shipped copy of an
   // annotation; memoize per root (entries die with the next GC, which is
@@ -293,6 +301,7 @@ size_t Manager::CountNodes(NodeIndex f) const {
 }
 
 void Manager::Support(NodeIndex f, std::vector<Var>* vars) const {
+  MaybeLock lock(this);
   size_t start = vars->size();
   BeginTraversal();
   traverse_stack_.push_back(f);
@@ -309,6 +318,7 @@ void Manager::Support(NodeIndex f, std::vector<Var>* vars) const {
 }
 
 bool Manager::DependsOn(NodeIndex f, Var v) const {
+  MaybeLock lock(this);
   BeginTraversal();
   traverse_stack_.push_back(f);
   while (!traverse_stack_.empty()) {
@@ -325,6 +335,7 @@ bool Manager::DependsOn(NodeIndex f, Var v) const {
 
 bool Manager::AnyWitness(NodeIndex f,
                          std::vector<std::pair<Var, bool>>* assignment) const {
+  MaybeLock lock(this);
   assignment->clear();
   if (f == kFalse) return false;
   NodeIndex n = f;
@@ -347,6 +358,7 @@ bool Manager::AnyWitness(NodeIndex f,
 
 bool Manager::Evaluate(NodeIndex f,
                        const std::unordered_map<Var, bool>& truth) const {
+  MaybeLock lock(this);
   NodeIndex n = f;
   while (!IsTerminal(n)) {
     const Node& node = nodes_[n];
@@ -358,6 +370,7 @@ bool Manager::Evaluate(NodeIndex f,
 }
 
 std::string Manager::ToDot(NodeIndex f) const {
+  MaybeLock lock(this);
   std::ostringstream os;
   os << "digraph bdd {\n";
   os << "  f [shape=none,label=\"f\"];\n  f -> n" << f << ";\n";
@@ -380,11 +393,13 @@ std::string Manager::ToDot(NodeIndex f) const {
 }
 
 void Manager::Ref(NodeIndex n) {
+  MaybeLock lock(this);
   RECNET_DCHECK(n < refcount_.size());
   ++refcount_[n];
 }
 
 void Manager::Deref(NodeIndex n) {
+  MaybeLock lock(this);
   RECNET_DCHECK(n < refcount_.size());
   RECNET_DCHECK(refcount_[n] > 0);
   --refcount_[n];
@@ -392,6 +407,13 @@ void Manager::Deref(NodeIndex n) {
 
 void Manager::MaybeGc() {
   if (in_operation_) return;
+  // Concurrent mode: never collect from inside an operation. A sibling
+  // worker may hold a just-computed node index it has not Ref'd yet (the
+  // gap between e.g. And() returning and the Bdd handle construction),
+  // which a collection would recycle under it. The engine instead calls
+  // CollectAtBarrier() at superstep barriers, where workers are joined and
+  // every live node is reachable from a Ref'd root.
+  if (concurrent_) return;
   if (live_nodes_ < gc_threshold_) return;
   size_t freed = GarbageCollect();
   // If the collection recovered little, grow the threshold so we do not
@@ -399,7 +421,14 @@ void Manager::MaybeGc() {
   if (freed * 4 < live_nodes_ + freed) gc_threshold_ *= 2;
 }
 
+void Manager::CollectAtBarrier() {
+  if (live_nodes_ < gc_threshold_) return;
+  size_t freed = GarbageCollect();
+  if (freed * 4 < live_nodes_ + freed) gc_threshold_ *= 2;
+}
+
 size_t Manager::GarbageCollect() {
+  MaybeLock lock(this);
   ++gc_runs_;
   std::vector<bool> marked(nodes_.size(), false);
   marked[kFalse] = marked[kTrue] = true;

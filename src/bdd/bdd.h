@@ -2,6 +2,7 @@
 #define RECNET_BDD_BDD_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -36,7 +37,17 @@ inline constexpr NodeIndex kTrue = 1;
 // contiguous node array with no per-entry allocation — the dominant cost of
 // every provenance composition in an engine run.
 //
-// Not thread-safe; each simulated engine owns one Manager.
+// Threading: single-threaded by default (the conditional lock below is a
+// plain branch). During a parallel sharded drain the engine calls
+// set_concurrent(true), which engages one manager-wide recursive mutex on
+// every public operation — including Ref/Deref, which fire on every Prov
+// handle copy — so shard workers can share the manager safely. Canonicity
+// makes the results order-independent: whichever worker interns a node
+// first, every equal Boolean function still resolves to the same index, so
+// semantic outcomes (and all wire-size accounting, which is per-BDD
+// structure) do not depend on the interleaving. The coarse lock serializes
+// annotation-heavy workloads; distbdd-style striped unique-table locking is
+// the planned follow-on.
 class Manager {
  public:
   struct Options {
@@ -52,6 +63,13 @@ class Manager {
 
   Manager(const Manager&) = delete;
   Manager& operator=(const Manager&) = delete;
+
+  // Engages (or releases) the manager-wide operation mutex. The engine
+  // brackets parallel sharded drains with this; everything else runs
+  // lock-free as before. Must be toggled only while no concurrent callers
+  // exist (worker threads are joined at every superstep barrier).
+  void set_concurrent(bool enabled) { concurrent_ = enabled; }
+  bool concurrent() const { return concurrent_; }
 
   // --- Core algebra (all results are canonical ROBDD roots) ---------------
 
@@ -117,6 +135,11 @@ class Manager {
   // are preserved. Returns the number of nodes freed.
   size_t GarbageCollect();
 
+  // GC poll for concurrent mode, called by the engine at superstep barriers
+  // (no workers running, so no un-Ref'd intermediates exist). Automatic GC
+  // inside operations is suppressed while concurrent() — see MaybeGc.
+  void CollectAtBarrier();
+
   size_t live_nodes() const { return live_nodes_; }
   size_t allocated_nodes() const { return nodes_.size(); }
   uint64_t gc_runs() const { return gc_runs_; }
@@ -142,6 +165,25 @@ class Manager {
   struct CacheEntry {
     uint64_t key = ~0ULL;
     NodeIndex result = 0;
+  };
+
+  // Conditional critical section: a no-op branch unless set_concurrent(true)
+  // is in effect. Recursive because public operations compose (e.g.
+  // RestrictAllFalse calls Restrict, SerializedSizeBytes calls CountNodes).
+  class MaybeLock {
+   public:
+    explicit MaybeLock(const Manager* mgr)
+        : mgr_(mgr->concurrent_ ? mgr : nullptr) {
+      if (mgr_ != nullptr) mgr_->mu_.lock();
+    }
+    ~MaybeLock() {
+      if (mgr_ != nullptr) mgr_->mu_.unlock();
+    }
+    MaybeLock(const MaybeLock&) = delete;
+    MaybeLock& operator=(const MaybeLock&) = delete;
+
+   private:
+    const Manager* mgr_;
   };
 
   static constexpr Var kTerminalVar = ~Var{0};
@@ -184,6 +226,8 @@ class Manager {
   void CacheStore(uint64_t key, NodeIndex result);
 
   Options options_;
+  mutable std::recursive_mutex mu_;
+  bool concurrent_ = false;
   std::vector<Node> nodes_;
   std::vector<uint32_t> refcount_;
   std::vector<NodeIndex> free_list_;

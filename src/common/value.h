@@ -1,6 +1,7 @@
 #ifndef RECNET_COMMON_VALUE_H_
 #define RECNET_COMMON_VALUE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -94,20 +95,31 @@ class Tuple {
  public:
   using Values = SmallVector<Value, 5>;
 
+  // The hash memo is a relaxed atomic (so concurrent shard workers hashing
+  // a shared tuple race benignly instead of UB), which makes the copy and
+  // move members user-provided. Moves clear the source's hash memo: the
+  // moved-from tuple is empty, so a stale memo would violate the
+  // hash/equality contract if it were reused as a key.
   Tuple() = default;
-  Tuple(const Tuple&) = default;
-  Tuple& operator=(const Tuple&) = default;
-  // Moves clear the source's hash memo: the moved-from tuple is empty, so a
-  // stale memo would violate the hash/equality contract if it were reused
-  // as a key.
+  Tuple(const Tuple& o)
+      : values_(o.values_),
+        hash_memo_(o.hash_memo_.load(std::memory_order_relaxed)) {}
+  Tuple& operator=(const Tuple& o) {
+    values_ = o.values_;
+    hash_memo_.store(o.hash_memo_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    return *this;
+  }
   Tuple(Tuple&& o) noexcept
-      : values_(std::move(o.values_)), hash_memo_(o.hash_memo_) {
-    o.hash_memo_ = 0;
+      : values_(std::move(o.values_)),
+        hash_memo_(o.hash_memo_.load(std::memory_order_relaxed)) {
+    o.hash_memo_.store(0, std::memory_order_relaxed);
   }
   Tuple& operator=(Tuple&& o) noexcept {
     values_ = std::move(o.values_);
-    hash_memo_ = o.hash_memo_;
-    o.hash_memo_ = 0;
+    hash_memo_.store(o.hash_memo_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    o.hash_memo_.store(0, std::memory_order_relaxed);
     return *this;
   }
   explicit Tuple(Values values) : values_(std::move(values)) {}
@@ -147,19 +159,22 @@ class Tuple {
 
   // Structural hash, memoized: a tuple is immutable after construction, and
   // the same tuple object (or a copy, which inherits the memo) keys several
-  // operator tables along one delivery.
+  // operator tables along one delivery. Relaxed atomics suffice — every
+  // racing writer stores the same structural hash.
   size_t Hash() const {
-    if (hash_memo_ != 0) return hash_memo_;
+    size_t memo = hash_memo_.load(std::memory_order_relaxed);
+    if (memo != 0) return memo;
     size_t h = ComputeHash();
-    hash_memo_ = h == 0 ? 1 : h;  // Reserve 0 as "not yet computed".
-    return hash_memo_;
+    if (h == 0) h = 1;  // Reserve 0 as "not yet computed".
+    hash_memo_.store(h, std::memory_order_relaxed);
+    return h;
   }
 
  private:
   size_t ComputeHash() const;
 
   Values values_;
-  mutable size_t hash_memo_ = 0;
+  mutable std::atomic<size_t> hash_memo_{0};
 };
 
 struct TupleHash {

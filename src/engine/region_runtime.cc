@@ -123,6 +123,19 @@ size_t RegionRuntime::ViewSize() const {
   return total;
 }
 
+const Prov* RegionRuntime::ViewProvenance(int region, int sensor) const {
+  return node(sensor).fix->Lookup(Tuple::OfInts({region, sensor}));
+}
+
+std::optional<int> RegionRuntime::SensorOfVar(bdd::Var v) const {
+  for (size_t s = 0; s < trig_var_.size(); ++s) {
+    if (trig_var_[s].has_value() && *trig_var_[s] == v) {
+      return static_cast<int>(s);
+    }
+  }
+  return std::nullopt;
+}
+
 int64_t RegionRuntime::RegionSize(int region) const {
   auto result =
       node(AggOwner(region)).region_sizes->Result(Tuple::OfInts({region}));

@@ -61,6 +61,15 @@ class RegionRuntime : public RuntimeBase {
 
   int num_regions() const { return static_cast<int>(field_.seed_sensors.size()); }
 
+  // Provenance annotation of activeRegion(region, sensor), if present
+  // (provenance modes only); supports "why is this sensor in the region"
+  // witnesses.
+  const Prov* ViewProvenance(int region, int sensor) const;
+
+  // Reverse-maps a base variable to the live isTriggered(sensor) fact it
+  // annotates (for rendering provenance witnesses).
+  std::optional<int> SensorOfVar(bdd::Var v) const;
+
  protected:
   // Vectorized delivery: one (dst, port) switch and node-state lookup per
   // run, with the operator applied across the whole batch.

@@ -7,8 +7,10 @@ namespace recnet {
 
 RuntimeBase::RuntimeBase(int num_logical, const RuntimeOptions& options)
     : RuntimeBase(std::make_shared<Substrate>(
-                      num_logical, SubstrateOptions{options.num_physical,
-                                                    options.batch_delivery}),
+                      num_logical,
+                      SubstrateOptions{options.num_physical,
+                                       options.batch_delivery,
+                                       options.shards}),
                   num_logical, options) {}
 
 RuntimeBase::RuntimeBase(std::shared_ptr<Substrate> substrate, int num_logical,
@@ -24,6 +26,8 @@ RuntimeBase::RuntimeBase(std::shared_ptr<Substrate> substrate, int num_logical,
   port_base_ = ns_ * Router::kPortsPerNamespace;
   subs_.resize(static_cast<size_t>(num_logical));
   kills_done_.resize(static_cast<size_t>(num_logical));
+  view_delta_logs_.resize(
+      static_cast<size_t>(sub_->router().num_shards()));
 }
 
 RuntimeBase::~RuntimeBase() {
@@ -48,14 +52,15 @@ bool RuntimeBase::Run() {
   auto end = std::chrono::steady_clock::now();
   wall_seconds_ += std::chrono::duration<double>(end - start).count();
   if (!ok) {
-    // Drop the stale queue so the aborted run is recorded explicitly and a
-    // later Run() cannot silently resume mid-fixpoint. AbortRun uncharges
-    // the dropped messages (per owning view), every co-resident view is
-    // marked non-converged (their in-flight state went down with the shared
-    // queue), and the metrics snapshot freezes this view's cell at the
-    // moment of the cutoff.
-    router().AbortRun(ns_);
-    sub_->MarkAllAborted();
+    // Budget-abort isolation: drop (and uncharge) only THIS view's queued
+    // envelopes so the aborted run is recorded explicitly and a later Run()
+    // cannot silently resume this view mid-fixpoint — while co-resident
+    // views keep their in-flight traffic in FIFO order and can converge on
+    // a later Apply with their own budgets. Only this view is marked
+    // non-converged; the metrics snapshot freezes its cell at the moment of
+    // the cutoff.
+    router().AbortNamespace(ns_);
+    converged_ = false;
     abort_metrics_ = ComputeMetrics();
   }
   return ok;
@@ -67,7 +72,7 @@ RunMetrics RuntimeBase::Metrics() const {
 }
 
 RunMetrics RuntimeBase::ComputeMetrics() const {
-  const NetworkStats& s = router().stats(ns_);
+  const NetworkStats s = router().stats(ns_);  // Merged across shards.
   RunMetrics m;
   m.per_tuple_prov_bytes = s.AvgProvBytesPerTuple();
   m.comm_mb = s.CommMB();
@@ -86,7 +91,7 @@ RunMetrics RuntimeBase::ComputeMetrics() const {
 }
 
 void RuntimeBase::ResetMetrics() {
-  router().stats(ns_).Reset();
+  router().ResetStats(ns_);
   wall_seconds_ = 0;
   converged_ = true;
   abort_metrics_.reset();
@@ -96,23 +101,29 @@ Prov RuntimeBase::GuardIncoming(const Prov& pv) const {
   // Per-view fast path: only this view's own dead variables can appear in
   // its annotations, so neighbors' kills never force the support scan.
   if (num_dead_ == 0 || opts_.prov == ProvMode::kSet) return pv;
-  support_scratch_.clear();
-  pv.SupportVars(&support_scratch_);
-  dead_scratch_.clear();
-  for (bdd::Var v : support_scratch_) {
-    if (sub_->is_dead(v)) dead_scratch_.push_back(v);
+  // Scratch for the support extraction is thread-local (not a member):
+  // parallel shard workers guard concurrently for different nodes, and the
+  // common case still allocates nothing after warm-up.
+  static thread_local std::vector<bdd::Var> support_scratch;
+  static thread_local std::vector<bdd::Var> dead_scratch;
+  support_scratch.clear();
+  pv.SupportVars(&support_scratch);
+  dead_scratch.clear();
+  for (bdd::Var v : support_scratch) {
+    if (sub_->is_dead(v)) dead_scratch.push_back(v);
   }
-  if (dead_scratch_.empty()) return pv;
-  return pv.RestrictFalse(dead_scratch_);
+  if (dead_scratch.empty()) return pv;
+  return pv.RestrictFalse(dead_scratch);
 }
 
 void RuntimeBase::ShipInsert(LogicalNode from, LogicalNode to, int port,
                              Tuple tuple, Prov pv) {
   if (opts_.prov != ProvMode::kSet && from != to) {
-    support_scratch_.clear();
-    pv.SupportVars(&support_scratch_);
+    static thread_local std::vector<bdd::Var> support_scratch;
+    support_scratch.clear();
+    pv.SupportVars(&support_scratch);
     auto& from_subs = subs_[static_cast<size_t>(from)];
-    for (bdd::Var v : support_scratch_) {
+    for (bdd::Var v : support_scratch) {
       std::vector<LogicalNode>& dests = from_subs[v];
       if (std::find(dests.begin(), dests.end(), to) == dests.end()) {
         dests.push_back(to);
@@ -136,13 +147,22 @@ std::vector<bdd::Var> RuntimeBase::AcceptKill(
   }
   if (fresh.empty()) return fresh;
   // Forward along subscription edges, grouped per destination so each
-  // neighbor receives one kill message for this batch.
+  // neighbor receives one kill message for this batch. The per-destination
+  // buffers come from the router's kill arena (recycled storage scavenged
+  // from delivered kill envelopes on this node's shard), so steady-state
+  // kill routing does not allocate. The grouping map itself stays a fresh
+  // local: its iteration order decides kill send order, and a reused map's
+  // bucket history would perturb that order between schedules.
   std::unordered_map<LogicalNode, std::vector<bdd::Var>> forward;
   auto& at_subs = subs_[static_cast<size_t>(at)];
   for (bdd::Var v : fresh) {
     auto it = at_subs.find(v);
     if (it == at_subs.end()) continue;
-    for (LogicalNode dest : it->second) forward[dest].push_back(v);
+    for (LogicalNode dest : it->second) {
+      auto [slot, inserted] = forward.try_emplace(dest);
+      if (inserted) slot->second = router().AcquireKillBuffer(at);
+      slot->second.push_back(v);
+    }
   }
   for (auto& [dest, vars] : forward) {
     Send(at, dest, kPortKill, Update::Kill(std::move(vars)));

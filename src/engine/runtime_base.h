@@ -1,6 +1,7 @@
 #ifndef RECNET_ENGINE_RUNTIME_BASE_H_
 #define RECNET_ENGINE_RUNTIME_BASE_H_
 
+#include <iterator>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -60,6 +61,12 @@ struct RuntimeOptions {
   // off (kept as a switch for A/B measurement). Substrate-level, like
   // num_physical.
   bool batch_delivery = true;
+  // Router shards the simulated network is partitioned across (see
+  // SubstrateOptions::shards). 1 keeps the classic sequential drain; more
+  // shards drain generations on parallel worker threads with bit-identical
+  // results and traffic counters (except NetworkStats::batches).
+  // Substrate-level, like num_physical.
+  int shards = 1;
 };
 
 // Common machinery of the distributed query runtimes: substrate access
@@ -97,8 +104,11 @@ class RuntimeBase {
 
   // Drains the substrate to quiescence (fixpoint), honoring the message
   // budget. On a shared substrate this drains every co-resident view's
-  // pending messages too (they share one FIFO); each view's handlers and
-  // counters stay its own. Returns false if the budget was exhausted.
+  // pending messages too (they share one network); each view's handlers and
+  // counters stay its own. Returns false if the budget was exhausted — in
+  // that case only THIS view's queued envelopes are dropped (and uncharged)
+  // and only this view is marked non-converged; co-resident views keep
+  // their in-flight traffic and can finish on a later Apply.
   bool Run();
 
   // Metrics accumulated since construction (or the last ResetMetrics),
@@ -119,12 +129,30 @@ class RuntimeBase {
   // chronological order. The facade's caching layer turns the log into
   // patches for its materialized scan caches. Logging defaults to off so
   // runs without live caches (all benchmarks) never pay for it.
+  //
+  // Sharded drains keep one log per router shard (indexed by the worker's
+  // Router::current_shard()), so parallel workers never contend; all events
+  // for one tuple land in its owner node's shard log, preserving the
+  // per-tuple chronology the caching layer's last-write-wins compression
+  // needs.
   void SetViewDeltaLogging(bool enabled) {
     log_view_deltas_ = enabled;
-    if (!enabled) view_delta_log_.clear();
+    if (!enabled) {
+      for (auto& log : view_delta_logs_) log.clear();
+    }
   }
   std::vector<std::pair<Tuple, bool>> TakeViewDeltaLog() {
-    return std::move(view_delta_log_);
+    if (view_delta_logs_.size() == 1) return std::move(view_delta_logs_[0]);
+    std::vector<std::pair<Tuple, bool>> merged;
+    size_t total = 0;
+    for (const auto& log : view_delta_logs_) total += log.size();
+    merged.reserve(total);
+    for (auto& log : view_delta_logs_) {
+      merged.insert(merged.end(), std::make_move_iterator(log.begin()),
+                    std::make_move_iterator(log.end()));
+      log.clear();
+    }
+    return merged;
   }
 
   Substrate& substrate() { return *sub_; }
@@ -169,9 +197,13 @@ class RuntimeBase {
 
   // Records one recursive-view membership change (no-op unless logging is
   // enabled). Runtimes call this at every point a tuple enters or leaves
-  // their fixpoint view.
+  // their fixpoint view. Safe from parallel shard workers: each appends to
+  // its own shard's log.
   void LogViewDelta(const Tuple& tuple, bool added) {
-    if (log_view_deltas_) view_delta_log_.emplace_back(tuple, added);
+    if (log_view_deltas_) {
+      view_delta_logs_[static_cast<size_t>(Router::current_shard())]
+          .emplace_back(tuple, added);
+    }
   }
   bool view_delta_logging() const { return log_view_deltas_; }
 
@@ -274,9 +306,8 @@ class RuntimeBase {
  private:
   friend class Substrate;
 
-  // Substrate entry points (dispatch, abort fan-out).
+  // Substrate entry point (delivery dispatch).
   void DeliverBatch(const Envelope* envs, size_t n) { HandleBatch(envs, n); }
-  void MarkAborted() { converged_ = false; }
 
   // The live metric computation behind Metrics(); bypassed once an abort
   // snapshot exists.
@@ -289,11 +320,6 @@ class RuntimeBase {
   // Variables THIS view killed (fast path for GuardIncoming; the full dead
   // set is the substrate's).
   size_t num_dead_ = 0;
-  // Scratch for provenance-support extraction on the per-message path
-  // (GuardIncoming / ShipInsert): reused so the common case allocates
-  // nothing. Mutable because GuardIncoming is const.
-  mutable std::vector<bdd::Var> support_scratch_;
-  mutable std::vector<bdd::Var> dead_scratch_;
   // Relative mode: pseudo-variables standing for view tuples.
   FlatTable<Tuple, bdd::Var, TupleHash> tuple_vars_;
   std::unordered_map<bdd::Var, Tuple> var_tuples_;
@@ -309,7 +335,8 @@ class RuntimeBase {
   // cleared by ResetMetrics.
   std::optional<RunMetrics> abort_metrics_;
   bool log_view_deltas_ = false;
-  std::vector<std::pair<Tuple, bool>> view_delta_log_;
+  // One membership log per router shard (size >= 1; see LogViewDelta).
+  std::vector<std::vector<std::pair<Tuple, bool>>> view_delta_logs_;
 };
 
 }  // namespace recnet

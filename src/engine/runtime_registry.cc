@@ -514,6 +514,47 @@ class RegionAdapter : public QueryRuntime {
     });
   }
 
+  StatusOr<std::vector<Tuple>> Explain(const Tuple& view_tuple) const override {
+    // Witnesses for activeRegion(region, sensor): the set of isTriggered
+    // facts whose conjunction keeps the sensor in the region (the seed's
+    // trigger plus a contiguous triggered chain to it). Completes the trio
+    // with the reachable and shortest-path adapters.
+    RECNET_RETURN_IF_ERROR(CheckArity(plan_.view, view_tuple, 2));
+    if (rt_.options().prov != ProvMode::kAbsorption) {
+      return Status::Unimplemented(
+          "provenance witnesses require ProvMode::kAbsorption");
+    }
+    if (!view_tuple.at(0).is_int() || view_tuple.IntAt(0) < 0 ||
+        view_tuple.IntAt(0) >= rt_.num_regions()) {
+      return Status::OutOfRange("region id " + view_tuple.at(0).ToString() +
+                                " outside [0, " +
+                                std::to_string(rt_.num_regions()) + ")");
+    }
+    RECNET_RETURN_IF_ERROR(
+        CheckNode(plan_.view, view_tuple, 1, rt_.num_logical()));
+    int region = static_cast<int>(view_tuple.IntAt(0));
+    int sensor = static_cast<int>(view_tuple.IntAt(1));
+    const Prov* pv = rt_.ViewProvenance(region, sensor);
+    if (pv == nullptr) {
+      return Status::NotFound("tuple " + view_tuple.ToString() +
+                              " is not in view '" + plan_.view + "'");
+    }
+    std::vector<std::pair<bdd::Var, bool>> assignment;
+    const bdd::Bdd& b = pv->bdd();
+    if (!b.manager()->AnyWitness(b.index(), &assignment)) {
+      return Status::NotFound("no witness for " + view_tuple.ToString());
+    }
+    std::vector<Tuple> triggers;
+    for (const auto& [var, value] : assignment) {
+      if (!value) continue;
+      std::optional<int> trigger = rt_.SensorOfVar(var);
+      if (trigger.has_value()) {
+        triggers.push_back(Tuple::OfInts({*trigger}));
+      }
+    }
+    return triggers;
+  }
+
   RunMetrics Metrics() const override { return rt_.Metrics(); }
   void ResetMetrics() override { rt_.ResetMetrics(); }
   bool converged() const override { return rt_.converged(); }

@@ -48,7 +48,8 @@ Session::Session(const SessionOptions& options)
     // InvalidArgument (the substrate itself must exist to report it).
     : substrate_(std::make_shared<Substrate>(
           options.num_nodes > 0 ? options.num_nodes : 0,
-          SubstrateOptions{options.num_physical, options.batch_delivery})) {}
+          SubstrateOptions{options.num_physical, options.batch_delivery,
+                           options.shards})) {}
 
 Session::~Session() = default;
 

@@ -30,6 +30,12 @@ struct SessionOptions {
   int num_physical = 12;
   // Coalesce same-(dst, port) delivery runs into single handler batches.
   bool batch_delivery = true;
+  // Router shards the simulated network is partitioned across (see
+  // SubstrateOptions::shards): node n resides on shard n % shards, so nodes
+  // added later (AddNode / late facts) land on their shard without
+  // rebalancing anything. Every view's counters and scan results are
+  // bit-identical for any shard count.
+  int shards = 1;
 };
 
 // ---------------------------------------------------------------------------

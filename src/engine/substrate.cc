@@ -14,7 +14,8 @@ Substrate::Substrate(int num_nodes, const SubstrateOptions& options)
               // a substrate created empty (num_nodes == 0, nodes arrive
               // with the first facts) keeps the full peer pool.
               num_nodes > 0 ? std::min(num_nodes, options.num_physical)
-                            : options.num_physical) {
+                            : options.num_physical,
+              std::max(1, options.shards)) {
   router_.set_batch_handler(
       [this](const Envelope* envs, size_t n) { Dispatch(envs, n); });
   router_.set_batching(options.batch_delivery);
@@ -83,7 +84,27 @@ bool Substrate::PollAfterQuiescent() {
   return any;
 }
 
+bool Substrate::ParallelSafe() const {
+  for (RuntimeBase* rt : runtimes_) {
+    if (rt != nullptr && rt->options().prov == ProvMode::kRelative) {
+      // Relative provenance allocates tuple pseudo-variables and marks
+      // variables dead *during* the drain; both are cross-node effects
+      // whose timing the parallel schedule would perturb. The serialized
+      // superstep schedule is bit-identical to the sequential drain, so
+      // correctness (and the determinism contract) is preserved — only the
+      // parallelism is given up.
+      return false;
+    }
+  }
+  return true;
+}
+
 bool Substrate::DrainToFixpoint(const DrainBudget& budget) {
+  return router_.num_shards() == 1 ? DrainSequential(budget)
+                                   : DrainSupersteps(budget);
+}
+
+bool Substrate::DrainSequential(const DrainBudget& budget) {
   auto start = std::chrono::steady_clock::now();
   bool ok = true;
   uint64_t processed = 0;
@@ -118,10 +139,40 @@ bool Substrate::DrainToFixpoint(const DrainBudget& budget) {
   return ok;
 }
 
-void Substrate::MarkAllAborted() {
-  for (RuntimeBase* rt : runtimes_) {
-    if (rt != nullptr) rt->MarkAborted();
+bool Substrate::DrainSupersteps(const DrainBudget& budget) {
+  std::chrono::steady_clock::time_point deadline;
+  bool timed = budget.time_budget_s > 0;
+  if (timed) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(budget.time_budget_s));
   }
+  bool parallel = ParallelSafe();
+  // Shard workers share the manager: engage its operation lock for the
+  // drain. Workers are joined at every superstep barrier, so toggling here
+  // is race-free.
+  bdd_.set_concurrent(parallel);
+  bool ok = true;
+  uint64_t processed = 0;
+  do {
+    while (router_.pending() > 0) {
+      Router::StepResult step = router_.ProcessGeneration(
+          budget.message_budget - processed, parallel,
+          timed ? &deadline : nullptr);
+      processed += step.delivered;
+      // Superstep barrier: workers are joined, every live BDD node is
+      // reachable from a Ref'd root, so this is the safe (and only) GC
+      // point of a concurrent drain.
+      if (parallel) bdd_.CollectAtBarrier();
+      if (processed >= budget.message_budget || step.deadline_exceeded) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) break;
+  } while (PollAfterQuiescent());
+  bdd_.set_concurrent(false);
+  return ok;
 }
 
 }  // namespace recnet

@@ -19,13 +19,19 @@ struct SubstrateOptions {
   int num_physical = 12;
   // Coalesce same-(dst, port) delivery runs into single handler batches.
   bool batch_delivery = true;
+  // Router shards the logical node-id space is partitioned across. With
+  // more than one shard the drain becomes a superstep loop whose shards
+  // run on parallel worker threads (serialized — but still sharded — when
+  // a relative-provenance view is attached); results and traffic counters
+  // are bit-identical for every shard count.
+  int shards = 1;
 };
 
-// The shared execution substrate of one session: a single Router, a single
-// BDD manager, a session-wide base-variable space, and a dynamic logical
-// node-id space. One or more distributed runtimes attach to it as
+// The shared execution substrate of one session: a single sharded Router, a
+// single BDD manager, a session-wide base-variable space, and a dynamic
+// logical node-id space. One or more distributed runtimes attach to it as
 // co-resident views; each attached runtime is assigned a router port
-// namespace so its messages interleave with the others' on the one FIFO
+// namespace so its messages interleave with the others' on the one network
 // without collisions, and each keeps its own NetworkStats.
 //
 // A standalone runtime (the pre-session construction path used by tests and
@@ -50,7 +56,9 @@ class Substrate {
   // Grows the logical node-id space to at least `num_nodes` (no-op when the
   // space is already that large) and notifies every attached runtime so
   // graph-shaped views extend their per-node state. Late base facts that
-  // mention unseen node ids route through here instead of erroring.
+  // mention unseen node ids route through here instead of erroring. New
+  // nodes land on shard (id % shards), so growth never rebalances existing
+  // nodes' queues or state.
   void EnsureNodes(int num_nodes);
 
   // --- Session-wide base-variable space -------------------------------------
@@ -88,21 +96,30 @@ class Substrate {
     double time_budget_s = 0;
   };
 
-  // Drains the shared FIFO to session-wide quiescence, honoring the budget,
-  // then polls every attached runtime's AfterQuiescent hook (DRed
+  // Drains the shared network to session-wide quiescence, honoring the
+  // budget, then polls every attached runtime's AfterQuiescent hook (DRed
   // re-derivation, relative-mode derivability sweeps) and keeps draining
-  // until no view seeds more work. Returns false when the budget was
-  // exhausted first; the caller is responsible for aborting the run.
+  // until no view seeds more work. On a single-shard substrate this is the
+  // classic sequential FIFO drain, bit-for-bit; on a sharded substrate it
+  // is a superstep loop whose generations drain on parallel workers when
+  // every attached view tolerates it (relative-provenance views allocate
+  // tuple variables mid-drain, so their presence serializes the schedule —
+  // the sharded structure and results are unchanged). Returns false when
+  // the budget was exhausted first; the caller is responsible for aborting
+  // the run.
   bool DrainToFixpoint(const DrainBudget& budget);
-
-  // Marks every attached runtime non-converged (one view's budget
-  // exhaustion drops the shared queue, so all co-resident views lose
-  // in-flight state).
-  void MarkAllAborted();
 
  private:
   void Dispatch(const Envelope* envs, size_t n);
   bool PollAfterQuiescent();
+  // The pre-sharding sequential drain (single-shard fast path).
+  bool DrainSequential(const DrainBudget& budget);
+  // Superstep drain across router shards.
+  bool DrainSupersteps(const DrainBudget& budget);
+  // True when every attached view's maintenance mode is safe to drain on
+  // parallel workers (per-node state only, no mid-drain variable
+  // allocation): everything but ProvMode::kRelative.
+  bool ParallelSafe() const;
 
   // Declaration order is load-bearing: queued Envelopes hold Prov handles
   // into bdd_, so the router (destroyed first, in reverse order) must be

@@ -1,78 +1,53 @@
 #ifndef RECNET_NET_ROUTER_H_
 #define RECNET_NET_ROUTER_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "net/router_shard.h"
 #include "operators/update.h"
 
 namespace recnet {
-
-// Traffic accounting for one engine run. These counters back the paper's
-// evaluation metrics: communication overhead (bytes of messages exchanged
-// between *physical* peers), per-tuple provenance overhead (average
-// annotation bytes on shipped insertions), and per-peer traffic (Figure 13
-// reports per-node communication as physical peers vary).
-struct NetworkStats {
-  uint64_t messages = 0;        // Cross-physical messages.
-  uint64_t bytes = 0;           // Cross-physical bytes.
-  uint64_t local_messages = 0;  // Same-peer messages (free on the wire).
-  uint64_t insert_messages = 0;
-  uint64_t delete_messages = 0;
-  uint64_t kill_messages = 0;
-  uint64_t prov_bytes = 0;    // Annotation bytes on cross-physical inserts.
-  uint64_t prov_samples = 0;  // Number of such inserts.
-  // Delivery batches (runs of same-(dst, port) messages handed to the
-  // handler in one call). Equals deliveries when batching is off.
-  uint64_t batches = 0;
-  // Budget-exhaustion accounting: runs cut off before quiescence, and the
-  // messages discarded from the queue when that happened. Non-zero exactly
-  // when a figure cell is reported as "did not complete".
-  uint64_t aborted_runs = 0;
-  uint64_t dropped_messages = 0;
-  std::vector<uint64_t> per_peer_bytes;
-
-  double AvgProvBytesPerTuple() const {
-    return prov_samples == 0
-               ? 0.0
-               : static_cast<double>(prov_bytes) / prov_samples;
-  }
-  double CommMB() const { return static_cast<double>(bytes) / (1024.0 * 1024.0); }
-
-  void Reset();
-};
-
-// A message in flight between two logical nodes.
-struct Envelope {
-  Envelope() = default;
-  Envelope(LogicalNode s, LogicalNode d, int p, Update&& u)
-      : src(s), dst(d), port(p), update(std::move(u)) {}
-
-  LogicalNode src = 0;
-  LogicalNode dst = 0;
-  int port = 0;  // Which operator input at the destination.
-  Update update;
-};
 
 // Discrete, deterministic substitute for the paper's cluster + FreePastry
 // transport: logical query-processing nodes exchange updates over reliable
 // FIFO channels, and logical nodes are mapped onto a configurable number of
 // physical peers (messages between co-located logical nodes cost nothing on
-// the wire). A single global FIFO queue preserves per-channel ordering and
-// makes runs exactly reproducible, which implements the paper's pipelined
+// the wire). The global FIFO order preserves per-channel ordering and makes
+// runs exactly reproducible, which implements the paper's pipelined
 // semi-naive evaluation ("tuples are processed in the order in which they
 // arrive via the network, assuming a FIFO channel").
 //
-// Delivery is batched: consecutive queued messages bound for the same
-// logical destination *and operator port* are handed to the batch handler as
-// one contiguous run, amortizing handler dispatch across the run and letting
-// runtimes hoist per-destination/per-port state lookups out of their inner
-// loops (every envelope of a run hits the same operator input). Batching
-// never reorders messages — a run is a prefix of the global FIFO — so runs
-// are delivery-for-delivery identical to unbatched execution and every
-// NetworkStats counter except `batches` matches exactly (wire accounting
-// happens at Send time, one message per update, batched or not).
+// Sharding: the logical node-id space is partitioned across `num_shards`
+// RouterShards (node n resides on shard n % num_shards); each shard owns
+// the queues, outgoing mailboxes, and per-namespace NetworkStats of its
+// resident nodes. The drain is a superstep loop: within a generation every
+// shard processes its slice of the global delivery sequence (in parallel
+// worker threads when the engine requests it), sends land in per-(src shard,
+// dst shard) mailboxes, and the superstep barrier merges all mailboxes by
+// the canonical send-order key (Envelope::key_trig/key_sub) into the next
+// generation, assigning global sequence numbers as it goes.
+//
+// Determinism contract: the barrier merge reconstructs, for every shard
+// count, exactly the delivery order of the classic single-FIFO router —
+// each node sees its messages in the same order, so per-node operator state,
+// every sent message, and every NetworkStats counter except `batches` are
+// bit-identical across shard counts (and identical to the pre-sharding
+// sequential router when num_shards == 1). The one requirement on handlers
+// is that messages sent while processing a delivery originate (`src`) from
+// the node being processed — true of every runtime, and what charges the
+// send to the right shard without locks.
+//
+// Delivery is batched: runs of consecutive-sequence messages bound for the
+// same (dst, port) are handed to the batch handler as one contiguous run,
+// amortizing handler dispatch and letting runtimes hoist per-destination
+// state lookups (every envelope of a run hits the same operator input).
+// Batching never reorders messages, so runs are delivery-for-delivery
+// identical to unbatched execution and every NetworkStats counter except
+// `batches` matches exactly (wire accounting happens at Send time).
 //
 // Port namespaces: several co-resident runtimes (the views of one
 // recnet::Session) can share a router by operating in disjoint port ranges
@@ -93,18 +68,20 @@ class Router {
   // count (the region plan uses 5) to leave room for new operators.
   static constexpr int kPortsPerNamespace = 8;
 
-  Router(int num_logical, int num_physical);
+  Router(int num_logical, int num_physical, int num_shards = 1);
 
   // Registers one more port namespace and returns its id (the first
   // namespace, id 0, always exists). Namespace `ns` owns absolute ports
   // [ns*kPortsPerNamespace, (ns+1)*kPortsPerNamespace) and its own
   // NetworkStats.
   int AddNamespace();
-  int num_namespaces() const { return static_cast<int>(stats_.size()); }
+  int num_namespaces() const { return num_namespaces_; }
 
   // Extends the logical-node id space (the dynamic topology of a session);
-  // shrinking is not supported. Physical peer count is fixed at
-  // construction — new logical nodes map onto the existing peers.
+  // shrinking is not supported. Physical peer count and shard count are
+  // fixed at construction — new logical nodes map onto the existing peers
+  // and shards (node n resides on shard n % num_shards, so growth never
+  // rebalances existing nodes).
   void GrowLogical(int num_logical);
 
   // Per-envelope handler. Used as a fallback when no batch handler is set
@@ -121,11 +98,21 @@ class Router {
 
   int num_logical() const { return num_logical_; }
   int num_physical() const { return num_physical_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
   int PhysicalOf(LogicalNode n) const { return n % num_physical_; }
+  int ShardOf(LogicalNode n) const {
+    return static_cast<int>(n) % num_shards();
+  }
 
-  // Enqueues an update from `src` to `dst`. Wire cost is charged only when
-  // the endpoints live on different physical peers. Takes the update by
-  // rvalue: exactly one move lands it in the queue.
+  // The shard whose queue the calling thread is draining (0 outside a
+  // drain). Runtimes index per-shard side state (e.g. view-delta logs) by
+  // it so parallel workers never contend.
+  static int current_shard() { return tls_shard_; }
+
+  // Enqueues an update from `src` to `dst`. Wire cost is charged (to the
+  // sending node's shard) only when the endpoints live on different
+  // physical peers. Takes the update by rvalue: exactly one move lands it
+  // in the mailbox.
   void Send(LogicalNode src, LogicalNode dst, int port, Update&& update);
 
   // Enqueues a batch of updates along one channel, equivalent to (and
@@ -134,33 +121,69 @@ class Router {
   void SendBatch(LogicalNode src, LogicalNode dst, int port,
                  std::vector<Update> updates);
 
+  // --- Sequential drain (single-shard fast path) ----------------------------
+
   // Delivers the oldest pending message to the handler. Returns false when
-  // the network is quiescent.
+  // the network is quiescent. Single-shard routers only.
   bool Step();
 
   // Delivers the oldest pending run of same-(dst, port) messages (at most
   // `max_n`) as one batch. Returns the number of messages delivered, 0 when
-  // quiescent.
+  // quiescent. Single-shard routers only.
   size_t StepBatch(size_t max_n = SIZE_MAX);
 
   // Drains the queue. Returns false if `max_messages` deliveries did not
   // reach quiescence (the experiment's work budget — the paper's "did not
   // complete within 5 minutes"); the undelivered remainder is discarded and
   // recorded in NetworkStats::{aborted_runs,dropped_messages} so the run
-  // cannot silently resume from a stale queue.
+  // cannot silently resume from a stale queue. Single-shard routers only.
   bool RunUntilQuiescent(uint64_t max_messages);
+
+  // --- Superstep drain (any shard count) ------------------------------------
+
+  // If every shard's queue is drained, merges the pending mailboxes into
+  // the next generation: a k-way merge over all (src, dst)-shard mailboxes
+  // by the canonical send-order key, assigning global sequence numbers and
+  // distributing envelopes to their destination shards. No-op mid
+  // generation. Returns pending().
+  size_t PrepareGeneration();
+
+  struct StepResult {
+    uint64_t delivered = 0;
+    bool deadline_exceeded = false;
+  };
+
+  // Delivers up to `max_n` messages of the prepared generation, in global
+  // sequence order. When `parallel` is set (and more than one shard has
+  // work), shards drain on worker threads — callers must first make the
+  // handlers thread-safe across *different* destination nodes (the engine
+  // guards the shared BDD manager and serializes relative-provenance
+  // views). Otherwise shards are interleaved in sequence order on the
+  // calling thread; both schedules produce bit-identical results. If
+  // `deadline` is non-null, workers poll it and stop early (the run is then
+  // expected to be aborted).
+  StepResult ProcessGeneration(
+      uint64_t max_n, bool parallel,
+      const std::chrono::steady_clock::time_point* deadline = nullptr);
+
+  // --- Abort / purge --------------------------------------------------------
 
   // Discards all pending messages, recording them as dropped and the run as
   // aborted (the abort is charged to namespace `ns`, the runtime whose
   // budget ran out; dropped messages count against their own namespaces).
-  // Called on budget exhaustion. The dropped messages' wire charges are
-  // reversed: a message that never reached its destination is not
-  // communication the truncated run performed, so ">budget" figure cells
-  // report the traffic delivered up to the cutoff instead of whatever
-  // happened to be sitting in the queue. (Do not Reset stats while messages
-  // are pending; uncharging assumes the pending charges are still in the
-  // counters.)
+  // The dropped messages' wire charges are reversed: a message that never
+  // reached its destination is not communication the truncated run
+  // performed, so ">budget" figure cells report the traffic delivered up to
+  // the cutoff instead of whatever happened to be sitting in the queue. (Do
+  // not reset stats while messages are pending; uncharging assumes the
+  // pending charges are still in the counters.)
   void AbortRun(int ns = 0);
+
+  // Budget-abort isolation for co-resident views: discards (and uncharges)
+  // only namespace `ns`'s pending envelopes and records the aborted run
+  // against it, leaving every other namespace's traffic queued in FIFO
+  // order so surviving views can keep draining on the next run.
+  void AbortNamespace(int ns);
 
   // Discards (and uncharges) the pending messages of one port namespace,
   // leaving every other namespace's FIFO order intact. Called when a view
@@ -169,20 +192,28 @@ class Router {
   // drains cannot dispatch into the retired namespace.
   void PurgeNamespace(int ns);
 
-  size_t pending() const { return current_.size() - head_ + inbox_.size(); }
-  uint64_t delivered() const { return delivered_; }
+  size_t pending() const;
+  uint64_t delivered() const;
 
-  NetworkStats& stats(int ns = 0) { return stats_[static_cast<size_t>(ns)]; }
-  const NetworkStats& stats(int ns = 0) const {
-    return stats_[static_cast<size_t>(ns)];
-  }
+  // Merged per-namespace traffic view: the element-wise sum of every
+  // shard's NetworkStats for `ns` (a single-shard router's counters pass
+  // through unchanged). Returns a snapshot by value.
+  NetworkStats stats(int ns = 0) const;
+  // Zeroes namespace `ns`'s counters on every shard.
+  void ResetStats(int ns = 0);
+
+  // Recycled kill-list storage (the arena behind Update::Kill): pops a
+  // cleared buffer scavenged from delivered kill envelopes of `src`'s
+  // shard, so steady-state kill routing stops allocating. Thread-safe under
+  // the same ownership rule as Send (src is the node being processed).
+  std::vector<bdd::Var> AcquireKillBuffer(LogicalNode src);
 
  private:
   // The namespace owning absolute port `port`. Out-of-range ports fall into
   // the last namespace, so a single-namespace router accepts any port.
   int NamespaceOf(int port) const {
     int ns = port / kPortsPerNamespace;
-    int last = static_cast<int>(stats_.size()) - 1;
+    int last = num_namespaces_ - 1;
     return ns < 0 ? 0 : (ns > last ? last : ns);
   }
 
@@ -190,26 +221,56 @@ class Router {
                   const Update& update);
   // Reverses ChargeSend for a message that is being dropped undelivered.
   void UnchargeSend(const Envelope& env);
-  // Moves inbox_ into the drain position once current_ is exhausted.
-  // Returns false when both are empty (quiescent).
-  bool Refill();
+
+  // Delivers queue[start, end) of `shard` as one batch (same (dst, port),
+  // consecutive sequence numbers) and scavenges kill buffers.
+  void DeliverRun(RouterShard& shard, size_t start, size_t end);
+  // End (exclusive) of the maximal delivery run starting at `start`:
+  // consecutive sequence numbers, same (dst, port), below `cutoff`.
+  size_t RunEnd(const RouterShard& shard, size_t start, uint64_t cutoff) const;
+  // Drains `shard`'s queue up to (excluding) sequence `cutoff`, checking
+  // `deadline` periodically; sets / honors `stop` so sibling workers wind
+  // down together once the deadline passes.
+  void DrainShardQueue(int shard_id, uint64_t cutoff,
+                       const std::chrono::steady_clock::time_point* deadline,
+                       std::atomic<bool>* stop);
+  // Interleaves all shard queues in global sequence order on the calling
+  // thread (bit-identical to the parallel schedule by construction).
+  void DrainInterleaved(uint64_t cutoff,
+                        const std::chrono::steady_clock::time_point* deadline,
+                        std::atomic<bool>* stop);
+  // Moves the external send context past the last delivered sequence so
+  // later external sends order after every handler send.
+  void SyncExternalContext();
 
   int num_logical_;
   int num_physical_;
+  int num_namespaces_ = 1;
   Handler handler_;
   BatchHandler batch_handler_;
   bool batching_ = true;
-  // Two-phase FIFO: deliveries drain `current_` front to back (head_ is the
-  // next undelivered index) while handlers enqueue into `inbox_`; when
-  // current_ runs dry the vectors swap. This keeps runs contiguous in
-  // memory for batch dispatch and reuses capacity instead of paying deque
-  // node churn per message.
-  std::vector<Envelope> current_;
-  size_t head_ = 0;
-  std::vector<Envelope> inbox_;
-  // One NetworkStats per port namespace (size >= 1).
-  std::vector<NetworkStats> stats_;
-  uint64_t delivered_ = 0;
+  std::vector<RouterShard> shards_;
+  // Global delivery sequence numbers start at 1 so the pre-run external
+  // context (trig 0) orders before every handler send.
+  uint64_t next_seq_ = 1;
+  // External send context: used when no drain is active (fact ingestion,
+  // AfterQuiescent seeding). ext_trig_ tracks the last delivered sequence.
+  uint64_t ext_trig_ = 0;
+  uint32_t ext_sub_ = 0;
+  // True while ProcessGeneration / StepBatch dispatches handlers; routes
+  // Send's ordering context to the sending shard instead of the external
+  // counters. Written only by the coordinating thread while workers are
+  // quiescent.
+  bool draining_ = false;
+  // Scratch for the barrier merge (kept across generations so the merge
+  // allocates nothing in steady state).
+  struct MergeSource {
+    std::vector<Envelope>* mailbox;
+    size_t next;
+  };
+  std::vector<MergeSource> merge_sources_;
+
+  static thread_local int tls_shard_;
 };
 
 }  // namespace recnet

@@ -251,7 +251,7 @@ TEST(RouterTest, ResetClearsCounters) {
   router.set_handler([](const Envelope&) {});
   router.Send(0, 1, kPortFix, Ins(Tuple::OfInts({1})));
   EXPECT_TRUE(router.RunUntilQuiescent(10));
-  router.stats().Reset();
+  router.ResetStats();
   EXPECT_EQ(router.stats().messages, 0u);
   EXPECT_EQ(router.stats().bytes, 0u);
 }

@@ -484,6 +484,104 @@ TEST(SessionTest, ShortestPathExplainReturnsWitnessLinks) {
             StatusCode::kNotFound);
 }
 
+TEST(SessionTest, RegionExplainReturnsWitnessTriggers) {
+  // Provenance witnesses for the region adapter, completing the trio with
+  // reachable and shortest-path: a membership witness is the set of
+  // isTriggered facts whose conjunction keeps the sensor in the region.
+  constexpr char kSelfContainedRegion[] = R"(
+    activeRegion(r,x) :- seed(r,x), triggered(x).
+    activeRegion(r,y) :- activeRegion(r,x), triggered(x), near(x,y).
+    regionSizes(r,count<x>) :- activeRegion(r,x).
+    seed(0, 0). seed(1, 3).
+    near(0, 1). near(1, 0). near(1, 2). near(2, 1). near(2, 3). near(3, 2).
+    triggered(0). triggered(1).
+  )";
+  auto engine = Engine::Compile(kSelfContainedRegion, {});
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  Engine& e = **engine;
+  ASSERT_TRUE(e.Apply().ok());
+
+  // Sensor 2 joined region 0 through the triggered chain 0 -> 1: the
+  // witness must name both triggers.
+  auto why = e.Explain("activeRegion", Tuple::OfInts({0, 2}));
+  ASSERT_TRUE(why.ok()) << why.status().ToString();
+  std::vector<Tuple> expected = {Tuple::OfInts({0}), Tuple::OfInts({1})};
+  std::sort(why->begin(), why->end());
+  EXPECT_EQ(*why, expected);
+
+  // Absent memberships are typed NotFound; aggregate views have no
+  // witnesses; bad region ids are typed OutOfRange.
+  EXPECT_EQ(e.Explain("activeRegion", Tuple::OfInts({1, 0})).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(e.Explain("regionSizes", Tuple::OfInts({0, 2})).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(e.Explain("activeRegion", Tuple::OfInts({7, 0})).status().code(),
+            StatusCode::kOutOfRange);
+
+  // Witnesses exist under absorption provenance only.
+  EngineOptions dred;
+  dred.runtime.prov = ProvMode::kSet;
+  auto dred_engine = Engine::Compile(kSelfContainedRegion, dred);
+  ASSERT_TRUE(dred_engine.ok());
+  ASSERT_TRUE((*dred_engine)->Apply().ok());
+  EXPECT_EQ((*dred_engine)
+                ->Explain("activeRegion", Tuple::OfInts({0, 1}))
+                .status()
+                .code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(SessionTest, BudgetAbortPoisonsOnlyTheInitiatingView) {
+  // Satellite of the sharding PR: one view exhausting its budget must drop
+  // (and be charged for) only ITS queued envelopes; the co-resident view
+  // keeps its in-flight traffic and converges on its own later Apply,
+  // matching an isolated engine bit for bit.
+  constexpr char kReach[] = R"(
+    reachable(x,y) :- link(x,y).
+    reachable(x,y) :- link(x,z), reachable(z,y).
+  )";
+  constexpr char kSpan[] = R"(
+    span(x,y) :- link(x,y).
+    span(x,y) :- span(x,z), link(z,y).
+  )";
+  Session session(SessionOptions{8, 4, true});
+  EngineOptions tiny;
+  tiny.runtime.message_budget = 10;  // Exhausts mid-drain.
+  auto reach = session.AddProgram(kReach, tiny);
+  auto span = session.AddProgram(kSpan, {});
+  ASSERT_TRUE(reach.ok() && span.ok());
+
+  auto isolated = Engine::Compile(kSpan, {});
+  ASSERT_TRUE(isolated.ok());
+
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(session.Insert("link", {double(i), double((i + 1) % 8)}).ok());
+    ASSERT_TRUE(
+        (*isolated)->Insert("link", {double(i), double((i + 1) % 8)}).ok());
+  }
+  // The initiating view's budget governs the drain; it aborts mid-fixpoint.
+  Status st = (*reach)->Apply();
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE((*reach)->converged());
+  RunMetrics aborted = (*reach)->Metrics();
+  EXPECT_EQ(aborted.aborted_runs, 1u);
+  EXPECT_GT(aborted.dropped_messages, 0u);
+
+  // The co-resident view was NOT poisoned: nothing of its traffic was
+  // dropped, it is not marked aborted, and its own Apply finishes the
+  // fixpoint with counters and contents identical to an isolated engine.
+  RunMetrics survivor = (*span)->Metrics();
+  EXPECT_EQ(survivor.aborted_runs, 0u);
+  EXPECT_EQ(survivor.dropped_messages, 0u);
+  ASSERT_TRUE((*span)->Apply().ok());
+  ASSERT_TRUE((*isolated)->Apply().ok());
+  EXPECT_TRUE((*span)->converged());
+  EXPECT_EQ((*span)->Metrics().messages, (*isolated)->Metrics().messages);
+  EXPECT_EQ((*span)->Metrics().kill_messages,
+            (*isolated)->Metrics().kill_messages);
+  EXPECT_EQ(*(*span)->Scan("span"), *(*isolated)->Scan("span"));
+}
+
 TEST(SessionTest, SoftStateExpiryFansOutToEveryView) {
   Session session(SessionOptions{3, 3, true});
   auto reach = session.AddProgram(R"(
