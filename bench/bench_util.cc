@@ -38,11 +38,25 @@ BenchArgs ParseArgs(int argc, char** argv) {
       }
       continue;
     }
+    const std::string save_prefix = "--ckpt-save=";
+    if (arg.compare(0, save_prefix.size(), save_prefix) == 0) {
+      args.ckpt_save = arg.substr(save_prefix.size());
+      continue;
+    }
+    const std::string load_prefix = "--ckpt-load=";
+    if (arg.compare(0, load_prefix.size(), load_prefix) == 0) {
+      args.ckpt_load = arg.substr(load_prefix.size());
+      continue;
+    }
     std::fprintf(stderr,
                  "unknown argument '%s'\nusage: %s [--json=PATH] "
-                 "[--shards=N]\n"
+                 "[--shards=N] [--ckpt-save=PATH | --ckpt-load=PATH]\n"
                  "env: RECNET_PAPER_SCALE=1 (paper topology), RECNET_SEED=N\n",
                  arg.c_str(), argv[0]);
+    std::exit(2);
+  }
+  if (!args.ckpt_save.empty() && !args.ckpt_load.empty()) {
+    std::fprintf(stderr, "--ckpt-save and --ckpt-load are exclusive\n");
     std::exit(2);
   }
   return args;
@@ -235,7 +249,21 @@ bool FigurePrinter::WriteJson(const std::string& path) const {
                    m.converged ? "true" : "false");
     }
   }
-  std::fprintf(f, "\n  ],\n  \"shards\": %d,\n  \"shard_sweep\": [", shards_);
+  // Run metadata: enough to interpret a trajectory file on its own —
+  // which drain configuration produced it, whether the binary was an
+  // optimized build, and whether the run went through a checkpoint/restore
+  // cycle. ("shards" at top level predates this block and is kept for the
+  // cross-PR diff scripts.)
+#ifdef NDEBUG
+  const char* build_type = "release";
+#else
+  const char* build_type = "debug";
+#endif
+  std::fprintf(f,
+               "\n  ],\n  \"shards\": %d,\n  \"meta\": {\"shards\": %d, "
+               "\"build_type\": \"%s\", \"checkpoint\": %s},\n"
+               "  \"shard_sweep\": [",
+               shards_, shards_, build_type, checkpoint_ ? "true" : "false");
   // The shard sweep pins the sharded drain's determinism contract into the
   // trajectory: for one workload, messages/kill_messages must be identical
   // down the sweep while wall_seconds reflects the parallel drain.

@@ -32,6 +32,14 @@ struct BenchArgs {
   // sequential drain). Results and traffic counters are bit-identical for
   // any shard count; wall times are what changes.
   int shards = 1;
+  // --ckpt-save=PATH / --ckpt-load=PATH: run the bench's checkpoint
+  // workload instead of the figure cells — save runs the first half of the
+  // workload, snapshots the session to PATH, and finishes; load restores
+  // PATH into a fresh process and runs the same second half. Both print a
+  // `CKPT-DIGEST <hex>` line over the final counters and view contents; CI
+  // diffs the two lines to pin cross-process snapshot determinism.
+  std::string ckpt_save;
+  std::string ckpt_load;
 };
 
 // Parses argv; unknown flags abort with a usage message (exit code 2).
@@ -77,6 +85,10 @@ class FigurePrinter {
   // Shard count of the main figure cells (recorded in the JSON).
   void set_shards(int shards) { shards_ = shards; }
 
+  // Whether this run exercised a checkpoint/restore cycle (recorded in the
+  // JSON's run metadata).
+  void set_checkpoint(bool on) { checkpoint_ = on; }
+
   void PrintAll() const;
 
   // Writes every recorded cell as JSON: figure/title/x_label, the series
@@ -106,6 +118,7 @@ class FigurePrinter {
   std::map<std::pair<std::string, double>, RunMetrics> cells_;
   std::vector<ShardCell> shard_cells_;
   int shards_ = 1;
+  bool checkpoint_ = false;
   std::chrono::steady_clock::time_point start_;
 };
 

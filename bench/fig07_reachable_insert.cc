@@ -5,10 +5,13 @@
 // The workload executes through recnet::Engine: the query is compiled from
 // the paper's Datalog text, so this bench also measures the facade path.
 
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 
 #include "bench_util.h"
 #include "engine/engine.h"
+#include "engine/session.h"
 #include "topology/workload.h"
 
 using namespace recnet;
@@ -21,12 +24,122 @@ constexpr char kQuery1[] = R"(
   reachable(x,y) :- link(x,z), reachable(z,y).
 )";
 
+void DigestU64(uint64_t v, uint64_t* h) {
+  for (int i = 0; i < 8; ++i) {
+    *h ^= (v >> (8 * i)) & 0xff;
+    *h *= 1099511628211ull;  // FNV-1a.
+  }
+}
+
+void DigestDouble(double v, uint64_t* h) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  DigestU64(bits, h);
+}
+
+// One number over everything the resumed run observed: traffic counters,
+// wire bytes, and the full converged view contents. Two processes that
+// print the same digest walked the same trajectory.
+uint64_t TrajectoryDigest(const View* view) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis.
+  RunMetrics m = view->Metrics();
+  DigestU64(m.messages, &h);
+  DigestU64(m.kill_messages, &h);
+  DigestDouble(m.comm_mb, &h);
+  auto rows = view->Scan("reachable");
+  RECNET_CHECK(rows.ok());
+  DigestU64(rows->size(), &h);
+  for (const Tuple& t : rows.value()) {
+    for (size_t i = 0; i < t.size(); ++i) {
+      const Value& v = t.at(i);
+      if (v.is_double()) {
+        DigestDouble(v.AsDouble(), &h);
+      } else if (v.is_int()) {
+        DigestU64(static_cast<uint64_t>(v.AsInt()), &h);
+      }
+    }
+  }
+  return h;
+}
+
+// The --ckpt-save / --ckpt-load workload: the full-insert Absorption Lazy
+// cell, split in half. Save runs the first half, checkpoints, then resumes;
+// load restores the checkpoint in a fresh process and resumes identically.
+// Both print `CKPT-DIGEST <hex>`; matching digests mean the restored
+// session's trajectory is bit-identical to the uninterrupted one across a
+// process boundary (CI diffs the two lines).
+int RunCheckpointMode(const BenchArgs& args, const BenchEnv& env,
+                      const Topology& topo) {
+  const Strategy strategy{"Absorption Lazy", ProvMode::kAbsorption,
+                          ShipMode::kLazy};
+  const std::vector<LinkTuple> links = InsertionPrefix(topo, 1.0, env.seed);
+  const size_t half = links.size() / 2;
+
+  SessionOptions session_options;
+  session_options.num_nodes = topo.num_nodes;
+  session_options.num_physical = 12;
+  session_options.shards = args.shards;
+  Session session(session_options);
+
+  const bool saving = !args.ckpt_save.empty();
+  const std::string& path = saving ? args.ckpt_save : args.ckpt_load;
+  View* view = nullptr;
+  if (saving) {
+    EngineOptions options;
+    options.num_nodes = topo.num_nodes;
+    options.runtime = MakeOptions(strategy, 12, 30'000'000);
+    options.runtime.shards = args.shards;
+    auto added = session.AddProgram(kQuery1, options);
+    if (!added.ok()) {
+      std::fprintf(stderr, "compile failed: %s\n",
+                   added.status().ToString().c_str());
+      return 1;
+    }
+    view = added.value();
+    for (size_t i = 0; i < half; ++i) {
+      (void)session.Insert("link",
+                           {double(links[i].src), double(links[i].dst)});
+    }
+    (void)session.Apply();
+    Status st = session.Checkpoint(path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "checkpoint failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpointed after %zu/%zu links to %s\n", half,
+                links.size(), path.c_str());
+  } else {
+    Status st = session.Restore(path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "restore failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    view = session.view(0);
+    std::printf("restored %s at %zu/%zu links\n", path.c_str(), half,
+                links.size());
+  }
+
+  // Resume: the second half of the insertion workload.
+  for (size_t i = half; i < links.size(); ++i) {
+    (void)session.Insert("link",
+                         {double(links[i].src), double(links[i].dst)});
+  }
+  (void)session.Apply();
+  std::printf("CKPT-DIGEST %016llx\n",
+              static_cast<unsigned long long>(TrajectoryDigest(view)));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   BenchArgs args = ParseArgs(argc, argv);
   BenchEnv env = GetBenchEnv();
   Topology topo = DefaultTopology(/*dense=*/true, env);
+  if (!args.ckpt_save.empty() || !args.ckpt_load.empty()) {
+    return RunCheckpointMode(args, env, topo);
+  }
   std::printf(
       "Figure 7 workload: transit-stub topology, %d nodes, %zu link tuples"
       "%s\n",

@@ -1,0 +1,102 @@
+// Checkpoint / restore: a session survives a process restart. A multi-view
+// session is built up, checkpointed to disk, torn down, and restored into a
+// fresh Session — then the workload resumes (deletions this time) and the
+// example asserts the restored trajectory matches an uninterrupted control
+// session scan for scan and counter for counter.
+//
+// Build & run:  cmake -B build && cmake --build build -j
+//               ./build/example_checkpoint_restore
+
+#include <cstdio>
+#include <memory>
+
+#include "engine/session.h"
+
+namespace {
+
+constexpr char kReachable[] = R"(
+  reachable(x,y) :- link(x,y).
+  reachable(x,y) :- link(x,z), reachable(z,y).
+)";
+constexpr char kSpan[] = R"(
+  span(x,y) :- link(x,y).
+  span(x,y) :- span(x,z), link(z,y).
+)";
+
+std::unique_ptr<recnet::Session> MakeSession() {
+  recnet::SessionOptions options;
+  options.num_nodes = 8;
+  auto session = std::make_unique<recnet::Session>(options);
+  return session;
+}
+
+void AddPrograms(recnet::Session* session) {
+  RECNET_CHECK(session->AddProgram(kReachable, {}).ok());
+  RECNET_CHECK(session->AddProgram(kSpan, {}).ok());
+}
+
+// Phase 1 of the workload: a chain plus a shortcut, run to fixpoint.
+void InsertPhase(recnet::Session* session) {
+  for (int i = 0; i < 7; ++i) {
+    RECNET_CHECK(session->Insert("link", {double(i), double(i + 1)}).ok());
+  }
+  RECNET_CHECK(session->Insert("link", {0, 4}).ok());
+  RECNET_CHECK(session->Apply().ok());
+}
+
+// Phase 2, resumed after the restore: retract the shortcut and a chain
+// edge, splitting the graph.
+void DeletePhase(recnet::Session* session) {
+  RECNET_CHECK(session->Delete("link", {0, 4}).ok());
+  RECNET_CHECK(session->Delete("link", {3, 4}).ok());
+  RECNET_CHECK(session->Apply().ok());
+}
+
+}  // namespace
+
+int main() {
+  const char* path = "/tmp/recnet_example.ckpt";
+
+  // An uninterrupted control session runs both phases back to back.
+  std::unique_ptr<recnet::Session> control = MakeSession();
+  AddPrograms(control.get());
+  InsertPhase(control.get());
+  DeletePhase(control.get());
+
+  // The checkpointed session stops after phase 1...
+  {
+    std::unique_ptr<recnet::Session> session = MakeSession();
+    AddPrograms(session.get());
+    InsertPhase(session.get());
+    recnet::Status st = session->Checkpoint(path);
+    RECNET_CHECK(st.ok());
+    std::printf("checkpointed %zu views to %s\n", session->num_views(), path);
+  }  // ...and is destroyed: the "process restart".
+
+  // A fresh, empty session restores the snapshot (programs come from the
+  // snapshot itself) and resumes phase 2.
+  std::unique_ptr<recnet::Session> restored = MakeSession();
+  recnet::Status st = restored->Restore(path);
+  RECNET_CHECK(st.ok());
+  std::printf("restored %zu views\n", restored->num_views());
+  DeletePhase(restored.get());
+
+  // The restored trajectory is bit-identical to the uninterrupted one:
+  // every view's scan and every view's traffic counters agree.
+  for (size_t i = 0; i < control->num_views(); ++i) {
+    const char* view_name = i == 0 ? "reachable" : "span";
+    auto expect = control->view(i)->Scan(view_name);
+    auto got = restored->view(i)->Scan(view_name);
+    RECNET_CHECK(expect.ok() && got.ok());
+    RECNET_CHECK(expect.value() == got.value());
+    recnet::RunMetrics em = control->view(i)->Metrics();
+    recnet::RunMetrics rm = restored->view(i)->Metrics();
+    RECNET_CHECK_EQ(em.messages, rm.messages);
+    RECNET_CHECK_EQ(em.kill_messages, rm.kill_messages);
+    std::printf("%-10s %zu tuples, %llu messages — match\n", view_name,
+                got.value().size(),
+                static_cast<unsigned long long>(rm.messages));
+  }
+  std::printf("restored session is bit-identical to the uninterrupted one\n");
+  return 0;
+}

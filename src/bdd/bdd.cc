@@ -126,6 +126,14 @@ NodeIndex Manager::MakeVar(Var v) {
   return MakeNode(v, kFalse, kTrue);
 }
 
+NodeIndex Manager::MakeNodeForRestore(Var var, NodeIndex low, NodeIndex high) {
+  MaybeLock lock(this);
+  RECNET_CHECK_NE(var, kTerminalVar);
+  RECNET_CHECK_LT(low, nodes_.size());
+  RECNET_CHECK_LT(high, nodes_.size());
+  return MakeNode(var, low, high);
+}
+
 NodeIndex Manager::And(NodeIndex a, NodeIndex b) {
   MaybeLock lock(this);
   MaybeGc();

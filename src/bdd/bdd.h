@@ -150,6 +150,13 @@ class Manager {
   NodeIndex low_of(NodeIndex n) const { return nodes_[n].low; }
   NodeIndex high_of(NodeIndex n) const { return nodes_[n].high; }
 
+  // Interns one node while decoding a snapshot (children must already be
+  // interned). Same hash-consing as the internal MakeNode but never triggers
+  // GC, so a decoder can hold freshly interned, not-yet-referenced nodes
+  // across calls. The caller is expected to Ref (e.g. via a Bdd handle)
+  // every returned root it wants to keep.
+  NodeIndex MakeNodeForRestore(Var var, NodeIndex low, NodeIndex high);
+
  private:
   struct Node {
     Var var;

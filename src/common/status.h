@@ -20,6 +20,12 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kResourceExhausted,
+  // An operation was rejected because the system is not in the state the
+  // operation requires (e.g. checkpointing a session with queued messages).
+  kFailedPrecondition,
+  // Unrecoverable loss or corruption of persisted data (bad checksum,
+  // truncated snapshot file).
+  kDataLoss,
 };
 
 // A Status describes the result of an operation that can fail.
@@ -54,6 +60,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

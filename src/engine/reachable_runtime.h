@@ -62,6 +62,12 @@ class ReachableRuntime : public RuntimeBase {
   std::optional<std::pair<LogicalNode, LogicalNode>> LinkOfVar(
       bdd::Var v) const;
 
+  // Snapshot round-trip (see RuntimeBase::SaveState): appends the link
+  // table, the DRed bookkeeping, and every node's operator state. Defined
+  // in engine/runtime_persist.cc.
+  void SaveState(persist::SnapshotWriter& w) const override;
+  Status LoadState(persist::SnapshotReader& r) override;
+
  protected:
   // Vectorized delivery: one (dst, port) switch and node-state lookup per
   // run, with the operator applied across the whole batch.

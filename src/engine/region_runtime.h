@@ -70,6 +70,12 @@ class RegionRuntime : public RuntimeBase {
   // annotates (for rendering provenance witnesses).
   std::optional<int> SensorOfVar(bdd::Var v) const;
 
+  // Snapshot round-trip (see RuntimeBase::SaveState): appends the trigger
+  // variables, the aggregate views, and every sensor node's operator state.
+  // Defined in engine/runtime_persist.cc.
+  void SaveState(persist::SnapshotWriter& w) const override;
+  Status LoadState(persist::SnapshotReader& r) override;
+
  protected:
   // Vectorized delivery: one (dst, port) switch and node-state lookup per
   // run, with the operator applied across the whole batch.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "persist/codec.h"
+
 namespace recnet {
 
 RuntimeBase::RuntimeBase(int num_logical, const RuntimeOptions& options)
@@ -47,23 +49,42 @@ bool RuntimeBase::Run() {
   // that some run since the last reset was cut off).
   abort_metrics_.reset();
   auto start = std::chrono::steady_clock::now();
-  bool ok = sub_->DrainToFixpoint(
+  Substrate::DrainOutcome out = sub_->DrainToFixpoint(
       Substrate::DrainBudget{opts_.message_budget, opts_.time_budget_s});
   auto end = std::chrono::steady_clock::now();
   wall_seconds_ += std::chrono::duration<double>(end - start).count();
-  if (!ok) {
-    // Budget-abort isolation: drop (and uncharge) only THIS view's queued
-    // envelopes so the aborted run is recorded explicitly and a later Run()
-    // cannot silently resume this view mid-fixpoint — while co-resident
-    // views keep their in-flight traffic in FIFO order and can converge on
-    // a later Apply with their own budgets. Only this view is marked
-    // non-converged; the metrics snapshot freezes its cell at the moment of
-    // the cutoff.
+  bool self_aborted = std::find(out.aborted.begin(), out.aborted.end(), ns_) !=
+                      out.aborted.end();
+  if (self_aborted && abort_metrics_.has_value()) {
+    // The drain's arbitration froze the snapshot (via AbortForBudget)
+    // before this run's wall time was booked; patch the timing fields so a
+    // ">budget" figure cell still reports what the cutoff cost.
+    abort_metrics_->wall_seconds = wall_seconds_;
+    abort_metrics_->sim_seconds = EstimateSimSeconds(
+        wall_seconds_, abort_metrics_->messages, router().num_physical(),
+        opts_.per_msg_latency_s);
+  }
+  if (out.timed_out && !self_aborted) {
+    // Wall-clock cutoff: the time budget belongs to the initiating view, so
+    // it pays — only THIS view's queued envelopes are dropped (and
+    // uncharged), only this view is marked non-converged, and its metrics
+    // freeze at the moment of the cutoff. Co-resident views keep their
+    // in-flight traffic in FIFO order and can converge on a later Apply.
+    // (Message budgets are per view and already enforced inside the drain.)
     router().AbortNamespace(ns_);
     converged_ = false;
     abort_metrics_ = ComputeMetrics();
   }
-  return ok;
+  return !out.timed_out && !self_aborted;
+}
+
+void RuntimeBase::AbortForBudget() {
+  // See Run(): identical record to a budget-aborted solo run, produced
+  // mid-drain by the fair-share arbitration. Purging uncharges the dropped
+  // queue before the metrics snapshot, so the frozen cell is consistent.
+  router().AbortNamespace(ns_);
+  converged_ = false;
+  abort_metrics_ = ComputeMetrics();
 }
 
 RunMetrics RuntimeBase::Metrics() const {
@@ -88,6 +109,105 @@ RunMetrics RuntimeBase::ComputeMetrics() const {
   m.dropped_messages = s.dropped_messages;
   m.converged = converged_;
   return m;
+}
+
+void RuntimeBase::SaveState(persist::SnapshotWriter& w) const {
+  persist::Writer& raw = w.raw();
+  raw.U64(num_dead_);
+  // Relative-provenance pseudo-variables. tuple_vars_ re-inserts in
+  // iteration order (flat-table layout reproduction — TupleVar misses probe
+  // it); var_tuples_ is lookup-only.
+  raw.U64(tuple_vars_.size());
+  for (const auto& [tuple, var] : tuple_vars_) {
+    w.PutTuple(tuple);
+    raw.U32(var);
+  }
+  raw.U64(var_tuples_.size());
+  for (const auto& [var, tuple] : var_tuples_) {
+    raw.U32(var);
+    w.PutTuple(tuple);
+  }
+  // Kill-subscription routing, per logical node, in table order (AcceptKill
+  // only probes, but ShipInsert appends to the per-variable destination
+  // lists, whose order decides kill fan-out order — saved verbatim).
+  raw.U32(static_cast<uint32_t>(subs_.size()));
+  for (const auto& node_subs : subs_) {
+    raw.U64(node_subs.size());
+    for (const auto& [var, dests] : node_subs) {
+      raw.U32(var);
+      raw.U32(static_cast<uint32_t>(dests.size()));
+      for (LogicalNode d : dests) raw.I32(d);
+    }
+  }
+  // Per-node kill dedup sets (membership-only).
+  raw.U32(static_cast<uint32_t>(kills_done_.size()));
+  for (const auto& done : kills_done_) {
+    raw.U64(done.size());
+    for (bdd::Var v : done) raw.U32(v);
+  }
+  raw.F64(wall_seconds_);
+  raw.Bool(converged_);
+  raw.Bool(abort_metrics_.has_value());
+  if (abort_metrics_.has_value()) w.PutMetrics(*abort_metrics_);
+}
+
+Status RuntimeBase::LoadState(persist::SnapshotReader& r) {
+  persist::Reader& raw = r.raw();
+  num_dead_ = static_cast<size_t>(raw.U64());
+  uint64_t num_tuple_vars = raw.Count(4);
+  tuple_vars_.reserve(num_tuple_vars);
+  for (uint64_t i = 0; i < num_tuple_vars && raw.ok(); ++i) {
+    Tuple tuple = r.GetTuple();
+    bdd::Var var = raw.U32();
+    tuple_vars_.emplace(std::move(tuple), var);
+  }
+  uint64_t num_var_tuples = raw.Count(4);
+  var_tuples_.reserve(num_var_tuples);
+  for (uint64_t i = 0; i < num_var_tuples && raw.ok(); ++i) {
+    bdd::Var var = raw.U32();
+    var_tuples_.emplace(var, r.GetTuple());
+  }
+  uint32_t num_sub_nodes = raw.U32();
+  if (raw.ok() && num_sub_nodes != subs_.size()) {
+    return Status::InvalidArgument(
+        "snapshot view state spans a different node count than the "
+        "reconstructed runtime");
+  }
+  for (uint32_t n = 0; n < num_sub_nodes && raw.ok(); ++n) {
+    auto& node_subs = subs_[n];
+    RECNET_CHECK(node_subs.empty());
+    uint64_t nvars = raw.Count(9);
+    node_subs.reserve(nvars);
+    for (uint64_t i = 0; i < nvars && raw.ok(); ++i) {
+      bdd::Var var = raw.U32();
+      uint32_t ndests = raw.U32();
+      if (!raw.CanRead(static_cast<size_t>(ndests) * 4)) break;
+      std::vector<LogicalNode>& dests = node_subs[var];
+      dests.reserve(ndests);
+      for (uint32_t j = 0; j < ndests; ++j) dests.push_back(raw.I32());
+    }
+  }
+  uint32_t num_kill_nodes = raw.U32();
+  if (raw.ok() && num_kill_nodes != kills_done_.size()) {
+    return Status::InvalidArgument(
+        "snapshot kill-dedup state spans a different node count than the "
+        "reconstructed runtime");
+  }
+  for (uint32_t n = 0; n < num_kill_nodes && raw.ok(); ++n) {
+    auto& done = kills_done_[n];
+    RECNET_CHECK(done.empty());
+    uint64_t nvars = raw.Count(4);
+    done.reserve(nvars);
+    for (uint64_t i = 0; i < nvars && raw.ok(); ++i) done.insert(raw.U32());
+  }
+  wall_seconds_ = raw.F64();
+  converged_ = raw.Bool();
+  if (raw.Bool()) {
+    abort_metrics_ = r.GetMetrics();
+  } else {
+    abort_metrics_.reset();
+  }
+  return r.Check("runtime base state");
 }
 
 void RuntimeBase::ResetMetrics() {

@@ -11,6 +11,7 @@
 
 #include "bdd/bdd.h"
 #include "common/flat_table.h"
+#include "common/status.h"
 #include "engine/metrics.h"
 #include "engine/substrate.h"
 #include "net/router.h"
@@ -18,6 +19,11 @@
 #include "operators/update.h"
 
 namespace recnet {
+
+namespace persist {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace persist
 
 // Operator input ports shared by the query runtimes. These are *local*
 // ports: on the wire they are offset by the runtime's port-namespace base
@@ -121,6 +127,18 @@ class RuntimeBase {
   // Clears traffic and timing counters, e.g. to measure the deletion phase
   // separately from initial computation.
   void ResetMetrics();
+
+  // --- Persistence ----------------------------------------------------------
+  //
+  // Snapshot round-trip of the view's mutable state: the base implementation
+  // covers the shared machinery (kill-subscription routing, kill dedup sets,
+  // relative-provenance pseudo-variables, run bookkeeping); runtime
+  // subclasses override to append their operator state and MUST call the
+  // base implementation first. LoadState requires a freshly constructed
+  // runtime of the same program, options, and topology — it refuses (with
+  // InvalidArgument) when the recorded shape disagrees.
+  virtual void SaveState(persist::SnapshotWriter& w) const;
+  virtual Status LoadState(persist::SnapshotReader& r);
 
   // --- View-delta log (incremental scan caches) -----------------------------
   //
@@ -308,6 +326,14 @@ class RuntimeBase {
 
   // Substrate entry point (delivery dispatch).
   void DeliverBatch(const Envelope* envs, size_t n) { HandleBatch(envs, n); }
+
+  // Drain-side budget abort: called by the shared drain's fair-share
+  // arbitration the moment this view's own deliveries exhaust its message
+  // budget. Purges (and uncharges) the view's queued traffic, marks it
+  // non-converged, and freezes its metrics at the cutoff — exactly the
+  // record a budget-aborted Run() used to produce, but scoped to this view
+  // while co-resident views keep draining.
+  void AbortForBudget();
 
   // The live metric computation behind Metrics(); bypassed once an abort
   // snapshot exists.

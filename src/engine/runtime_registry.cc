@@ -234,6 +234,7 @@ class ReachableAdapter : public QueryRuntime {
   void ResetMetrics() override { rt_.ResetMetrics(); }
   bool converged() const override { return rt_.converged(); }
   const RuntimeOptions& options() const override { return rt_.options(); }
+  RuntimeBase* native_runtime() override { return &rt_; }
 
  private:
   // Validates an incoming link fact. Inserts grow the node-id space for
@@ -440,6 +441,7 @@ class ShortestPathAdapter : public QueryRuntime {
   void ResetMetrics() override { rt_.ResetMetrics(); }
   bool converged() const override { return rt_.converged(); }
   const RuntimeOptions& options() const override { return rt_.options(); }
+  RuntimeBase* native_runtime() override { return &rt_; }
 
  private:
   // Read path: endpoints must name existing nodes.
@@ -559,6 +561,7 @@ class RegionAdapter : public QueryRuntime {
   void ResetMetrics() override { rt_.ResetMetrics(); }
   bool converged() const override { return rt_.converged(); }
   const RuntimeOptions& options() const override { return rt_.options(); }
+  RuntimeBase* native_runtime() override { return &rt_; }
 
  private:
   Status CheckTrigger(const std::string& relation, const Tuple& fact) const {

@@ -102,6 +102,15 @@ class QueryRuntime {
   virtual bool converged() const = 0;
   virtual const RuntimeOptions& options() const = 0;
 
+  // The wrapped distributed runtime, for session-level machinery that works
+  // on the common runtime interface (checkpoint/restore walks each view's
+  // RuntimeBase state). External factories may return nullptr; such views
+  // cannot be checkpointed.
+  virtual RuntimeBase* native_runtime() { return nullptr; }
+  const RuntimeBase* native_runtime() const {
+    return const_cast<QueryRuntime*>(this)->native_runtime();
+  }
+
  protected:
   // --- Implementation interface (wrapped by the caching layer above) -------
 

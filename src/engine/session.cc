@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <utility>
 
 #include "datalog/analyzer.h"
 #include "datalog/parser.h"
+#include "persist/codec.h"
+#include "persist/snapshot.h"
+#include "provenance/prov.h"
 
 namespace recnet {
 namespace {
@@ -41,6 +45,104 @@ Tuple FactTuple(const datalog::Rule& fact) {
   return Tuple(std::move(out));
 }
 
+// --- EngineOptions wire codec ------------------------------------------------
+//
+// A program record in a snapshot is (source text, EngineOptions): enough to
+// re-run the full compile pipeline on restore, so the plan, operator
+// wiring, and port layout are rebuilt by the same code paths an
+// uninterrupted session used.
+
+void EncodeSensorField(persist::Writer* w, const SensorField& f) {
+  w->I32(f.num_sensors);
+  w->F64(f.k);
+  w->U32(static_cast<uint32_t>(f.positions.size()));
+  for (const auto& [x, y] : f.positions) {
+    w->F64(x);
+    w->F64(y);
+  }
+  w->U32(static_cast<uint32_t>(f.seed_sensors.size()));
+  for (int s : f.seed_sensors) w->I32(s);
+  w->U32(static_cast<uint32_t>(f.neighbors.size()));
+  for (const std::vector<int>& adj : f.neighbors) {
+    w->U32(static_cast<uint32_t>(adj.size()));
+    for (int n : adj) w->I32(n);
+  }
+}
+
+void EncodeEngineOptions(persist::Writer* w, const EngineOptions& o) {
+  w->U8(static_cast<uint8_t>(o.runtime.prov));
+  w->U8(static_cast<uint8_t>(o.runtime.ship));
+  w->U64(o.runtime.batch_window);
+  w->I32(o.runtime.num_physical);
+  w->U64(o.runtime.message_budget);
+  w->F64(o.runtime.time_budget_s);
+  w->F64(o.runtime.per_msg_latency_s);
+  w->Bool(o.runtime.batch_delivery);
+  w->I32(o.runtime.shards);
+  w->I32(o.num_nodes);
+  w->U8(static_cast<uint8_t>(o.aggsel));
+  w->Bool(o.field.has_value());
+  if (o.field.has_value()) EncodeSensorField(w, *o.field);
+}
+
+Status DecodeSensorField(persist::Reader* r, SensorField* f) {
+  f->num_sensors = r->I32();
+  f->k = r->F64();
+  uint64_t npos = r->U32();
+  if (!r->CanRead(npos * 16)) return r->Check("sensor positions");
+  f->positions.reserve(npos);
+  for (uint64_t i = 0; i < npos; ++i) {
+    double x = r->F64();
+    double y = r->F64();
+    f->positions.emplace_back(x, y);
+  }
+  uint64_t nseeds = r->U32();
+  if (!r->CanRead(nseeds * 4)) return r->Check("sensor seeds");
+  f->seed_sensors.reserve(nseeds);
+  for (uint64_t i = 0; i < nseeds; ++i) f->seed_sensors.push_back(r->I32());
+  uint64_t nadj = r->U32();
+  if (!r->CanRead(nadj * 4)) return r->Check("sensor neighbor lists");
+  f->neighbors.resize(nadj);
+  for (uint64_t i = 0; i < nadj; ++i) {
+    uint64_t n = r->U32();
+    if (!r->CanRead(n * 4)) break;
+    f->neighbors[i].reserve(n);
+    for (uint64_t j = 0; j < n; ++j) f->neighbors[i].push_back(r->I32());
+  }
+  return r->Check("sensor field");
+}
+
+Status DecodeEngineOptions(persist::Reader* r, EngineOptions* o) {
+  uint8_t prov = r->U8();
+  uint8_t ship = r->U8();
+  if (r->ok() &&
+      (prov > static_cast<uint8_t>(ProvMode::kRelative) ||
+       ship > static_cast<uint8_t>(ShipMode::kLazy))) {
+    return Status::DataLoss("snapshot program options hold an unknown mode");
+  }
+  o->runtime.prov = static_cast<ProvMode>(prov);
+  o->runtime.ship = static_cast<ShipMode>(ship);
+  o->runtime.batch_window = r->U64();
+  o->runtime.num_physical = r->I32();
+  o->runtime.message_budget = r->U64();
+  o->runtime.time_budget_s = r->F64();
+  o->runtime.per_msg_latency_s = r->F64();
+  o->runtime.batch_delivery = r->Bool();
+  o->runtime.shards = r->I32();
+  o->num_nodes = r->I32();
+  uint8_t aggsel = r->U8();
+  if (r->ok() && aggsel > static_cast<uint8_t>(AggSelPolicy::kNone)) {
+    return Status::DataLoss(
+        "snapshot program options hold an unknown aggsel policy");
+  }
+  o->aggsel = static_cast<AggSelPolicy>(aggsel);
+  if (r->Bool()) {
+    o->field.emplace();
+    RECNET_RETURN_IF_ERROR(DecodeSensorField(r, &*o->field));
+  }
+  return r->Check("program options");
+}
+
 }  // namespace
 
 Session::Session(const SessionOptions& options)
@@ -55,6 +157,12 @@ Session::~Session() = default;
 
 StatusOr<View*> Session::AddProgram(const std::string& source,
                                     const EngineOptions& options) {
+  return AddProgramImpl(source, options, /*load_facts=*/true);
+}
+
+StatusOr<View*> Session::AddProgramImpl(const std::string& source,
+                                        const EngineOptions& options,
+                                        bool load_facts) {
   StatusOr<datalog::Program> program = datalog::Parse(source);
   if (!program.ok()) return program.status();
   StatusOr<datalog::ProgramInfo> info = datalog::Analyze(program.value());
@@ -83,28 +191,33 @@ StatusOr<View*> Session::AddProgram(const std::string& source,
       InstantiateRuntime(plan.value(), options, *this);
   if (!runtime.ok()) return runtime.status();
 
-  std::unique_ptr<View> view(
-      new View(this, std::move(plan).value(), std::move(runtime).value()));
+  std::unique_ptr<View> view(new View(this, std::move(plan).value(),
+                                      std::move(runtime).value(), source,
+                                      options));
   View* handle = view.get();
 
   const std::vector<datalog::RelationDecl> decls = handle->plan_.Relations();
 
   // Cross-view EDB sharing, part 1: the session's live facts flow into the
-  // late-added view so it starts from the shared base state.
-  for (const auto& [relation, fact] : fact_log_) {
-    if (relation.empty()) continue;  // Tombstone (deleted fact).
-    bool declared = false;
-    for (const datalog::RelationDecl& decl : decls) {
-      if (decl.dynamic && decl.name == relation) {
-        declared = true;
-        break;
+  // late-added view so it starts from the shared base state. (Skipped on
+  // restore: the deserialized operator state already embeds every fact's
+  // effects, base variables included.)
+  if (load_facts) {
+    for (const auto& [relation, fact] : fact_log_) {
+      if (relation.empty()) continue;  // Tombstone (deleted fact).
+      bool declared = false;
+      for (const datalog::RelationDecl& decl : decls) {
+        if (decl.dynamic && decl.name == relation) {
+          declared = true;
+          break;
+        }
       }
-    }
-    if (!declared) continue;
-    Status st = handle->runtime_->Insert(relation, fact);
-    if (!st.ok()) {
-      return Status(st.code(), "replaying session fact " + relation +
-                                   fact.ToString() + ": " + st.message());
+      if (!declared) continue;
+      Status st = handle->runtime_->Insert(relation, fact);
+      if (!st.ok()) {
+        return Status(st.code(), "replaying session fact " + relation +
+                                     fact.ToString() + ": " + st.message());
+      }
     }
   }
 
@@ -120,6 +233,7 @@ StatusOr<View*> Session::AddProgram(const std::string& source,
   // through the session store, fanning out to every co-resident view that
   // declares the relation. Deployment facts (the region plan's seed and
   // proximity EDBs) were consumed by the runtime factory and stay static.
+  if (!load_facts) return handle;
   for (const datalog::Rule& fact : handle->plan_.facts) {
     if (handle->plan_.IsStaticRelation(fact.head.predicate)) continue;
     Status st = Insert(fact.head.predicate, FactTuple(fact));
@@ -146,6 +260,34 @@ StatusOr<View*> Session::AddProgram(const std::string& source,
     }
   }
   return handle;
+}
+
+Status Session::RemoveProgram(View* view) {
+  auto it = std::find_if(
+      views_.begin(), views_.end(),
+      [view](const std::unique_ptr<View>& v) { return v.get() == view; });
+  if (it == views_.end()) {
+    return Status::NotFound("view is not resident in this session");
+  }
+  // Deregister the view's relation declarations; facts it contributed stay
+  // in the shared EDB store (co-resident views may declare them, and a
+  // future AddProgram may replay them).
+  for (const datalog::RelationDecl& decl : view->plan_.Relations()) {
+    auto rel_it = relations_.find(decl.name);
+    if (rel_it == relations_.end()) continue;
+    auto& declaring = rel_it->second.views;
+    declaring.erase(std::remove(declaring.begin(), declaring.end(), view),
+                    declaring.end());
+    if (declaring.empty()) relations_.erase(rel_it);
+  }
+  // Destroying the runtime detaches it from the substrate: the router frees
+  // the port namespace (purging any queued messages addressed to it) and
+  // the runtime releases its provenance handles. The BDD sweep then
+  // reclaims every node only this view's annotations kept alive, returning
+  // the manager to its pre-AddProgram footprint.
+  views_.erase(it);
+  substrate_->bdd_manager()->GarbageCollect();
+  return Status::OK();
 }
 
 Tuple Session::TaggedFact(const std::string& relation, const Tuple& fact) {
@@ -256,6 +398,9 @@ Status Session::AdvanceTime(double t) {
     std::vector<Value> fact(expired.values().begin() + 1,
                             expired.values().end());
     Status st = IngestDelete(expired.StringAt(0), Tuple(std::move(fact)));
+    // A removed program may leave TTL deadlines for relations no view
+    // declares anymore; their expiry is a no-op, not an error.
+    if (st.code() == StatusCode::kNotFound) continue;
     if (!st.ok() && first_error.ok()) first_error = st;
   }
   return first_error;
@@ -284,6 +429,269 @@ int Session::AddNode() {
 void Session::EnsureNodes(int num_nodes) { substrate_->EnsureNodes(num_nodes); }
 
 int Session::num_nodes() const { return substrate_->num_logical(); }
+
+// --- Checkpoint / restore ----------------------------------------------------
+//
+// Payload layout (after the self-describing summary, see
+// persist/snapshot.h):
+//
+//   [summary]            inspector-readable: deployment, relations, views
+//   [clock]              now + (deadline, tagged fact) in expiry order
+//   [fact log]           per slot: live flag + tagged fact (tombstones too —
+//                        slot indices are stable and fact_index_ keys on
+//                        them, so replay order survives the round trip)
+//   [programs]           per view: source text + EngineOptions
+//   [dead vars]          the substrate's base-variable allocator image
+//   [bdd node table]     the manager's live unique table, topologically
+//                        ordered with remapped ids
+//   [view states]        per view: RuntimeBase + runtime-specific state
+//                        (encoded against the node table above)
+//   [view stats]         per view: NetworkStats totals
+//
+// The view states are serialized into a side buffer first: encoding them
+// discovers which BDD roots are live, and the node table those ids index
+// must precede them in the payload so Restore can decode front to back.
+
+Status Session::Checkpoint(const std::string& path) const {
+  const Router& router = substrate_->router();
+  if (router.pending() > 0) {
+    return Status::FailedPrecondition(
+        "cannot checkpoint with " + std::to_string(router.pending()) +
+        " undelivered message(s); call Apply() to reach fixpoint first");
+  }
+  for (const auto& view : views_) {
+    if (view->runtime_->native_runtime() == nullptr) {
+      return Status::Unimplemented(
+          "view '" + view->plan_.view +
+          "' wraps an external runtime without snapshot support");
+    }
+  }
+
+  persist::SnapshotSummary summary;
+  summary.num_nodes = router.num_logical();
+  summary.num_physical = router.num_physical();
+  summary.batch_delivery = router.batching();
+  summary.shards = router.num_shards();
+  {
+    std::vector<std::string> names;
+    names.reserve(relations_.size());
+    for (const auto& [name, info] : relations_) names.push_back(name);
+    std::sort(names.begin(), names.end());
+    for (const std::string& name : names) {
+      const RelationInfo& info = relations_.at(name);
+      persist::SnapshotRelationInfo rel;
+      rel.name = name;
+      rel.arity = info.arity;
+      rel.dynamic = info.dynamic;
+      for (const auto& [relation, fact] : fact_log_) {
+        if (relation == name) ++rel.live_facts;
+      }
+      summary.relations.push_back(std::move(rel));
+    }
+  }
+  for (const auto& view : views_) {
+    persist::SnapshotViewInfo vi;
+    vi.name = view->plan_.view;
+    vi.prov_mode = ProvModeName(view->runtime_->options().prov);
+    vi.messages =
+        router.stats(view->runtime_->native_runtime()->port_namespace())
+            .messages;
+    summary.views.push_back(std::move(vi));
+  }
+
+  persist::Writer body;
+  size_t bdd_patch = persist::WriteSummary(&body, summary);
+  persist::BddEncoder enc(substrate_->bdd_manager());
+  persist::SnapshotWriter sw(&body, &enc);
+
+  // Clock.
+  body.F64(clock_.now());
+  body.U64(clock_.deadlines().size());
+  for (const auto& [deadline, tagged] : clock_.deadlines()) {
+    body.F64(deadline);
+    sw.PutTuple(tagged);
+  }
+
+  // Fact log. Tombstoned slots lost their relation name, but every slot
+  // (live or not) has exactly one index entry carrying the tagged fact.
+  std::vector<const Tuple*> tag_of(fact_log_.size(), nullptr);
+  for (const auto& [tag, slot] : fact_index_) tag_of[slot] = &tag;
+  body.U64(fact_log_.size());
+  for (size_t i = 0; i < fact_log_.size(); ++i) {
+    RECNET_CHECK(tag_of[i] != nullptr);
+    body.Bool(!fact_log_[i].first.empty());
+    sw.PutTuple(*tag_of[i]);
+  }
+
+  // Programs.
+  body.U32(static_cast<uint32_t>(views_.size()));
+  for (const auto& view : views_) {
+    body.Str(view->source_);
+    EncodeEngineOptions(&body, view->options_);
+  }
+
+  // Base-variable allocator.
+  const std::vector<char>& dead = substrate_->dead_vars();
+  body.U64(dead.size());
+  body.Bytes(dead.data(), dead.size());
+
+  // View states into the side buffer (registers BDD roots with `enc`), then
+  // the node table, then the states.
+  persist::Writer views_buf;
+  persist::SnapshotWriter views_sw(&views_buf, &enc);
+  for (const auto& view : views_) {
+    view->runtime_->native_runtime()->SaveState(views_sw);
+  }
+  body.PatchU32(bdd_patch, static_cast<uint32_t>(enc.num_nodes()));
+  enc.WriteNodeTable(&body);
+  body.Append(views_buf);
+
+  // Per-view network counters.
+  for (const auto& view : views_) {
+    sw.PutStats(
+        router.stats(view->runtime_->native_runtime()->port_namespace()));
+  }
+
+  return persist::WriteSnapshotFile(path, body);
+}
+
+Status Session::Restore(const std::string& path) {
+  if (!views_.empty() || !fact_log_.empty() || !fact_index_.empty() ||
+      clock_.live() > 0 || substrate_->router().pending() > 0) {
+    return Status::FailedPrecondition(
+        "Restore requires a freshly constructed session (no views, facts, "
+        "or pending messages)");
+  }
+  std::vector<uint8_t> payload;
+  RECNET_RETURN_IF_ERROR(persist::ReadSnapshotPayload(path, &payload));
+  persist::Reader raw(payload);
+  persist::SnapshotSummary summary;
+  RECNET_RETURN_IF_ERROR(persist::ReadSummary(&raw, &summary));
+
+  const Router& router = substrate_->router();
+  if (summary.num_physical != router.num_physical() ||
+      summary.batch_delivery != router.batching()) {
+    return Status::InvalidArgument(
+        "snapshot deployment (num_physical=" +
+        std::to_string(summary.num_physical) + ", batch_delivery=" +
+        (summary.batch_delivery ? "true" : "false") +
+        ") does not match this session's; the shard count alone may differ");
+  }
+  if (summary.num_nodes < router.num_logical()) {
+    return Status::InvalidArgument(
+        "this session's node-id space (" +
+        std::to_string(router.num_logical()) +
+        " nodes) already exceeds the snapshot's (" +
+        std::to_string(summary.num_nodes) + ")");
+  }
+
+  persist::BddDecoder dec(substrate_->bdd_manager());
+  persist::SnapshotReader sr(&raw, &dec);
+
+  // Clock.
+  double now = raw.F64();
+  uint64_t ndeadlines = raw.Count(9);
+  std::vector<std::pair<double, Tuple>> deadlines;
+  deadlines.reserve(ndeadlines);
+  for (uint64_t i = 0; i < ndeadlines && raw.ok(); ++i) {
+    double deadline = raw.F64();
+    deadlines.emplace_back(deadline, sr.GetTuple());
+  }
+
+  // Fact log.
+  uint64_t nslots = raw.Count(2);
+  std::vector<std::pair<bool, Tuple>> slots;
+  slots.reserve(nslots);
+  for (uint64_t i = 0; i < nslots && raw.ok(); ++i) {
+    bool live = raw.Bool();
+    slots.emplace_back(live, sr.GetTuple());
+  }
+  RECNET_RETURN_IF_ERROR(sr.Check("session store"));
+
+  // Programs.
+  uint32_t nprograms = raw.U32();
+  if (raw.ok() && nprograms != summary.views.size()) {
+    return Status::DataLoss(
+        "snapshot program count disagrees with its summary");
+  }
+  struct ProgramRecord {
+    std::string source;
+    EngineOptions options;
+  };
+  std::vector<ProgramRecord> programs(raw.ok() ? nprograms : 0);
+  for (ProgramRecord& prog : programs) {
+    prog.source = raw.Str();
+    RECNET_RETURN_IF_ERROR(DecodeEngineOptions(&raw, &prog.options));
+  }
+
+  // Base-variable allocator image (applied after the programs rebuild, when
+  // the substrate's allocator is still empty).
+  uint64_t ndead = raw.Count(1);
+  std::vector<char> dead_vars(ndead);
+  for (uint64_t i = 0; i < ndead && raw.ok(); ++i) {
+    dead_vars[i] = static_cast<char>(raw.U8());
+  }
+  RECNET_RETURN_IF_ERROR(raw.Check("program records"));
+
+  // Re-instantiate every program without loading any facts: the operator
+  // states carry their effects. This must precede EnsureNodes so the graph
+  // views exist to observe the topology growth.
+  for (const ProgramRecord& prog : programs) {
+    StatusOr<View*> added =
+        AddProgramImpl(prog.source, prog.options, /*load_facts=*/false);
+    if (!added.ok()) {
+      return Status(added.status().code(),
+                    "restoring program: " + added.status().message());
+    }
+    if (added.value()->runtime_->native_runtime() == nullptr) {
+      return Status::Unimplemented(
+          "restored view '" + added.value()->plan_.view +
+          "' wraps an external runtime without snapshot support");
+    }
+  }
+  for (size_t i = 0; i < views_.size(); ++i) {
+    if (views_[i]->plan_.view != summary.views[i].name) {
+      return Status::DataLoss(
+          "snapshot view order disagrees with its summary");
+    }
+  }
+  EnsureNodes(summary.num_nodes);
+  substrate_->RestoreDeadVars(std::move(dead_vars));
+
+  RECNET_RETURN_IF_ERROR(dec.ReadNodeTable(&raw));
+  for (const auto& view : views_) {
+    RECNET_RETURN_IF_ERROR(
+        view->runtime_->native_runtime()->LoadState(sr));
+  }
+  for (const auto& view : views_) {
+    NetworkStats stats = sr.GetStats();
+    substrate_->router().LoadStats(
+        view->runtime_->native_runtime()->port_namespace(), stats);
+  }
+  RECNET_RETURN_IF_ERROR(sr.Check("snapshot"));
+  if (raw.remaining() != 0) {
+    return Status::DataLoss("snapshot payload has trailing bytes");
+  }
+
+  // Commit the session-local state last, once nothing can fail.
+  clock_.RestoreNow(now);
+  for (const auto& [deadline, tagged] : deadlines) {
+    clock_.RestoreDeadline(deadline, tagged);
+  }
+  fact_log_.reserve(slots.size());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    auto& [live, tag] = slots[i];
+    if (tag.size() < 1 || !tag.at(0).is_string()) {
+      return Status::DataLoss("snapshot fact log holds a malformed tag");
+    }
+    std::string relation = tag.StringAt(0);
+    std::vector<Value> values(tag.values().begin() + 1, tag.values().end());
+    fact_log_.emplace_back(live ? relation : std::string(),
+                           Tuple(std::move(values)));
+    fact_index_.emplace(std::move(tag), i);
+  }
+  return Status::OK();
+}
 
 // --- View -------------------------------------------------------------------
 

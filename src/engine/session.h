@@ -86,6 +86,38 @@ class Session {
   StatusOr<View*> AddProgram(const std::string& source,
                              const EngineOptions& options);
 
+  // Retires a co-resident view: deregisters its relation declarations,
+  // destroys its runtime (freeing the port namespace back to the router),
+  // and garbage-collects the BDD manager so the view's provenance nodes are
+  // reclaimed. Co-resident views are untouched — their scans, counters, and
+  // subsequent runs proceed as if the removed program had never shared the
+  // substrate. Session facts stay in the shared EDB store (other declaring
+  // views may still depend on them). NotFound when `view` is not (or no
+  // longer) resident; the handle is invalid afterwards.
+  Status RemoveProgram(View* view);
+
+  // --- Checkpoint / restore -------------------------------------------------
+  //
+  // Whole-session persistence: Checkpoint serializes every layer of the
+  // session — the BDD manager's unique table, the shared EDB store and
+  // soft-state clock, each view's program + options + operator state, the
+  // base-variable allocator, and per-view network counters — into a
+  // versioned, checksummed snapshot file. Restore rebuilds the session in
+  // one pass such that the subsequent Apply/Scan/counter trajectory is
+  // bit-identical to a session that never stopped, for any shard count.
+
+  // Preconditions: the router queue must be drained (call Apply() first;
+  // FailedPrecondition otherwise) and every view must expose its native
+  // runtime (Unimplemented for external-factory views).
+  Status Checkpoint(const std::string& path) const;
+
+  // Restores into a freshly constructed session whose SessionOptions match
+  // the snapshot's num_physical / batch_delivery (the shard count may
+  // differ: delivery is shard-count invariant). FailedPrecondition when the
+  // session already holds views or facts; InvalidArgument on a deployment
+  // mismatch or version skew; DataLoss on corruption.
+  Status Restore(const std::string& path);
+
   // --- Shared fact ingestion, keyed by relation name ------------------------
   //
   // Fans out to every view declaring the relation; updates propagate on the
@@ -127,6 +159,9 @@ class Session {
   int num_nodes() const;
 
   size_t num_views() const { return views_.size(); }
+  // Resident views in AddProgram order (RemoveProgram compacts the list).
+  View* view(size_t i) { return views_[i].get(); }
+  const View* view(size_t i) const { return views_[i].get(); }
   const std::shared_ptr<Substrate>& substrate() const { return substrate_; }
 
  private:
@@ -151,6 +186,14 @@ class Session {
   // substrate once through `initiator`'s runtime (its budgets apply), then
   // patches every view's caches.
   Status ApplyFrom(QueryRuntime* initiator);
+
+  // AddProgram body; Restore re-adds saved programs with load_facts=false
+  // (neither session-fact replay nor ground-fact loading — the restored
+  // operator state already contains their effects, and loading would
+  // allocate base variables the snapshot's allocator image owns).
+  StatusOr<View*> AddProgramImpl(const std::string& source,
+                                 const EngineOptions& options,
+                                 bool load_facts);
 
   std::shared_ptr<Substrate> substrate_;
   std::vector<std::unique_ptr<View>> views_;
@@ -206,14 +249,21 @@ class View {
   friend class Session;
 
   View(Session* session, datalog::PlanSpec plan,
-       std::unique_ptr<QueryRuntime> runtime)
+       std::unique_ptr<QueryRuntime> runtime, std::string source,
+       EngineOptions options)
       : session_(session),
         plan_(std::move(plan)),
-        runtime_(std::move(runtime)) {}
+        runtime_(std::move(runtime)),
+        source_(std::move(source)),
+        options_(std::move(options)) {}
 
   Session* session_;
   datalog::PlanSpec plan_;
   std::unique_ptr<QueryRuntime> runtime_;
+  // The program text and options the view was compiled from, kept verbatim
+  // so Checkpoint can re-instantiate the identical plan on Restore.
+  std::string source_;
+  EngineOptions options_;
 };
 
 }  // namespace recnet

@@ -85,6 +85,12 @@ class ShortestPathRuntime : public RuntimeBase {
   // (src, dst, cost) — for rendering provenance witnesses.
   std::optional<Tuple> LinkOfVar(bdd::Var v) const;
 
+  // Snapshot round-trip (see RuntimeBase::SaveState): appends the link
+  // table and every node's operator state. Defined in
+  // engine/runtime_persist.cc.
+  void SaveState(persist::SnapshotWriter& w) const override;
+  Status LoadState(persist::SnapshotReader& r) override;
+
  protected:
   // Vectorized delivery: one (dst, port) switch and node-state lookup per
   // run, with the operator applied across the whole batch.

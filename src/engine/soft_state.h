@@ -68,6 +68,26 @@ class SoftStateClock {
     return expired;
   }
 
+  // --- Snapshot hooks -------------------------------------------------------
+
+  // Deadlines in expiry order (ties in insertion order); the session
+  // serializer walks this and replays it through RestoreDeadline, which
+  // appends equal keys at the upper bound — the same relative order Insert
+  // produces — so a restored clock expires tuples in the identical sequence.
+  const std::multimap<double, Tuple>& deadlines() const {
+    return by_deadline_;
+  }
+
+  void RestoreNow(double now) {
+    RECNET_CHECK(deadline_of_.empty());
+    now_ = now;
+  }
+
+  void RestoreDeadline(double deadline, const Tuple& tuple) {
+    deadline_of_[tuple] = deadline;
+    by_deadline_.emplace(deadline, tuple);
+  }
+
  private:
   double now_ = 0;
   std::map<Tuple, double> deadline_of_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
+#include <utility>
 
 #include "engine/runtime_base.h"
 
@@ -43,6 +45,15 @@ bool Substrate::MarkDead(bdd::Var v) {
   return true;
 }
 
+void Substrate::RestoreDeadVars(std::vector<char> dead) {
+  // Only a virgin substrate may be restored into: any allocation that
+  // happened before this point would alias the snapshot's variable ids.
+  RECNET_CHECK(dead_.empty());
+  dead_ = std::move(dead);
+  num_dead_ = static_cast<size_t>(
+      std::count_if(dead_.begin(), dead_.end(), [](char c) { return c != 0; }));
+}
+
 int Substrate::Attach(RuntimeBase* runtime) {
   int ns = static_cast<int>(runtimes_.size());
   if (ns > 0) {
@@ -74,14 +85,57 @@ void Substrate::Dispatch(const Envelope* envs, size_t n) {
   rt->DeliverBatch(envs, n);
 }
 
-bool Substrate::PollAfterQuiescent() {
-  // Every view is polled every round (no short-circuit): one view's
-  // re-derivation must not starve another's.
+bool Substrate::PollAfterQuiescent(const std::vector<char>& skip_aborted) {
+  // Every live view is polled every round (no short-circuit): one view's
+  // re-derivation must not starve another's. Budget-aborted views are
+  // skipped — their queues were just purged, so seeding re-derivation work
+  // for them would resurrect a run the arbitration cut off.
   bool any = false;
-  for (RuntimeBase* rt : runtimes_) {
-    if (rt != nullptr && rt->AfterQuiescent()) any = true;
+  for (size_t ns = 0; ns < runtimes_.size(); ++ns) {
+    RuntimeBase* rt = runtimes_[ns];
+    if (rt == nullptr || skip_aborted[ns] != 0) continue;
+    if (rt->AfterQuiescent()) any = true;
   }
   return any;
+}
+
+Substrate::Arbitration Substrate::BeginArbitration() const {
+  Arbitration arb;
+  arb.views.resize(runtimes_.size());
+  arb.aborted.assign(runtimes_.size(), 0);
+  for (size_t ns = 0; ns < runtimes_.size(); ++ns) {
+    RuntimeBase* rt = runtimes_[ns];
+    if (rt == nullptr) continue;
+    arb.views[ns].rt = rt;
+    arb.views[ns].base = router_.DeliveredByNs(static_cast<int>(ns));
+    arb.views[ns].budget = rt->options().message_budget;
+  }
+  return arb;
+}
+
+void Substrate::EnforceBudgets(Arbitration* arb, DrainOutcome* out) {
+  for (size_t ns = 0; ns < arb->views.size(); ++ns) {
+    const ViewBudget& v = arb->views[ns];
+    if (v.rt == nullptr || arb->aborted[ns] != 0) continue;
+    uint64_t used = router_.DeliveredByNs(static_cast<int>(ns)) - v.base;
+    if (used >= v.budget) {
+      arb->aborted[ns] = 1;
+      out->aborted.push_back(static_cast<int>(ns));
+      v.rt->AbortForBudget();
+    }
+  }
+}
+
+uint64_t Substrate::StepCapacity(const Arbitration& arb) const {
+  uint64_t cap = std::numeric_limits<uint64_t>::max();
+  for (size_t ns = 0; ns < arb.views.size(); ++ns) {
+    const ViewBudget& v = arb.views[ns];
+    if (v.rt == nullptr || arb.aborted[ns] != 0) continue;
+    uint64_t used = router_.DeliveredByNs(static_cast<int>(ns)) - v.base;
+    // EnforceBudgets runs before every step, so live views have headroom.
+    cap = std::min(cap, v.budget - used);
+  }
+  return cap;
 }
 
 bool Substrate::ParallelSafe() const {
@@ -99,14 +153,15 @@ bool Substrate::ParallelSafe() const {
   return true;
 }
 
-bool Substrate::DrainToFixpoint(const DrainBudget& budget) {
+Substrate::DrainOutcome Substrate::DrainToFixpoint(const DrainBudget& budget) {
   return router_.num_shards() == 1 ? DrainSequential(budget)
                                    : DrainSupersteps(budget);
 }
 
-bool Substrate::DrainSequential(const DrainBudget& budget) {
+Substrate::DrainOutcome Substrate::DrainSequential(const DrainBudget& budget) {
   auto start = std::chrono::steady_clock::now();
-  bool ok = true;
+  DrainOutcome out;
+  Arbitration arb = BeginArbitration();
   uint64_t processed = 0;
   // The wall-clock budget is polled every 32 deliveries; batches are
   // clipped at the next poll point so a long coalesced run cannot overshoot
@@ -114,32 +169,33 @@ bool Substrate::DrainSequential(const DrainBudget& budget) {
   uint64_t next_time_check = 32;
   do {
     while (router_.pending() > 0) {
-      uint64_t step_cap = budget.message_budget - processed;
+      EnforceBudgets(&arb, &out);
+      if (router_.pending() == 0) break;  // Aborts purged everything queued.
+      uint64_t step_cap = StepCapacity(arb);
       if (budget.time_budget_s > 0) {
         step_cap = std::min(step_cap, next_time_check - processed);
       }
       processed += router_.StepBatch(static_cast<size_t>(step_cap));
-      if (processed >= budget.message_budget) {
-        ok = false;
-        break;
-      }
       if (budget.time_budget_s > 0 && processed >= next_time_check) {
         next_time_check = processed + 32;
         double elapsed = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
                              .count();
         if (elapsed > budget.time_budget_s) {
-          ok = false;
+          out.timed_out = true;
           break;
         }
       }
     }
-    if (!ok) break;
-  } while (PollAfterQuiescent());
-  return ok;
+    if (out.timed_out) break;
+    // Quiescence is the historic abort point for a view that landed exactly
+    // on its budget: charge the final step before polling for more work.
+    EnforceBudgets(&arb, &out);
+  } while (PollAfterQuiescent(arb.aborted));
+  return out;
 }
 
-bool Substrate::DrainSupersteps(const DrainBudget& budget) {
+Substrate::DrainOutcome Substrate::DrainSupersteps(const DrainBudget& budget) {
   std::chrono::steady_clock::time_point deadline;
   bool timed = budget.time_budget_s > 0;
   if (timed) {
@@ -152,27 +208,30 @@ bool Substrate::DrainSupersteps(const DrainBudget& budget) {
   // drain. Workers are joined at every superstep barrier, so toggling here
   // is race-free.
   bdd_.set_concurrent(parallel);
-  bool ok = true;
-  uint64_t processed = 0;
+  DrainOutcome out;
+  Arbitration arb = BeginArbitration();
   do {
     while (router_.pending() > 0) {
+      // Between generations the workers are joined, so enforcing budgets
+      // (and the namespace purges an abort triggers) is race-free.
+      EnforceBudgets(&arb, &out);
+      if (router_.pending() == 0) break;
       Router::StepResult step = router_.ProcessGeneration(
-          budget.message_budget - processed, parallel,
-          timed ? &deadline : nullptr);
-      processed += step.delivered;
+          StepCapacity(arb), parallel, timed ? &deadline : nullptr);
       // Superstep barrier: workers are joined, every live BDD node is
       // reachable from a Ref'd root, so this is the safe (and only) GC
       // point of a concurrent drain.
       if (parallel) bdd_.CollectAtBarrier();
-      if (processed >= budget.message_budget || step.deadline_exceeded) {
-        ok = false;
+      if (step.deadline_exceeded) {
+        out.timed_out = true;
         break;
       }
     }
-    if (!ok) break;
-  } while (PollAfterQuiescent());
+    if (out.timed_out) break;
+    EnforceBudgets(&arb, &out);
+  } while (PollAfterQuiescent(arb.aborted));
   bdd_.set_concurrent(false);
-  return ok;
+  return out;
 }
 
 }  // namespace recnet

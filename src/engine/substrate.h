@@ -77,6 +77,13 @@ class Substrate {
   }
   bool AnyDead() const { return num_dead_ > 0; }
 
+  // Snapshot hooks for the allocator: the dead-variable byte vector IS the
+  // allocation state (its length is the next variable id), so a checkpoint
+  // stores it verbatim and a restore reinstates it before any view state is
+  // decoded.
+  const std::vector<char>& dead_vars() const { return dead_; }
+  void RestoreDeadVars(std::vector<char> dead);
+
   // --- View registration ----------------------------------------------------
 
   // Attaches `runtime` as a co-resident view and returns its port-namespace
@@ -90,32 +97,75 @@ class Substrate {
   // --- Shared drain loop ----------------------------------------------------
 
   struct DrainBudget {
-    // Maximum message deliveries for this drain.
+    // The initiating view's message budget (kept for the time-cap plumbing;
+    // message arbitration is per attached view, see DrainToFixpoint).
     uint64_t message_budget = 0;
     // Wall-clock cap in seconds (0 = unlimited).
     double time_budget_s = 0;
   };
 
-  // Drains the shared network to session-wide quiescence, honoring the
-  // budget, then polls every attached runtime's AfterQuiescent hook (DRed
-  // re-derivation, relative-mode derivability sweeps) and keeps draining
-  // until no view seeds more work. On a single-shard substrate this is the
-  // classic sequential FIFO drain, bit-for-bit; on a sharded substrate it
-  // is a superstep loop whose generations drain on parallel workers when
-  // every attached view tolerates it (relative-provenance views allocate
-  // tuple variables mid-drain, so their presence serializes the schedule —
-  // the sharded structure and results are unchanged). Returns false when
-  // the budget was exhausted first; the caller is responsible for aborting
-  // the run.
-  bool DrainToFixpoint(const DrainBudget& budget);
+  struct DrainOutcome {
+    // The initiator's wall-clock budget expired (the drain stopped; nothing
+    // was purged — the caller decides who pays, as before).
+    bool timed_out = false;
+    // Views whose own message budgets ran out during the drain. Each was
+    // aborted in place (queued traffic purged and uncharged, metrics frozen
+    // via RuntimeBase::AbortForBudget); co-resident views kept draining.
+    std::vector<int> aborted;
+  };
+
+  // Drains the shared network to session-wide quiescence, then polls every
+  // attached runtime's AfterQuiescent hook (DRed re-derivation,
+  // relative-mode derivability sweeps) and keeps draining until no view
+  // seeds more work. On a single-shard substrate this is the classic
+  // sequential FIFO drain, bit-for-bit; on a sharded substrate it is a
+  // superstep loop whose generations drain on parallel workers when every
+  // attached view tolerates it (relative-provenance views allocate tuple
+  // variables mid-drain, so their presence serializes the schedule — the
+  // sharded structure and results are unchanged).
+  //
+  // Message budgets are arbitrated per view: each attached runtime is
+  // charged for the deliveries *it* received (Router::DeliveredByNs against
+  // a baseline taken at drain entry) against its own message_budget, so one
+  // view's runaway fixpoint can no longer starve or falsely abort a
+  // co-resident view sharing the drain. A view that exhausts its budget is
+  // aborted immediately — exactly the cutoff semantics a solo run had —
+  // while the drain continues for the survivors.
+  DrainOutcome DrainToFixpoint(const DrainBudget& budget);
 
  private:
+  // Per-drain budget bookkeeping: one slot per namespace, baselines taken at
+  // drain entry so a view is charged only for what this drain delivered to
+  // it.
+  struct ViewBudget {
+    RuntimeBase* rt = nullptr;
+    uint64_t base = 0;
+    uint64_t budget = 0;
+  };
+  struct Arbitration {
+    std::vector<ViewBudget> views;
+    // Indexed by namespace; doubles as the PollAfterQuiescent skip set.
+    std::vector<char> aborted;
+  };
+  Arbitration BeginArbitration() const;
+  // Aborts every live view at or over its budget (purge + frozen metrics via
+  // AbortForBudget) and records it in `out`. Run between delivery steps and
+  // once more at quiescence, so a view stops at exactly the delivery count a
+  // solo drain would have stopped at.
+  void EnforceBudgets(Arbitration* arb, DrainOutcome* out);
+  // Deliveries possible before the tightest surviving view reaches its
+  // budget; delivery steps are clipped to this so no view overshoots.
+  uint64_t StepCapacity(const Arbitration& arb) const;
+
   void Dispatch(const Envelope* envs, size_t n);
-  bool PollAfterQuiescent();
+  // Polls AfterQuiescent on every live view not marked in `skip_aborted`
+  // (budget-aborted views must not seed new work for a drain that just
+  // discarded their queues).
+  bool PollAfterQuiescent(const std::vector<char>& skip_aborted);
   // The pre-sharding sequential drain (single-shard fast path).
-  bool DrainSequential(const DrainBudget& budget);
+  DrainOutcome DrainSequential(const DrainBudget& budget);
   // Superstep drain across router shards.
-  bool DrainSupersteps(const DrainBudget& budget);
+  DrainOutcome DrainSupersteps(const DrainBudget& budget);
   // True when every attached view's maintenance mode is safe to drain on
   // parallel workers (per-node state only, no mid-drain variable
   // allocation): everything but ProvMode::kRelative.

@@ -67,6 +67,7 @@ Router::Router(int num_logical, int num_physical, int num_shards)
     s.mailboxes.resize(static_cast<size_t>(num_shards));
     s.stats.resize(1);
     s.stats[0].per_peer_bytes.assign(static_cast<size_t>(num_physical), 0);
+    s.delivered_by_ns.assign(1, 0);
   }
   if (num_shards == 1) {
     // Head off the first run's reallocation cascade (every grow moves all
@@ -82,6 +83,7 @@ int Router::AddNamespace() {
     s.stats.emplace_back();
     s.stats.back().per_peer_bytes.assign(static_cast<size_t>(num_physical_),
                                          0);
+    s.delivered_by_ns.push_back(0);
   }
   return num_namespaces_++;
 }
@@ -184,6 +186,21 @@ void Router::ResetStats(int ns) {
   for (RouterShard& s : shards_) s.stats[static_cast<size_t>(ns)].Reset();
 }
 
+void Router::LoadStats(int ns, const NetworkStats& stats) {
+  ResetStats(ns);
+  NetworkStats& s0 = shards_[0].stats[static_cast<size_t>(ns)];
+  s0 = stats;
+  s0.per_peer_bytes.resize(static_cast<size_t>(num_physical_), 0);
+}
+
+uint64_t Router::DeliveredByNs(int ns) const {
+  uint64_t n = 0;
+  for (const RouterShard& s : shards_) {
+    n += s.delivered_by_ns[static_cast<size_t>(ns)];
+  }
+  return n;
+}
+
 size_t Router::PrepareGeneration() {
   for (const RouterShard& s : shards_) {
     if (s.head < s.queue.size()) return pending();  // Mid-generation.
@@ -254,8 +271,9 @@ void Router::DeliverRun(RouterShard& shard, size_t start, size_t end) {
   shard.cur_trig = shard.queue[start].key_trig;
   shard.cur_sub = 0;
   shard.last_seq = shard.queue[end - 1].key_trig;
-  ++shard.stats[static_cast<size_t>(NamespaceOf(shard.queue[start].port))]
-        .batches;
+  size_t run_ns = static_cast<size_t>(NamespaceOf(shard.queue[start].port));
+  shard.delivered_by_ns[run_ns] += n;
+  ++shard.stats[run_ns].batches;
   // Handlers may Send during dispatch; those enqueue into mailboxes, so the
   // run we are pointing into cannot move under us.
   if (batch_handler_ != nullptr) {
@@ -502,6 +520,14 @@ void Router::PurgeNamespace(int ns) {
       }
       mailbox.erase(std::remove_if(mailbox.begin(), mailbox.end(), in_ns),
                     mailbox.end());
+    }
+    // Retired envelopes (the consumed prefix of the last generation) are
+    // normally recycled at the next PrepareGeneration; a detaching
+    // namespace must not leave its provenance handles alive in them, so
+    // drop fully consumed queues now.
+    if (s.head == s.queue.size()) {
+      s.queue.clear();
+      s.head = 0;
     }
   }
 }

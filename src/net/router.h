@@ -194,6 +194,13 @@ class Router {
 
   size_t pending() const;
   uint64_t delivered() const;
+  // Total messages delivered into port namespace `ns` since construction
+  // (summed over shards). Monotone across drains; the engine's fair-share
+  // budget arbitration reads it at drain entry and charges each view for
+  // the deliveries it received since.
+  uint64_t DeliveredByNs(int ns) const;
+
+  bool batching() const { return batching_; }
 
   // Merged per-namespace traffic view: the element-wise sum of every
   // shard's NetworkStats for `ns` (a single-shard router's counters pass
@@ -201,6 +208,10 @@ class Router {
   NetworkStats stats(int ns = 0) const;
   // Zeroes namespace `ns`'s counters on every shard.
   void ResetStats(int ns = 0);
+  // Restores namespace `ns`'s counters from a snapshot: the merged view is
+  // loaded into shard 0 and every other shard's slice is zeroed, so
+  // stats(ns) reproduces the checkpointed totals for any shard count.
+  void LoadStats(int ns, const NetworkStats& stats);
 
   // Recycled kill-list storage (the arena behind Update::Kill): pops a
   // cleared buffer scavenged from delivered kill envelopes of `src`'s

@@ -100,6 +100,11 @@ struct RouterShard {
   std::vector<std::vector<Envelope>> mailboxes;  // Indexed by dest shard.
   std::vector<NetworkStats> stats;               // Indexed by namespace.
   uint64_t delivered = 0;
+  // Deliveries broken down by the receiving port namespace (a delivery run
+  // never mixes namespaces). Feeds the per-view budget arbitration of a
+  // shared drain: each view is charged for the messages delivered *to* it,
+  // not for whatever co-resident views processed.
+  std::vector<uint64_t> delivered_by_ns;
   uint64_t cur_trig = 0;
   uint32_t cur_sub = 0;
   // Highest sequence number this shard has delivered (for re-syncing the

@@ -5,9 +5,15 @@
 #include <vector>
 
 #include "common/flat_table.h"
+#include "common/status.h"
 #include "operators/update.h"
 
 namespace recnet {
+
+namespace persist {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace persist
 
 // Aggregate functions supported by aggregate selection. COUNT and SUM are
 // handled by the final GroupByAggregate (every tuple contributes to them, so
@@ -51,6 +57,11 @@ class AggSel {
 
   size_t StateSizeBytes() const;
   size_t buffered_tuples() const { return prov_.size(); }
+
+  // Snapshot round-trip of tables H, B and P in iteration order. LoadState
+  // requires an empty operator.
+  void SaveState(persist::SnapshotWriter& w) const;
+  Status LoadState(persist::SnapshotReader& r);
 
  private:
   struct GroupState {

@@ -5,9 +5,15 @@
 #include <vector>
 
 #include "common/flat_table.h"
+#include "common/status.h"
 #include "operators/update.h"
 
 namespace recnet {
+
+namespace persist {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace persist
 
 // The Fixpoint operator (paper Algorithm 1).
 //
@@ -65,6 +71,13 @@ class Fixpoint {
   // Bytes of operator state (tuples + annotations); backs the paper's
   // "state within operators" metric.
   size_t StateSizeBytes() const;
+
+  // Snapshot round-trip. Entries are stored and re-inserted in iteration
+  // order, which reproduces the table's dense layout exactly — later
+  // operations (and hence the whole post-restore trajectory) see identical
+  // iteration order. LoadState requires an empty operator.
+  void SaveState(persist::SnapshotWriter& w) const;
+  Status LoadState(persist::SnapshotReader& r);
 
  private:
   ProvMode mode_;

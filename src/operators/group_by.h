@@ -6,9 +6,15 @@
 #include <vector>
 
 #include "common/flat_table.h"
+#include "common/status.h"
 #include "common/value.h"
 
 namespace recnet {
+
+namespace persist {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace persist
 
 // Aggregate function of the final (windowed) group-by computation that the
 // paper layers on top of recursive views (minCost, regionSizes,
@@ -49,6 +55,11 @@ class GroupByAggregate {
   std::vector<Tuple> Groups() const;
 
   size_t StateSizeBytes() const;
+
+  // Snapshot round-trip of the group table (value multisets and running
+  // accumulators). LoadState requires an empty operator.
+  void SaveState(persist::SnapshotWriter& w) const;
+  Status LoadState(persist::SnapshotReader& r);
 
  private:
   struct GroupState {

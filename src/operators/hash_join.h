@@ -5,9 +5,15 @@
 #include <vector>
 
 #include "common/flat_table.h"
+#include "common/status.h"
 #include "operators/update.h"
 
 namespace recnet {
+
+namespace persist {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace persist
 
 // The provenance-aware pipelined (symmetric) hash join of the paper's
 // Algorithm 2.
@@ -60,6 +66,13 @@ class PipelinedHashJoin {
 
   // All tuples currently stored on `side` (used by re-derivation sweeps).
   std::vector<Tuple> TuplesOn(Side side) const;
+
+  // Snapshot round-trip of both sides' index and provenance tables (the key
+  // column config is reconstructed by the constructor). Preserves table and
+  // per-key row order, so post-restore probes emit matches in the same
+  // order. LoadState requires an empty operator.
+  void SaveState(persist::SnapshotWriter& w) const;
+  Status LoadState(persist::SnapshotReader& r);
 
  private:
   struct SideState {

@@ -6,9 +6,15 @@
 #include <vector>
 
 #include "common/flat_table.h"
+#include "common/status.h"
 #include "operators/update.h"
 
 namespace recnet {
+
+namespace persist {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace persist
 
 // Shipping policy of the MinShip operator (paper Section 5).
 enum class ShipMode {
@@ -68,6 +74,15 @@ class MinShip {
 
   size_t StateSizeBytes() const;
   size_t buffered() const { return pins_.size(); }
+
+  // Snapshot round-trip. Bsent re-inserts in iteration order (flat-table
+  // layout reproduction); Pins additionally records its bucket count and
+  // re-inserts in *reverse* iteration order — the node container prepends
+  // within a bucket, so reverse insertion into the same bucket layout
+  // rebuilds the exact iteration order the eager Flush and ProcessKill
+  // trajectories depend on. LoadState requires an empty operator.
+  void SaveState(persist::SnapshotWriter& w) const;
+  Status LoadState(persist::SnapshotReader& r);
 
  private:
   ProvMode prov_mode_;

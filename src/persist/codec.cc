@@ -1,0 +1,258 @@
+#include "persist/codec.h"
+
+#include <memory>
+#include <utility>
+
+namespace recnet {
+namespace persist {
+
+namespace {
+
+// Remapped-id space: 0 and 1 are the terminals, internal nodes follow.
+constexpr uint32_t kIdFalse = 0;
+constexpr uint32_t kIdTrue = 1;
+constexpr uint32_t kIdBias = 2;
+
+}  // namespace
+
+uint32_t BddEncoder::Encode(bdd::NodeIndex root) {
+  if (root == bdd::kFalse) return kIdFalse;
+  if (root == bdd::kTrue) return kIdTrue;
+  auto found = id_of_.find(root);
+  if (found != id_of_.end()) return found->second;
+
+  auto mapped = [this](bdd::NodeIndex n) -> uint32_t {
+    if (n == bdd::kFalse) return kIdFalse;
+    if (n == bdd::kTrue) return kIdTrue;
+    return id_of_.at(n);
+  };
+
+  // Iterative post-order: a node is interned only after both children, so
+  // the table is topologically ordered and a decoder never sees a forward
+  // reference.
+  std::vector<std::pair<bdd::NodeIndex, bool>> stack;
+  stack.emplace_back(root, false);
+  while (!stack.empty()) {
+    auto [n, expanded] = stack.back();
+    stack.pop_back();
+    if (n <= bdd::kTrue || id_of_.find(n) != id_of_.end()) continue;
+    if (expanded) {
+      uint32_t id = static_cast<uint32_t>(nodes_.size()) + kIdBias;
+      nodes_.push_back(EncodedNode{mgr_->var_of(n), mapped(mgr_->low_of(n)),
+                                   mapped(mgr_->high_of(n))});
+      id_of_.emplace(n, id);
+    } else {
+      stack.emplace_back(n, true);
+      stack.emplace_back(mgr_->high_of(n), false);
+      stack.emplace_back(mgr_->low_of(n), false);
+    }
+  }
+  return id_of_.at(root);
+}
+
+void BddEncoder::WriteNodeTable(Writer* w) const {
+  w->U32(static_cast<uint32_t>(nodes_.size()));
+  for (const EncodedNode& n : nodes_) {
+    w->U32(n.var);
+    w->U32(n.low);
+    w->U32(n.high);
+  }
+}
+
+Status BddDecoder::ReadNodeTable(Reader* r) {
+  uint32_t count = r->U32();
+  if (!r->CanRead(static_cast<size_t>(count) * 12)) {
+    return r->Check("bdd node table");
+  }
+  index_of_.reserve(count);
+  protect_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t var = r->U32();
+    uint32_t low = r->U32();
+    uint32_t high = r->U32();
+    // Children must precede their parent, and the variable must be a real
+    // one (the terminal marker would trip the manager's invariants).
+    if (low >= i + kIdBias || high >= i + kIdBias || var == ~uint32_t{0}) {
+      r->Invalidate();
+      break;
+    }
+    bdd::NodeIndex lo = Resolve(low, r);
+    bdd::NodeIndex hi = Resolve(high, r);
+    bdd::NodeIndex idx = mgr_->MakeNodeForRestore(var, lo, hi);
+    index_of_.push_back(idx);
+    protect_.emplace_back(mgr_, idx);
+  }
+  return r->Check("bdd node table");
+}
+
+bdd::NodeIndex BddDecoder::Resolve(uint32_t id, Reader* r) const {
+  if (id == kIdFalse) return bdd::kFalse;
+  if (id == kIdTrue) return bdd::kTrue;
+  size_t slot = id - kIdBias;
+  if (slot >= index_of_.size()) {
+    r->Invalidate();
+    return bdd::kFalse;
+  }
+  return index_of_[slot];
+}
+
+void SnapshotWriter::PutValue(const Value& v) {
+  if (v.is_int()) {
+    out_->U8(0);
+    out_->I64(v.AsInt());
+  } else if (v.is_double()) {
+    out_->U8(1);
+    out_->F64(v.AsDouble());
+  } else {
+    out_->U8(2);
+    out_->Str(v.AsString());
+  }
+}
+
+void SnapshotWriter::PutTuple(const Tuple& t) {
+  out_->U16(static_cast<uint16_t>(t.size()));
+  for (size_t i = 0; i < t.size(); ++i) PutValue(t.at(i));
+}
+
+void SnapshotWriter::PutProv(const Prov& p) {
+  out_->U8(static_cast<uint8_t>(p.mode()));
+  switch (p.mode()) {
+    case ProvMode::kSet:
+      out_->Bool(!p.IsFalse());
+      break;
+    case ProvMode::kAbsorption:
+      out_->U32(bdds_->Encode(p.bdd().index()));
+      break;
+    case ProvMode::kRelative: {
+      const RelSop& rel = p.rel();
+      out_->U32(static_cast<uint32_t>(rel.derivations.size()));
+      for (const std::vector<bdd::Var>& d : rel.derivations) {
+        out_->U32(static_cast<uint32_t>(d.size()));
+        for (bdd::Var v : d) out_->U32(v);
+      }
+      break;
+    }
+  }
+}
+
+void SnapshotWriter::PutStats(const NetworkStats& s) {
+  out_->U64(s.messages);
+  out_->U64(s.bytes);
+  out_->U64(s.local_messages);
+  out_->U64(s.insert_messages);
+  out_->U64(s.delete_messages);
+  out_->U64(s.kill_messages);
+  out_->U64(s.prov_bytes);
+  out_->U64(s.prov_samples);
+  out_->U64(s.batches);
+  out_->U64(s.aborted_runs);
+  out_->U64(s.dropped_messages);
+  out_->U64(s.per_peer_bytes.size());
+  for (uint64_t b : s.per_peer_bytes) out_->U64(b);
+}
+
+void SnapshotWriter::PutMetrics(const RunMetrics& m) {
+  out_->F64(m.per_tuple_prov_bytes);
+  out_->F64(m.comm_mb);
+  out_->F64(m.state_mb);
+  out_->F64(m.wall_seconds);
+  out_->F64(m.sim_seconds);
+  out_->U64(m.messages);
+  out_->U64(m.kill_messages);
+  out_->U64(m.batches);
+  out_->U64(m.aborted_runs);
+  out_->U64(m.dropped_messages);
+  out_->Bool(m.converged);
+}
+
+Value SnapshotReader::GetValue() {
+  switch (in_->U8()) {
+    case 0:
+      return Value(in_->I64());
+    case 1:
+      return Value(in_->F64());
+    case 2:
+      return Value(in_->Str());
+    default:
+      in_->Invalidate();
+      return Value();
+  }
+}
+
+Tuple SnapshotReader::GetTuple() {
+  uint16_t arity = in_->U16();
+  if (!in_->CanRead(arity)) return Tuple();
+  Tuple::Values values;
+  values.reserve(arity);
+  for (uint16_t i = 0; i < arity; ++i) values.push_back(GetValue());
+  return Tuple(std::move(values));
+}
+
+Prov SnapshotReader::GetProv() {
+  bdd::Manager* mgr = bdds_->manager();
+  switch (in_->U8()) {
+    case static_cast<uint8_t>(ProvMode::kSet):
+      return in_->Bool() ? Prov::True(ProvMode::kSet, mgr)
+                         : Prov::False(ProvMode::kSet, mgr);
+    case static_cast<uint8_t>(ProvMode::kAbsorption): {
+      bdd::NodeIndex idx = bdds_->Resolve(in_->U32(), in_);
+      return Prov::FromBdd(bdd::Bdd(mgr, idx));
+    }
+    case static_cast<uint8_t>(ProvMode::kRelative): {
+      uint32_t nderiv = in_->U32();
+      if (!in_->CanRead(static_cast<size_t>(nderiv) * 4)) return Prov();
+      auto rel = std::make_shared<RelSop>();
+      rel->derivations.reserve(nderiv);
+      for (uint32_t i = 0; i < nderiv; ++i) {
+        uint32_t nvars = in_->U32();
+        if (!in_->CanRead(static_cast<size_t>(nvars) * 4)) return Prov();
+        std::vector<bdd::Var> d;
+        d.reserve(nvars);
+        for (uint32_t j = 0; j < nvars; ++j) d.push_back(in_->U32());
+        rel->derivations.push_back(std::move(d));
+      }
+      return Prov::FromRel(std::move(rel));
+    }
+    default:
+      in_->Invalidate();
+      return Prov();
+  }
+}
+
+NetworkStats SnapshotReader::GetStats() {
+  NetworkStats s;
+  s.messages = in_->U64();
+  s.bytes = in_->U64();
+  s.local_messages = in_->U64();
+  s.insert_messages = in_->U64();
+  s.delete_messages = in_->U64();
+  s.kill_messages = in_->U64();
+  s.prov_bytes = in_->U64();
+  s.prov_samples = in_->U64();
+  s.batches = in_->U64();
+  s.aborted_runs = in_->U64();
+  s.dropped_messages = in_->U64();
+  uint64_t peers = in_->Count(8);
+  s.per_peer_bytes.reserve(peers);
+  for (uint64_t i = 0; i < peers; ++i) s.per_peer_bytes.push_back(in_->U64());
+  return s;
+}
+
+RunMetrics SnapshotReader::GetMetrics() {
+  RunMetrics m;
+  m.per_tuple_prov_bytes = in_->F64();
+  m.comm_mb = in_->F64();
+  m.state_mb = in_->F64();
+  m.wall_seconds = in_->F64();
+  m.sim_seconds = in_->F64();
+  m.messages = in_->U64();
+  m.kill_messages = in_->U64();
+  m.batches = in_->U64();
+  m.aborted_runs = in_->U64();
+  m.dropped_messages = in_->U64();
+  m.converged = in_->Bool();
+  return m;
+}
+
+}  // namespace persist
+}  // namespace recnet

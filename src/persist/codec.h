@@ -1,0 +1,113 @@
+#ifndef RECNET_PERSIST_CODEC_H_
+#define RECNET_PERSIST_CODEC_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bdd/bdd.h"
+#include "common/value.h"
+#include "engine/metrics.h"
+#include "net/router_shard.h"
+#include "persist/wire.h"
+#include "provenance/prov.h"
+
+namespace recnet {
+namespace persist {
+
+// Serializes BDD roots against one shared node table: every root encoded
+// through one encoder contributes its reachable internal nodes exactly once,
+// children before parents, with manager-independent remapped ids (0 = FALSE,
+// 1 = TRUE, internal node i = table position i + 2). The table is emitted
+// separately from the sections referencing the roots, so a snapshot stores
+// the manager's live graph once no matter how many annotations share it —
+// the on-disk analogue of hash-consing.
+class BddEncoder {
+ public:
+  explicit BddEncoder(const bdd::Manager* mgr) : mgr_(mgr) {}
+
+  // Returns the remapped id of `root`, interning its subgraph on first use.
+  uint32_t Encode(bdd::NodeIndex root);
+
+  // u32 node count, then (u32 var, u32 low id, u32 high id) per node in
+  // table order. Children-before-parents, so a decoder interns in one pass.
+  void WriteNodeTable(Writer* w) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct EncodedNode {
+    uint32_t var;
+    uint32_t low;
+    uint32_t high;
+  };
+
+  const bdd::Manager* mgr_;
+  std::unordered_map<bdd::NodeIndex, uint32_t> id_of_;
+  std::vector<EncodedNode> nodes_;
+};
+
+// Decodes a BddEncoder node table into a live manager, holding a protecting
+// reference on every interned node until the decoder is destroyed (fresh
+// nodes start unreferenced, and restore runs long enough that a GC could
+// otherwise reclaim a node before the annotation referencing it is built).
+class BddDecoder {
+ public:
+  explicit BddDecoder(bdd::Manager* mgr) : mgr_(mgr) {}
+
+  Status ReadNodeTable(Reader* r);
+
+  // Live node index for a remapped id; trips `r`'s error flag on a dangling
+  // id (corrupt payload) and returns FALSE.
+  bdd::NodeIndex Resolve(uint32_t id, Reader* r) const;
+
+  bdd::Manager* manager() const { return mgr_; }
+
+ private:
+  bdd::Manager* mgr_;
+  std::vector<bdd::NodeIndex> index_of_;  // By id - 2.
+  std::vector<bdd::Bdd> protect_;
+};
+
+// Typed encoding layer over Writer: engine values, tuples, provenance
+// annotations (BDD roots go through the shared encoder) and metric structs.
+class SnapshotWriter {
+ public:
+  SnapshotWriter(Writer* out, BddEncoder* bdds) : out_(out), bdds_(bdds) {}
+
+  Writer& raw() { return *out_; }
+
+  void PutValue(const Value& v);
+  void PutTuple(const Tuple& t);
+  void PutProv(const Prov& p);
+  void PutStats(const NetworkStats& s);
+  void PutMetrics(const RunMetrics& m);
+
+ private:
+  Writer* out_;
+  BddEncoder* bdds_;
+};
+
+// Typed decoding counterpart; `mgr` owns restored BDD roots and annotations.
+class SnapshotReader {
+ public:
+  SnapshotReader(Reader* in, BddDecoder* bdds) : in_(in), bdds_(bdds) {}
+
+  Reader& raw() { return *in_; }
+  Status Check(const char* what) const { return in_->Check(what); }
+
+  Value GetValue();
+  Tuple GetTuple();
+  Prov GetProv();
+  NetworkStats GetStats();
+  RunMetrics GetMetrics();
+
+ private:
+  Reader* in_;
+  BddDecoder* bdds_;
+};
+
+}  // namespace persist
+}  // namespace recnet
+
+#endif  // RECNET_PERSIST_CODEC_H_

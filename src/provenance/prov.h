@@ -88,11 +88,14 @@ class Prov {
   const bdd::Bdd& bdd() const { return bdd_; }
   const RelSop& rel() const { return *rel_; }
 
- private:
-  Prov(ProvMode mode, bool set_true) : mode_(mode), set_true_(set_true) {}
-
+  // Raw constructors from an already-built representation. Used internally
+  // by the composition laws and by the persistence layer when decoding a
+  // snapshot back into annotations.
   static Prov FromBdd(bdd::Bdd b);
   static Prov FromRel(std::shared_ptr<const RelSop> rel);
+
+ private:
+  Prov(ProvMode mode, bool set_true) : mode_(mode), set_true_(set_true) {}
 
   ProvMode mode_;
   bool set_true_ = false;                // kSet
