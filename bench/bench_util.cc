@@ -38,6 +38,18 @@ BenchArgs ParseArgs(int argc, char** argv) {
       }
       continue;
     }
+    const std::string faults_prefix = "--faults=";
+    if (arg.compare(0, faults_prefix.size(), faults_prefix) == 0) {
+      args.faults_spec = arg.substr(faults_prefix.size());
+      auto plan = fault::ParseFaultSpec(args.faults_spec);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "--faults: %s\n",
+                     plan.status().ToString().c_str());
+        std::exit(2);
+      }
+      args.faults = *plan;
+      continue;
+    }
     const std::string save_prefix = "--ckpt-save=";
     if (arg.compare(0, save_prefix.size(), save_prefix) == 0) {
       args.ckpt_save = arg.substr(save_prefix.size());
@@ -50,7 +62,8 @@ BenchArgs ParseArgs(int argc, char** argv) {
     }
     std::fprintf(stderr,
                  "unknown argument '%s'\nusage: %s [--json=PATH] "
-                 "[--shards=N] [--ckpt-save=PATH | --ckpt-load=PATH]\n"
+                 "[--shards=N] [--faults=SPEC] "
+                 "[--ckpt-save=PATH | --ckpt-load=PATH]\n"
                  "env: RECNET_PAPER_SCALE=1 (paper topology), RECNET_SEED=N\n",
                  arg.c_str(), argv[0]);
     std::exit(2);
@@ -240,12 +253,18 @@ bool FigurePrinter::WriteJson(const std::string& path) const {
       std::fprintf(f,
                    ", \"messages\": %llu, \"kill_messages\": %llu, "
                    "\"batches\": %llu, \"aborted_runs\": %llu, "
-                   "\"dropped_messages\": %llu, \"converged\": %s}",
+                   "\"dropped_messages\": %llu, \"link_dropped\": %llu, "
+                   "\"link_retried\": %llu, \"link_duplicated\": %llu, "
+                   "\"recoveries\": %llu, \"converged\": %s}",
                    static_cast<unsigned long long>(m.messages),
                    static_cast<unsigned long long>(m.kill_messages),
                    static_cast<unsigned long long>(m.batches),
                    static_cast<unsigned long long>(m.aborted_runs),
                    static_cast<unsigned long long>(m.dropped_messages),
+                   static_cast<unsigned long long>(m.link_dropped),
+                   static_cast<unsigned long long>(m.link_retried),
+                   static_cast<unsigned long long>(m.link_duplicated),
+                   static_cast<unsigned long long>(m.recoveries),
                    m.converged ? "true" : "false");
     }
   }
@@ -261,9 +280,11 @@ bool FigurePrinter::WriteJson(const std::string& path) const {
 #endif
   std::fprintf(f,
                "\n  ],\n  \"shards\": %d,\n  \"meta\": {\"shards\": %d, "
-               "\"build_type\": \"%s\", \"checkpoint\": %s},\n"
+               "\"build_type\": \"%s\", \"checkpoint\": %s, "
+               "\"faults\": \"%s\"},\n"
                "  \"shard_sweep\": [",
-               shards_, shards_, build_type, checkpoint_ ? "true" : "false");
+               shards_, shards_, build_type, checkpoint_ ? "true" : "false",
+               JsonEscape(faults_).c_str());
   // The shard sweep pins the sharded drain's determinism contract into the
   // trajectory: for one workload, messages/kill_messages must be identical
   // down the sweep while wall_seconds reflects the parallel drain.

@@ -8,6 +8,7 @@
 
 #include "engine/metrics.h"
 #include "engine/runtime_base.h"
+#include "fault/fault.h"
 #include "topology/topology.h"
 
 namespace recnet {
@@ -32,6 +33,15 @@ struct BenchArgs {
   // sequential drain). Results and traffic counters are bit-identical for
   // any shard count; wall times are what changes.
   int shards = 1;
+  // --faults=SPEC: seeded fault plan for the run (see fault::ParseFaultSpec,
+  // e.g. "seed=7,drop=0.01,dup=0.005"). Benches with a lossy mode run their
+  // convergence-under-loss workload when the plan has drop/dup rates; the
+  // parsed plan also lands in the JSON meta block so a trajectory records
+  // the faults it ran under. A malformed spec aborts with the parse error
+  // (exit code 2).
+  fault::FaultPlan faults;
+  // The spec string as given (empty = no --faults), for the JSON meta.
+  std::string faults_spec;
   // --ckpt-save=PATH / --ckpt-load=PATH: run the bench's checkpoint
   // workload instead of the figure cells — save runs the first half of the
   // workload, snapshots the session to PATH, and finishes; load restores
@@ -89,6 +99,10 @@ class FigurePrinter {
   // JSON's run metadata).
   void set_checkpoint(bool on) { checkpoint_ = on; }
 
+  // Fault spec the run executed under (recorded in the JSON's run metadata;
+  // empty = fault-free).
+  void set_faults(const std::string& spec) { faults_ = spec; }
+
   void PrintAll() const;
 
   // Writes every recorded cell as JSON: figure/title/x_label, the series
@@ -119,6 +133,7 @@ class FigurePrinter {
   std::vector<ShardCell> shard_cells_;
   int shards_ = 1;
   bool checkpoint_ = false;
+  std::string faults_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -25,6 +25,8 @@ const char* CodeName(StatusCode code) {
       return "FailedPrecondition";
     case StatusCode::kDataLoss:
       return "DataLoss";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

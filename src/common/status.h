@@ -26,6 +26,10 @@ enum class StatusCode {
   // Unrecoverable loss or corruption of persisted data (bad checksum,
   // truncated snapshot file).
   kDataLoss,
+  // A transient infrastructure fault (worker death, allocation failure,
+  // torn snapshot write). Retrying — possibly after recovery — may succeed;
+  // Session's fault-tolerant Apply path does exactly that.
+  kUnavailable,
 };
 
 // A Status describes the result of an operation that can fail.
@@ -66,6 +70,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -154,7 +154,13 @@ Status PickClosureAtoms(const Rule& rule, const std::string& view,
       *edb_atom = &atom;
     }
   }
-  RECNET_CHECK(*view_atom != nullptr);
+  if (*view_atom == nullptr) {
+    // Callers only pass rules SplitRules classified as recursive, so a
+    // missing view atom means the classification and this search disagree —
+    // a planner bug surfaced as a typed error rather than a process abort.
+    return Status::Internal("recursive rule lost its view atom: " +
+                            RuleContext(rule));
+  }
   if (*edb_atom == nullptr) {
     return Status::InvalidArgument("recursive rule has no EDB atom: " +
                                    RuleContext(rule));
@@ -386,12 +392,21 @@ StatusOr<PlanSpec> PlanProgram(const Program& program,
   PlanSpec spec;
   spec.view = *info.recursive.begin();
   auto arity_it = info.arity.find(spec.view);
-  RECNET_CHECK(arity_it != info.arity.end());
+  if (arity_it == info.arity.end()) {
+    // The analyzer records an arity for every predicate it marks recursive;
+    // disagreement means the ProgramInfo is not from this program.
+    return Status::Internal("analysis has no arity for recursive view '" +
+                            spec.view + "'");
+  }
   spec.arity = arity_it->second;
 
   RuleGroups groups;
   RECNET_RETURN_IF_ERROR(SplitRules(program, spec.view, &groups, &spec));
-  RECNET_CHECK(!groups.recursive.empty());
+  if (groups.recursive.empty()) {
+    return Status::Internal(
+        "analysis marked '" + spec.view +
+        "' recursive but no recursive rule mentions it in its body");
+  }
 
   // Dispatch on the structural signature of the recursion.
   size_t rec_body = groups.recursive.front()->body.size();

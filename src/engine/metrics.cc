@@ -10,6 +10,13 @@ std::string RunMetrics::ToString() const {
   os << "prov_B/tuple=" << per_tuple_prov_bytes << " comm_MB=" << comm_mb
      << " state_MB=" << state_mb << " time_s=" << wall_seconds
      << " sim_s=" << sim_seconds << " msgs=" << messages;
+  if (link_dropped > 0 || link_duplicated > 0) {
+    os << " [lossy: " << link_dropped << " dropped, " << link_retried
+       << " retried, " << link_duplicated << " duplicated]";
+  }
+  if (recoveries > 0) {
+    os << " [recovered " << recoveries << " time(s)]";
+  }
   if (!converged) {
     os << " [budget exceeded: " << aborted_runs << " aborted run(s), "
        << dropped_messages << " dropped msg(s)]";

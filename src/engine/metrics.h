@@ -34,6 +34,16 @@ struct RunMetrics {
   // aborted_runs > 0, so the abort is explicit rather than inferred.
   uint64_t aborted_runs = 0;
   uint64_t dropped_messages = 0;
+  // Lossy-link workload counters (zero on a lossless run): shard-boundary
+  // envelopes the seeded fault injector dropped / duplicated, and how many
+  // of the drops were later retried to delivery. Note the distinction from
+  // dropped_messages above, which counts *budget-abort* discards.
+  uint64_t link_dropped = 0;
+  uint64_t link_duplicated = 0;
+  uint64_t link_retried = 0;
+  // Crash recoveries the session performed while (re-)running this view's
+  // updates (0 outside the fault-tolerant Apply path).
+  uint64_t recoveries = 0;
   bool converged = true;
 
   std::string ToString() const;

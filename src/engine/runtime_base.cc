@@ -12,7 +12,9 @@ RuntimeBase::RuntimeBase(int num_logical, const RuntimeOptions& options)
                       num_logical,
                       SubstrateOptions{options.num_physical,
                                        options.batch_delivery,
-                                       options.shards}),
+                                       options.shards,
+                                       /*injector=*/nullptr,
+                                       options.faults}),
                   num_logical, options) {}
 
 RuntimeBase::RuntimeBase(std::shared_ptr<Substrate> substrate, int num_logical,
@@ -48,6 +50,7 @@ bool RuntimeBase::Run() {
   // visible again (converged_ stays false until ResetMetrics, recording
   // that some run since the last reset was cut off).
   abort_metrics_.reset();
+  last_fault_.clear();
   auto start = std::chrono::steady_clock::now();
   Substrate::DrainOutcome out = sub_->DrainToFixpoint(
       Substrate::DrainBudget{opts_.message_budget, opts_.time_budget_s});
@@ -63,6 +66,14 @@ bool RuntimeBase::Run() {
     abort_metrics_->sim_seconds = EstimateSimSeconds(
         wall_seconds_, abort_metrics_->messages, router().num_physical(),
         opts_.per_msg_latency_s);
+  }
+  if (out.faulted) {
+    // An injected infrastructure fault stopped the drain. Unlike a budget
+    // cutoff nothing is purged or marked non-converged: the queues (and the
+    // charge counters that describe them) are exactly the resumable state a
+    // recovery rolls back to, so the run is merely incomplete.
+    last_fault_ = out.fault_site.empty() ? "fault" : out.fault_site;
+    return false;
   }
   if (out.timed_out && !self_aborted) {
     // Wall-clock cutoff: the time budget belongs to the initiating view, so
@@ -107,6 +118,9 @@ RunMetrics RuntimeBase::ComputeMetrics() const {
   m.batches = s.batches;
   m.aborted_runs = s.aborted_runs;
   m.dropped_messages = s.dropped_messages;
+  m.link_dropped = s.link_dropped;
+  m.link_duplicated = s.link_duplicated;
+  m.link_retried = s.link_retried;
   m.converged = converged_;
   return m;
 }

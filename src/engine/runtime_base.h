@@ -73,6 +73,13 @@ struct RuntimeOptions {
   // results and traffic counters (except NetworkStats::batches).
   // Substrate-level, like num_physical.
   int shards = 1;
+  // Fault injection (src/fault/fault.h): seeded worker-death / allocation
+  // failures surface as non-converged runs with RuntimeBase::last_fault()
+  // set (Session masks them via recovery); drop/dup rates arm the lossy
+  // shard-boundary link mode. Substrate-level, like num_physical; default
+  // is a fault-free plan. Deliberately NOT serialized into checkpoints —
+  // faults describe the run, not the session's durable state.
+  fault::FaultPlan faults;
 };
 
 // Common machinery of the distributed query runtimes: substrate access
@@ -184,6 +191,10 @@ class RuntimeBase {
   int num_logical() const { return num_logical_; }
   int port_namespace() const { return ns_; }
   bool converged() const { return converged_; }
+  // Non-empty when the last Run() was stopped by an injected infrastructure
+  // fault (names the fault site). The run is incomplete but uncorrupted:
+  // queues are intact, so recovery (or simply re-running) can finish it.
+  const std::string& last_fault() const { return last_fault_; }
 
  protected:
   // Delivers a contiguous run of same-(dst, port) envelopes: every envelope
@@ -357,6 +368,9 @@ class RuntimeBase {
   std::vector<std::unordered_set<bdd::Var>> kills_done_;
   double wall_seconds_ = 0;
   bool converged_ = true;
+  // Fault site of the last faulted Run() (empty = no fault). Transient run
+  // bookkeeping, not persisted state.
+  std::string last_fault_;
   // Metrics frozen at the moment a run was cut off (budget exhaustion);
   // cleared by ResetMetrics.
   std::optional<RunMetrics> abort_metrics_;

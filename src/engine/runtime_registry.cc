@@ -111,6 +111,12 @@ Tuple NormalizedPrefix(const Tuple& t, size_t len) {
 
 Status RunToFixpoint(RuntimeBase* rt) {
   if (!rt->Run()) {
+    // A faulted run is transient and resumable (queues intact), not a
+    // budget exhaustion: Unavailable routes it into Session's recovery
+    // loop instead of the terminal budget-abort path.
+    if (!rt->last_fault().empty()) {
+      return Status::Unavailable("injected fault: " + rt->last_fault());
+    }
     return Status::ResourceExhausted(
         "message budget exceeded before fixpoint");
   }

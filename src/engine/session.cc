@@ -1,8 +1,11 @@
 #include "engine/session.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "datalog/analyzer.h"
@@ -148,10 +151,16 @@ Status DecodeEngineOptions(persist::Reader* r, EngineOptions* o) {
 Session::Session(const SessionOptions& options)
     // A negative initial size is clamped: AddProgram surfaces the typed
     // InvalidArgument (the substrate itself must exist to report it).
-    : substrate_(std::make_shared<Substrate>(
+    : options_(options),
+      injector_(options.faults.enabled()
+                    ? std::make_shared<fault::FaultInjector>(options.faults)
+                    : nullptr),
+      substrate_(std::make_shared<Substrate>(
           options.num_nodes > 0 ? options.num_nodes : 0,
           SubstrateOptions{options.num_physical, options.batch_delivery,
-                           options.shards})) {}
+                           options.shards, injector_, options.faults})) {
+  ArmBarrierHook();
+}
 
 Session::~Session() = default;
 
@@ -408,14 +417,45 @@ Status Session::AdvanceTime(double t) {
 
 Status Session::ApplyFrom(QueryRuntime* initiator) {
   if (views_.empty()) return Status::OK();
-  if (initiator == nullptr) initiator = views_.front()->runtime_.get();
-  // One drain converges every co-resident view (they share the FIFO), so
-  // every view's cache maintenance must bracket it: arm all delta logs
-  // before, patch all caches after.
-  for (const auto& view : views_) view->runtime_->PrepareApply();
-  Status run_status = initiator->ApplyUpdates();
-  for (const auto& view : views_) view->runtime_->FinishApply(run_status);
-  return run_status;
+  // The initiator is tracked by index: a recovery mid-loop replaces every
+  // view's runtime, so a QueryRuntime pointer would dangle across attempts.
+  size_t initiator_idx = 0;
+  for (size_t i = 0; initiator != nullptr && i < views_.size(); ++i) {
+    if (views_[i]->runtime_.get() == initiator) {
+      initiator_idx = i;
+      break;
+    }
+  }
+  const fault::RecoveryPolicy& recovery = options_.recovery;
+  const bool recoverable = recovery.enabled && RecoverySupported();
+  // Entry micro-checkpoint: the rollback point for a fault during this
+  // Apply. (Barrier-interval checkpoints, if configured, refresh it
+  // mid-drain so less work re-executes.)
+  if (recoverable) CaptureMicroCheckpoint();
+  int attempts = 0;
+  for (;;) {
+    // One drain converges every co-resident view (they share the FIFO), so
+    // every view's cache maintenance must bracket it: arm all delta logs
+    // before, patch all caches after.
+    for (const auto& view : views_) view->runtime_->PrepareApply();
+    Status run_status = views_[initiator_idx]->runtime_->ApplyUpdates();
+    if (recoverable && run_status.code() == StatusCode::kUnavailable &&
+        attempts < recovery.max_recoveries) {
+      // An injected infrastructure fault killed the drain. The faulted
+      // runtimes are replaced wholesale by the rebuild, so their armed
+      // delta logs die with them — no FinishApply bracket to close.
+      if (recovery.backoff_initial_s > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            recovery.backoff_initial_s *
+            std::pow(recovery.backoff_factor, attempts)));
+      }
+      RECNET_RETURN_IF_ERROR(RecoverFromFault());
+      ++attempts;
+      continue;
+    }
+    for (const auto& view : views_) view->runtime_->FinishApply(run_status);
+    return run_status;
+  }
 }
 
 Status Session::Apply() { return ApplyFrom(nullptr); }
@@ -429,6 +469,249 @@ int Session::AddNode() {
 void Session::EnsureNodes(int num_nodes) { substrate_->EnsureNodes(num_nodes); }
 
 int Session::num_nodes() const { return substrate_->num_logical(); }
+
+// --- Fault recovery ----------------------------------------------------------
+//
+// Micro-checkpoint payload (in-memory, no file container):
+//
+//   [view namespaces]    u32 count + each view's port namespace at capture
+//   [topology]           logical node count
+//   [dead vars]          the base-variable allocator image
+//   [flow state]         router ordering context + delivered totals
+//   [bdd node table]     live unique table for the states and provs below
+//   [view states]        per view: RuntimeBase + runtime-specific state
+//   [view stats]         per view: NetworkStats totals
+//   [envelopes]          every in-flight envelope with its home, ordering
+//                        key, and payload
+//
+// Captured only with workers joined (Apply entry / drain barriers), where
+// queue contents are sequence-stamped: restoring the queues, seqs, and
+// operator states resumes the EXACT delivery schedule of the captured run,
+// which is what makes a recovered run bit-identical to an uninterrupted one.
+
+bool Session::RecoverySupported() const {
+  for (const auto& view : views_) {
+    if (view->runtime_->native_runtime() == nullptr) return false;
+  }
+  return true;
+}
+
+void Session::ArmBarrierHook() {
+  if (!options_.recovery.enabled ||
+      options_.recovery.checkpoint_interval == 0) {
+    return;
+  }
+  substrate_->set_barrier_hook([this] { CaptureMicroCheckpoint(); },
+                               options_.recovery.checkpoint_interval);
+}
+
+void Session::CaptureMicroCheckpoint() {
+  if (!RecoverySupported()) return;
+  const Router& router = substrate_->router();
+  persist::Writer body;
+  persist::BddEncoder enc(substrate_->bdd_manager());
+
+  body.U32(static_cast<uint32_t>(views_.size()));
+  for (const auto& view : views_) {
+    body.I32(view->runtime_->native_runtime()->port_namespace());
+  }
+  body.I32(router.num_logical());
+  const std::vector<char>& dead = substrate_->dead_vars();
+  body.U64(dead.size());
+  body.Bytes(dead.data(), dead.size());
+  Router::FlowState fs = router.SaveFlowState();
+  body.U64(fs.next_seq);
+  body.U64(fs.ext_trig);
+  body.U32(fs.ext_sub);
+  body.U64(fs.delivered);
+  for (const auto& view : views_) {
+    body.U64(router.DeliveredByNs(
+        view->runtime_->native_runtime()->port_namespace()));
+  }
+
+  // View states, stats, and envelopes encode into a side buffer first:
+  // encoding registers the live BDD roots, and the node table those ids
+  // index must precede them in the payload.
+  persist::Writer side;
+  persist::SnapshotWriter ssw(&side, &enc);
+  for (const auto& view : views_) {
+    view->runtime_->native_runtime()->SaveState(ssw);
+  }
+  for (const auto& view : views_) {
+    ssw.PutStats(
+        router.stats(view->runtime_->native_runtime()->port_namespace()));
+  }
+  side.U64(router.pending());
+  router.ForEachPendingEnvelope([&](Router::EnvelopeHome home,
+                                    const Envelope& env) {
+    side.U8(static_cast<uint8_t>(home));
+    side.I32(env.src);
+    side.I32(env.dst);
+    side.I32(env.port);
+    side.U64(env.key_trig);
+    side.U32(env.key_sub);
+    side.U32(env.attempts);
+    side.U8(static_cast<uint8_t>(env.update.type));
+    switch (env.update.type) {
+      case UpdateType::kInsert:
+        ssw.PutTuple(env.update.tuple);
+        ssw.PutProv(env.update.pv);
+        break;
+      case UpdateType::kDelete:
+        ssw.PutTuple(env.update.tuple);
+        break;
+      case UpdateType::kKill:
+        side.U32(static_cast<uint32_t>(env.update.killed.size()));
+        for (bdd::Var v : env.update.killed) side.U32(v);
+        break;
+    }
+  });
+
+  enc.WriteNodeTable(&body);
+  body.Append(side);
+  micro_ckpt_ = body.bytes();
+}
+
+Status Session::RecoverFromFault() {
+  if (micro_ckpt_.empty()) {
+    return Status::Unavailable(
+        "fault fired before any micro-checkpoint was captured");
+  }
+  // Fresh substrate, identical deployment, SAME injector: the fault clock
+  // (generation counter, one-shot kill) survives the rebuild.
+  substrate_ = std::make_shared<Substrate>(
+      options_.num_nodes > 0 ? options_.num_nodes : 0,
+      SubstrateOptions{options_.num_physical, options_.batch_delivery,
+                       options_.shards, injector_, options_.faults});
+  // Re-instantiate every view's runtime on the new substrate, in residency
+  // order so view i claims namespace i. Each replacement destroys the old
+  // runtime (detaching it from the dead substrate, which is freed with its
+  // last view).
+  std::vector<int> new_ns(views_.size());
+  for (size_t i = 0; i < views_.size(); ++i) {
+    View* view = views_[i].get();
+    StatusOr<std::unique_ptr<QueryRuntime>> rebuilt =
+        InstantiateRuntime(view->plan_, view->options_, *this);
+    if (!rebuilt.ok()) {
+      return Status(rebuilt.status().code(),
+                    "recovery could not re-instantiate view '" +
+                        view->plan_.view + "': " + rebuilt.status().message());
+    }
+    view->runtime_ = std::move(rebuilt).value();
+    if (view->runtime_->native_runtime() == nullptr) {
+      return Status::Internal("recovered view '" + view->plan_.view +
+                              "' lost its native runtime");
+    }
+    new_ns[i] = view->runtime_->native_runtime()->port_namespace();
+  }
+
+  persist::Reader raw(micro_ckpt_);
+  uint32_t nviews = raw.U32();
+  if (raw.ok() && nviews != views_.size()) {
+    return Status::Internal(
+        "micro-checkpoint view count disagrees with the session");
+  }
+  // Old namespace -> rebuilt namespace, for the port remap below (the old
+  // ids can be sparse when programs were removed earlier in the session).
+  std::unordered_map<int, int> ns_remap;
+  for (uint32_t i = 0; i < nviews && raw.ok(); ++i) {
+    ns_remap.emplace(raw.I32(), new_ns[i]);
+  }
+  int num_logical = raw.I32();
+  uint64_t ndead = raw.Count(1);
+  std::vector<char> dead(ndead);
+  for (uint64_t i = 0; i < ndead && raw.ok(); ++i) {
+    dead[i] = static_cast<char>(raw.U8());
+  }
+  Router::FlowState fs;
+  fs.next_seq = raw.U64();
+  fs.ext_trig = raw.U64();
+  fs.ext_sub = raw.U32();
+  fs.delivered = raw.U64();
+  std::vector<uint64_t> delivered_ns(nviews, 0);
+  for (uint32_t i = 0; i < nviews && raw.ok(); ++i) {
+    delivered_ns[i] = raw.U64();
+  }
+  RECNET_RETURN_IF_ERROR(raw.Check("micro-checkpoint header"));
+
+  EnsureNodes(num_logical);
+  substrate_->RestoreDeadVars(std::move(dead));
+
+  // The decoder must outlive every LoadState: it holds the protecting
+  // references on restored BDD nodes until the view states own them.
+  persist::BddDecoder dec(substrate_->bdd_manager());
+  persist::SnapshotReader sr(&raw, &dec);
+  RECNET_RETURN_IF_ERROR(dec.ReadNodeTable(&raw));
+  for (const auto& view : views_) {
+    RECNET_RETURN_IF_ERROR(view->runtime_->native_runtime()->LoadState(sr));
+  }
+  Router& router = substrate_->router();
+  for (uint32_t i = 0; i < nviews; ++i) {
+    NetworkStats stats = sr.GetStats();
+    router.LoadStats(new_ns[i], stats);
+    router.RestoreDeliveredByNs(new_ns[i], delivered_ns[i]);
+  }
+  router.RestoreFlowState(fs);
+
+  // In-flight envelopes, replayed in capture order. Their wire charges are
+  // inside the restored stats, so re-enqueueing must not (and does not)
+  // re-charge.
+  uint64_t nenv = raw.Count(30);
+  for (uint64_t i = 0; i < nenv && raw.ok(); ++i) {
+    uint8_t home = raw.U8();
+    if (home > static_cast<uint8_t>(Router::EnvelopeHome::kRetry)) {
+      return Status::Internal("micro-checkpoint envelope has a bad home");
+    }
+    Envelope env;
+    env.src = raw.I32();
+    env.dst = raw.I32();
+    int port = raw.I32();
+    env.key_trig = raw.U64();
+    env.key_sub = raw.U32();
+    env.attempts = raw.U32();
+    uint8_t type = raw.U8();
+    switch (type) {
+      case static_cast<uint8_t>(UpdateType::kInsert): {
+        Tuple t = sr.GetTuple();
+        Prov pv = sr.GetProv();
+        env.update = Update::Insert(std::move(t), std::move(pv));
+        break;
+      }
+      case static_cast<uint8_t>(UpdateType::kDelete):
+        env.update = Update::Delete(sr.GetTuple());
+        break;
+      case static_cast<uint8_t>(UpdateType::kKill): {
+        uint32_t n = raw.U32();
+        if (!raw.CanRead(static_cast<size_t>(n) * 4)) break;
+        std::vector<bdd::Var> killed;
+        killed.reserve(n);
+        for (uint32_t j = 0; j < n; ++j) killed.push_back(raw.U32());
+        env.update = Update::Kill(std::move(killed));
+        break;
+      }
+      default:
+        return Status::Internal("micro-checkpoint envelope has a bad type");
+    }
+    auto remapped = ns_remap.find(port / Router::kPortsPerNamespace);
+    if (remapped == ns_remap.end()) {
+      return Status::Internal(
+          "micro-checkpoint envelope addresses an unknown namespace");
+    }
+    env.port = remapped->second * Router::kPortsPerNamespace +
+               port % Router::kPortsPerNamespace;
+    if (!raw.ok()) break;
+    router.RestoreEnvelope(static_cast<Router::EnvelopeHome>(home),
+                           std::move(env));
+  }
+  RECNET_RETURN_IF_ERROR(sr.Check("micro-checkpoint"));
+
+  ArmBarrierHook();
+  // Re-randomize rate-based faults for the re-executed generations so a
+  // recovered run is not doomed to re-die at the same point.
+  if (injector_ != nullptr) injector_->BumpEpoch();
+  ++recoveries_;
+  return Status::OK();
+}
 
 // --- Checkpoint / restore ----------------------------------------------------
 //
@@ -552,6 +835,14 @@ Status Session::Checkpoint(const std::string& path) const {
         router.stats(view->runtime_->native_runtime()->port_namespace()));
   }
 
+  // Injected snapshot tear: the write stops short inside the `.tmp` and the
+  // rename never happens, so `path` is untouched — a prior checkpoint there
+  // survives intact and the caller sees a typed Unavailable.
+  fault::FaultInjector* injector = substrate_->fault_injector();
+  if (injector != nullptr && injector->ShouldTearSnapshot()) {
+    const size_t total = persist::kSnapshotHeaderBytes + body.bytes().size();
+    return persist::WriteSnapshotFile(path, body, total / 2);
+  }
   return persist::WriteSnapshotFile(path, body);
 }
 

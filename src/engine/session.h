@@ -36,6 +36,18 @@ struct SessionOptions {
   // rebalancing anything. Every view's counters and scan results are
   // bit-identical for any shard count.
   int shards = 1;
+  // Seeded fault plan the session's substrate runs under (default: no
+  // faults). Infrastructure faults surface as kUnavailable from Apply —
+  // unless `recovery` masks them; drop/dup rates arm the lossy shard-link
+  // workload mode. The session keeps ONE injector across substrate rebuilds
+  // so the fault clock survives recovery.
+  fault::FaultPlan faults;
+  // Crash-recovery policy: when enabled, Apply takes barrier-consistent
+  // in-memory micro-checkpoints and masks injected infrastructure faults by
+  // rebuilding the substrate from the last one (bounded retries with
+  // exponential backoff). A recovered Apply finishes with Scan results and
+  // traffic counters bit-identical to an uninterrupted run.
+  fault::RecoveryPolicy recovery;
 };
 
 // ---------------------------------------------------------------------------
@@ -158,6 +170,11 @@ class Session {
   void EnsureNodes(int num_nodes);
   int num_nodes() const;
 
+  // Crash recoveries performed over the session's lifetime (0 unless
+  // SessionOptions::recovery masked an injected fault). Also overlaid onto
+  // every View's RunMetrics.
+  uint64_t recoveries() const { return recoveries_; }
+
   size_t num_views() const { return views_.size(); }
   // Resident views in AddProgram order (RemoveProgram compacts the list).
   View* view(size_t i) { return views_[i].get(); }
@@ -195,6 +212,34 @@ class Session {
                                  const EngineOptions& options,
                                  bool load_facts);
 
+  // --- Fault recovery -------------------------------------------------------
+
+  // True when every resident view exposes its native runtime (external
+  // factories cannot be re-instantiated from a micro-checkpoint).
+  bool RecoverySupported() const;
+  // (Re-)installs the micro-checkpoint barrier hook on the current
+  // substrate, per SessionOptions::recovery.checkpoint_interval.
+  void ArmBarrierHook();
+  // Serializes the substrate-level session state — view operator states,
+  // BDD node table, base-variable allocator, per-view network counters,
+  // router ordering context, and every in-flight envelope — into the
+  // in-memory micro-checkpoint buffer. Called at Apply entry and (when
+  // checkpoint_interval > 0) at drain barriers, where workers are joined
+  // and queue contents are sequence-stamped, so restoring resumes the EXACT
+  // delivery schedule of the captured run.
+  void CaptureMicroCheckpoint();
+  // Masks an infrastructure fault: rebuilds a fresh substrate (same
+  // deployment, same shared injector), re-instantiates every view's runtime
+  // on it, and restores the last micro-checkpoint into the rebuilt session.
+  Status RecoverFromFault();
+
+  // Deployment parameters, kept verbatim so a recovery rebuild constructs a
+  // substrate identical to the original.
+  SessionOptions options_;
+  // The session's one fault injector (null when the plan enables nothing);
+  // shared with every substrate this session builds so the generation clock
+  // and recovery epoch survive rebuilds.
+  std::shared_ptr<fault::FaultInjector> injector_;
   std::shared_ptr<Substrate> substrate_;
   std::vector<std::unique_ptr<View>> views_;
   std::unordered_map<std::string, RelationInfo> relations_;
@@ -204,6 +249,10 @@ class Session {
   std::vector<std::pair<std::string, Tuple>> fact_log_;
   std::unordered_map<Tuple, size_t, TupleHash> fact_index_;
   SoftStateClock clock_;
+  // Last micro-checkpoint (empty = none captured yet). In-memory only:
+  // recovery masks process-internal faults; durability is Checkpoint's job.
+  std::vector<uint8_t> micro_ckpt_;
+  uint64_t recoveries_ = 0;
 };
 
 // A compiled program co-resident in a Session: the per-view read surface
@@ -240,7 +289,13 @@ class View {
                                        const Tuple& tuple) const;
 
   // Run bookkeeping, scoped to this view's traffic on the shared router.
-  RunMetrics Metrics() const { return runtime_->Metrics(); }
+  // The session-wide recovery count is overlaid so a figure cell can report
+  // how many crashes the run masked.
+  RunMetrics Metrics() const {
+    RunMetrics m = runtime_->Metrics();
+    m.recoveries = session_->recoveries_;
+    return m;
+  }
   void ResetMetrics() { runtime_->ResetMetrics(); }
   bool converged() const { return runtime_->converged(); }
   const RuntimeOptions& options() const { return runtime_->options(); }

@@ -21,6 +21,32 @@ Substrate::Substrate(int num_nodes, const SubstrateOptions& options)
   router_.set_batch_handler(
       [this](const Envelope* envs, size_t n) { Dispatch(envs, n); });
   router_.set_batching(options.batch_delivery);
+  injector_ = options.injector;
+  if (injector_ == nullptr && options.faults.enabled()) {
+    injector_ = std::make_shared<fault::FaultInjector>(options.faults);
+  }
+  if (injector_ != nullptr) router_.set_fault_injector(injector_.get());
+}
+
+bool Substrate::PollFault(DrainOutcome* out) {
+  if (injector_ == nullptr) return false;
+  injector_->TickGeneration();
+  std::string site;
+  if (injector_->ShouldKillWorker(&site) ||
+      injector_->ShouldFailAlloc(&site)) {
+    out->faulted = true;
+    out->fault_site = std::move(site);
+    return true;
+  }
+  return false;
+}
+
+void Substrate::MaybeBarrierHook() {
+  if (barrier_hook_ == nullptr || hook_interval_ == 0) return;
+  if (++gens_since_hook_ >= hook_interval_) {
+    gens_since_hook_ = 0;
+    barrier_hook_();
+  }
 }
 
 void Substrate::EnsureNodes(int num_nodes) {
@@ -171,6 +197,9 @@ Substrate::DrainOutcome Substrate::DrainSequential(const DrainBudget& budget) {
     while (router_.pending() > 0) {
       EnforceBudgets(&arb, &out);
       if (router_.pending() == 0) break;  // Aborts purged everything queued.
+      // One injector tick per delivery round — the sequential analogue of a
+      // superstep generation. A fault stops the drain with the queue intact.
+      if (PollFault(&out)) break;
       uint64_t step_cap = StepCapacity(arb);
       if (budget.time_budget_s > 0) {
         step_cap = std::min(step_cap, next_time_check - processed);
@@ -186,8 +215,9 @@ Substrate::DrainOutcome Substrate::DrainSequential(const DrainBudget& budget) {
           break;
         }
       }
+      MaybeBarrierHook();
     }
-    if (out.timed_out) break;
+    if (out.timed_out || out.faulted) break;
     // Quiescence is the historic abort point for a view that landed exactly
     // on its budget: charge the final step before polling for more work.
     EnforceBudgets(&arb, &out);
@@ -216,6 +246,10 @@ Substrate::DrainOutcome Substrate::DrainSupersteps(const DrainBudget& budget) {
       // (and the namespace purges an abort triggers) is race-free.
       EnforceBudgets(&arb, &out);
       if (router_.pending() == 0) break;
+      // One injector tick per superstep generation, polled on the
+      // coordinator with workers joined: a fired fault models a shard
+      // worker dying mid-superstep (the generation never completes).
+      if (PollFault(&out)) break;
       Router::StepResult step = router_.ProcessGeneration(
           StepCapacity(arb), parallel, timed ? &deadline : nullptr);
       // Superstep barrier: workers are joined, every live BDD node is
@@ -226,8 +260,9 @@ Substrate::DrainOutcome Substrate::DrainSupersteps(const DrainBudget& budget) {
         out.timed_out = true;
         break;
       }
+      MaybeBarrierHook();
     }
-    if (out.timed_out) break;
+    if (out.timed_out || out.faulted) break;
     EnforceBudgets(&arb, &out);
   } while (PollAfterQuiescent(arb.aborted));
   bdd_.set_concurrent(false);

@@ -2,9 +2,13 @@
 #define RECNET_ENGINE_SUBSTRATE_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "bdd/bdd.h"
+#include "fault/fault.h"
 #include "net/router.h"
 
 namespace recnet {
@@ -25,6 +29,12 @@ struct SubstrateOptions {
   // a relative-provenance view is attached); results and traffic counters
   // are bit-identical for every shard count.
   int shards = 1;
+  // Fault injection: when `injector` is set it is shared with the caller
+  // (Session keeps one injector across substrate rebuilds so the fault
+  // clock survives recovery); otherwise a private injector is built from
+  // `faults` when that plan enables anything.
+  std::shared_ptr<fault::FaultInjector> injector;
+  fault::FaultPlan faults;
 };
 
 // The shared execution substrate of one session: a single sharded Router, a
@@ -108,6 +118,12 @@ class Substrate {
     // The initiator's wall-clock budget expired (the drain stopped; nothing
     // was purged — the caller decides who pays, as before).
     bool timed_out = false;
+    // An injected infrastructure fault (worker death / allocation failure)
+    // fired: the drain stopped at a generation boundary with queues intact.
+    // `fault_site` names the fault for diagnostics. Session's recovery path
+    // restores the last micro-checkpoint and re-drains.
+    bool faulted = false;
+    std::string fault_site;
     // Views whose own message budgets ran out during the drain. Each was
     // aborted in place (queued traffic purged and uncharged, metrics frozen
     // via RuntimeBase::AbortForBudget); co-resident views kept draining.
@@ -132,6 +148,23 @@ class Substrate {
   // aborted immediately — exactly the cutoff semantics a solo run had —
   // while the drain continues for the survivors.
   DrainOutcome DrainToFixpoint(const DrainBudget& budget);
+
+  // --- Fault injection ------------------------------------------------------
+
+  // The substrate's fault injector (null on a lossless, fault-free
+  // substrate). Owned jointly with the Session that threads it through
+  // rebuilds.
+  fault::FaultInjector* fault_injector() const { return injector_.get(); }
+
+  // Installs a barrier hook the drain loops call every `interval`
+  // generations (superstep barriers on a sharded drain, delivery rounds on
+  // the sequential one) with all workers joined — Session points it at its
+  // micro-checkpoint capture. interval == 0 disables periodic invocation.
+  void set_barrier_hook(std::function<void()> hook, uint64_t interval) {
+    barrier_hook_ = std::move(hook);
+    hook_interval_ = interval;
+    gens_since_hook_ = 0;
+  }
 
  private:
   // Per-drain budget bookkeeping: one slot per namespace, baselines taken at
@@ -166,6 +199,13 @@ class Substrate {
   DrainOutcome DrainSequential(const DrainBudget& budget);
   // Superstep drain across router shards.
   DrainOutcome DrainSupersteps(const DrainBudget& budget);
+  // Ticks the injector's generation clock and polls the coordinator-side
+  // infrastructure faults. Returns true (and fills `out`) when one fired —
+  // the drain stops with queues intact so recovery can roll back.
+  bool PollFault(DrainOutcome* out);
+  // Invokes the barrier hook every hook_interval_ generations (workers
+  // joined at the call site).
+  void MaybeBarrierHook();
   // True when every attached view's maintenance mode is safe to drain on
   // parallel workers (per-node state only, no mid-drain variable
   // allocation): everything but ProvMode::kRelative.
@@ -182,6 +222,11 @@ class Substrate {
   // branch-free, unlike vector<bool>).
   std::vector<char> dead_;
   size_t num_dead_ = 0;
+  // Fault injection (null when the options enabled none).
+  std::shared_ptr<fault::FaultInjector> injector_;
+  std::function<void()> barrier_hook_;
+  uint64_t hook_interval_ = 0;
+  uint64_t gens_since_hook_ = 0;
 };
 
 }  // namespace recnet

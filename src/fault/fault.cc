@@ -1,0 +1,180 @@
+#include "fault/fault.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace recnet {
+namespace fault {
+namespace {
+
+// Site tags keep the per-site decision streams independent even when their
+// numeric keys coincide.
+constexpr uint64_t kSiteWorkerDeath = 0x9e3779b97f4a7c15ull;
+constexpr uint64_t kSiteAllocFail = 0xbf58476d1ce4e5b9ull;
+constexpr uint64_t kSiteSnapshotTear = 0x94d049bb133111ebull;
+constexpr uint64_t kSiteLinkDrop = 0x2545f4914f6cdd1dull;
+constexpr uint64_t kSiteLinkDup = 0xd6e8feb86659fd93ull;
+
+uint64_t Mix(uint64_t x) {
+  // SplitMix64 finalizer: full-avalanche, so nearby keys give independent
+  // draws.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string FaultPlan::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "seed=%llu,kill_gen=%lld,death=%g,alloc=%g,tear=%g,"
+                "drop=%g,dup=%g,max_attempts=%u",
+                static_cast<unsigned long long>(seed),
+                static_cast<long long>(kill_at_generation), worker_death_rate,
+                alloc_fail_rate, snapshot_tear_rate, link_drop_rate,
+                link_dup_rate, max_drop_attempts);
+  return buf;
+}
+
+double FaultInjector::Draw(uint64_t site_tag, uint64_t a, uint64_t b,
+                           uint64_t c) const {
+  uint64_t h = Mix(plan_.seed ^ site_tag);
+  h = Mix(h ^ Mix(epoch_));
+  h = Mix(h ^ Mix(a));
+  h = Mix(h ^ Mix(b));
+  h = Mix(h ^ Mix(c));
+  // Top 53 bits -> [0,1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::ShouldKillWorker(std::string* site) {
+  if (plan_.kill_at_generation >= 0 &&
+      generation_ == static_cast<uint64_t>(plan_.kill_at_generation)) {
+    if (site != nullptr) {
+      *site = "worker-death@gen=" + std::to_string(generation_);
+    }
+    return true;
+  }
+  if (plan_.worker_death_rate > 0.0 &&
+      Draw(kSiteWorkerDeath, generation_, 0, 0) < plan_.worker_death_rate) {
+    if (site != nullptr) {
+      *site = "worker-death@gen=" + std::to_string(generation_) +
+              ",epoch=" + std::to_string(epoch_);
+    }
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::ShouldFailAlloc(std::string* site) {
+  if (plan_.alloc_fail_rate > 0.0 &&
+      Draw(kSiteAllocFail, generation_, 0, 0) < plan_.alloc_fail_rate) {
+    if (site != nullptr) {
+      *site = "alloc-fail@gen=" + std::to_string(generation_) +
+              ",epoch=" + std::to_string(epoch_);
+    }
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::ShouldTearSnapshot() {
+  if (plan_.snapshot_tear_rate <= 0.0) return false;
+  return Draw(kSiteSnapshotTear, checkpoints_++, 0, 0) <
+         plan_.snapshot_tear_rate;
+}
+
+bool FaultInjector::ShouldDropLink(uint64_t key_trig, uint32_t key_sub,
+                                   uint32_t attempts) {
+  if (plan_.link_drop_rate <= 0.0) return false;
+  if (attempts >= plan_.max_drop_attempts) return false;  // Force-deliver.
+  return Draw(kSiteLinkDrop, key_trig, key_sub, attempts) <
+         plan_.link_drop_rate;
+}
+
+bool FaultInjector::ShouldDuplicateLink(uint64_t key_trig, uint32_t key_sub) {
+  if (plan_.link_dup_rate <= 0.0) return false;
+  return Draw(kSiteLinkDup, key_trig, key_sub, 0) < plan_.link_dup_rate;
+}
+
+namespace {
+
+Status ParseU64(const std::string& key, const std::string& val,
+                uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(val.c_str(), &end, 10);
+  if (end == val.c_str() || *end != '\0') {
+    return Status::InvalidArgument("fault spec: '" + key +
+                                   "' wants an integer, got '" + val + "'");
+  }
+  return Status::OK();
+}
+
+Status ParseRate(const std::string& key, const std::string& val,
+                 double* out) {
+  char* end = nullptr;
+  *out = std::strtod(val.c_str(), &end);
+  if (end == val.c_str() || *end != '\0') {
+    return Status::InvalidArgument("fault spec: '" + key +
+                                   "' wants a number, got '" + val + "'");
+  }
+  if (*out < 0.0 || *out > 1.0) {
+    return Status::InvalidArgument("fault spec: '" + key +
+                                   "' must be in [0,1], got '" + val + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
+  FaultPlan plan;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string pair = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (pair.empty()) continue;
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault spec: expected key=value, got '" +
+                                     pair + "'");
+    }
+    const std::string key = pair.substr(0, eq);
+    const std::string val = pair.substr(eq + 1);
+    if (key == "seed") {
+      RECNET_RETURN_IF_ERROR(ParseU64(key, val, &plan.seed));
+    } else if (key == "kill_gen") {
+      uint64_t gen = 0;
+      RECNET_RETURN_IF_ERROR(ParseU64(key, val, &gen));
+      plan.kill_at_generation = static_cast<int64_t>(gen);
+    } else if (key == "death") {
+      RECNET_RETURN_IF_ERROR(ParseRate(key, val, &plan.worker_death_rate));
+    } else if (key == "alloc") {
+      RECNET_RETURN_IF_ERROR(ParseRate(key, val, &plan.alloc_fail_rate));
+    } else if (key == "tear") {
+      RECNET_RETURN_IF_ERROR(ParseRate(key, val, &plan.snapshot_tear_rate));
+    } else if (key == "drop") {
+      RECNET_RETURN_IF_ERROR(ParseRate(key, val, &plan.link_drop_rate));
+    } else if (key == "dup") {
+      RECNET_RETURN_IF_ERROR(ParseRate(key, val, &plan.link_dup_rate));
+    } else if (key == "max_attempts") {
+      uint64_t n = 0;
+      RECNET_RETURN_IF_ERROR(ParseU64(key, val, &n));
+      if (n == 0) {
+        return Status::InvalidArgument(
+            "fault spec: 'max_attempts' must be >= 1");
+      }
+      plan.max_drop_attempts = static_cast<uint32_t>(n);
+    } else {
+      return Status::InvalidArgument("fault spec: unknown key '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+}  // namespace fault
+}  // namespace recnet

@@ -1,0 +1,153 @@
+#ifndef RECNET_FAULT_FAULT_H_
+#define RECNET_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace recnet {
+namespace fault {
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection.
+//
+// The paper's setting is recursive view maintenance over *unreliable*
+// networks; this module is how the reproduction exercises that setting
+// without giving up replayability. A FaultPlan describes WHICH faults a run
+// should suffer; a FaultInjector decides WHEN they fire as a pure function
+// of (seed, recovery epoch, injection site, site-local counters) — never
+// wall clock, thread ids, or addresses — so every failure schedule is
+// exactly reproducible from the seed alone.
+//
+// Two fault classes with different contracts:
+//  * Infrastructure faults (worker death mid-superstep, allocation failure,
+//    torn snapshot writes) surface as StatusCode::kUnavailable and are
+//    MASKED by Session's micro-checkpoint + RecoverFromFault machinery: a
+//    killed-and-recovered run finishes with Scan results and per-view
+//    traffic counters bit-identical to an uninterrupted run.
+//  * Network faults (seeded drop/duplication on shard-boundary links) are a
+//    lossy WORKLOAD mode: dropped envelopes are retried at the next
+//    superstep barrier (bounded by max_drop_attempts, so delivery is
+//    eventual) and duplicates are delivered twice. The acceptance contract
+//    is convergence to the same fixpoint, not identical traffic.
+// ---------------------------------------------------------------------------
+
+// What to inject. Default-constructed = no faults (enabled() is false).
+struct FaultPlan {
+  // Seed for every injection decision. Two runs with the same plan see the
+  // same failure schedule.
+  uint64_t seed = 0;
+
+  // --- Infrastructure faults (masked by recovery) --------------------------
+  // One-shot: kill the drain when the injector's generation clock reaches
+  // exactly this value (< 0 = off). The clock ticks once per superstep
+  // generation (sharded drain) / per delivery round (sequential drain) and
+  // is never rewound by recovery, so the kill fires exactly once.
+  int64_t kill_at_generation = -1;
+  // Per-generation probability of a shard-worker death. Re-randomized per
+  // recovery epoch, so a recovered run is not doomed to re-die at the same
+  // point.
+  double worker_death_rate = 0.0;
+  // Per-generation probability of a simulated BDD/operator allocation
+  // failure (same masking contract as worker death).
+  double alloc_fail_rate = 0.0;
+  // Probability that a Session::Checkpoint write tears: a truncated
+  // `<path>.tmp` is left behind, the target is untouched, and the call
+  // returns Unavailable.
+  double snapshot_tear_rate = 0.0;
+
+  // --- Network faults (lossy workload mode) --------------------------------
+  // Per-envelope probability that a shard-boundary message is dropped at
+  // the superstep merge (retried next generation) / duplicated on delivery.
+  // Same-shard traffic is never lossy: the paper's unreliable links are
+  // between machines, and intra-shard delivery models a local queue.
+  double link_drop_rate = 0.0;
+  double link_dup_rate = 0.0;
+  // An envelope dropped this many times is force-delivered: delivery is
+  // eventual, which is what makes the lossy mode converge.
+  uint32_t max_drop_attempts = 16;
+
+  bool enabled() const {
+    return kill_at_generation >= 0 || worker_death_rate > 0.0 ||
+           alloc_fail_rate > 0.0 || snapshot_tear_rate > 0.0 || lossy();
+  }
+  bool lossy() const { return link_drop_rate > 0.0 || link_dup_rate > 0.0; }
+
+  std::string ToString() const;
+};
+
+// How Session masks infrastructure faults. Default-constructed = recovery
+// off: a fault surfaces as Unavailable to the caller.
+struct RecoveryPolicy {
+  bool enabled = false;
+  // Recovery attempts per Apply before giving up and returning the fault.
+  int max_recoveries = 8;
+  // Exponential backoff between recovery attempts: sleep
+  // backoff_initial_s * backoff_factor^attempt before rebuilding the
+  // substrate. Tests use 0 to keep the suite fast.
+  double backoff_initial_s = 0.0;
+  double backoff_factor = 2.0;
+  // Refresh the micro-checkpoint every N superstep barriers (0 = only at
+  // Apply entry). Smaller intervals bound re-execution after a fault at the
+  // cost of more frequent state serialization.
+  uint64_t checkpoint_interval = 0;
+};
+
+// Decides when the plan's faults fire. All decisions are pure hashes over
+// (seed, epoch, site tag, caller-supplied keys); the only mutable state is
+// the monotone generation clock and the recovery epoch, both controlled by
+// the caller. One injector is shared across Substrate rebuilds so the clock
+// survives recovery (the one-shot kill must not re-fire on the re-run).
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // Advances the generation clock (one tick per superstep generation or
+  // sequential delivery round). Returns the new value.
+  uint64_t TickGeneration() { return ++generation_; }
+  uint64_t generation() const { return generation_; }
+
+  // Recovery bumps the epoch so rate-based decisions re-randomize: the
+  // re-executed generations draw fresh coins instead of deterministically
+  // re-dying.
+  void BumpEpoch() { ++epoch_; }
+  uint64_t epoch() const { return epoch_; }
+
+  // Infrastructure faults, polled on the coordinator thread at generation
+  // granularity. On fire, `site` names the fault for diagnostics.
+  bool ShouldKillWorker(std::string* site);
+  bool ShouldFailAlloc(std::string* site);
+  // Snapshot tear, keyed by a per-checkpoint counter so successive
+  // checkpoints draw independent coins.
+  bool ShouldTearSnapshot();
+
+  // Network faults, decided per shard-boundary envelope at the superstep
+  // merge. Keys are the envelope's pre-merge stamp — stable across shard
+  // counts of the SAME configuration, so a lossy run replays exactly.
+  bool ShouldDropLink(uint64_t key_trig, uint32_t key_sub, uint32_t attempts);
+  bool ShouldDuplicateLink(uint64_t key_trig, uint32_t key_sub);
+
+ private:
+  // Uniform [0,1) draw from the decision keys (SplitMix64-style mixing).
+  double Draw(uint64_t site_tag, uint64_t a, uint64_t b, uint64_t c) const;
+
+  FaultPlan plan_;
+  uint64_t generation_ = 0;
+  uint64_t epoch_ = 0;
+  uint64_t checkpoints_ = 0;
+};
+
+// Parses a bench/CLI fault spec: comma-separated key=value pairs, e.g.
+//   "seed=7,kill_gen=12,death=0.001,alloc=0.0,drop=0.01,dup=0.005,
+//    tear=0.5,max_attempts=16"
+// Unknown keys, malformed numbers, and out-of-range rates are typed
+// InvalidArgument errors.
+StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec);
+
+}  // namespace fault
+}  // namespace recnet
+
+#endif  // RECNET_FAULT_FAULT_H_

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "fault/fault.h"
 
 namespace recnet {
 namespace {
@@ -34,6 +35,9 @@ void NetworkStats::Reset() {
   batches = 0;
   aborted_runs = 0;
   dropped_messages = 0;
+  link_dropped = 0;
+  link_duplicated = 0;
+  link_retried = 0;
   std::fill(per_peer_bytes.begin(), per_peer_bytes.end(), 0);
 }
 
@@ -49,6 +53,9 @@ void NetworkStats::Accumulate(const NetworkStats& o) {
   batches += o.batches;
   aborted_runs += o.aborted_runs;
   dropped_messages += o.dropped_messages;
+  link_dropped += o.link_dropped;
+  link_duplicated += o.link_duplicated;
+  link_retried += o.link_retried;
   if (per_peer_bytes.size() < o.per_peer_bytes.size()) {
     per_peer_bytes.resize(o.per_peer_bytes.size(), 0);
   }
@@ -164,7 +171,9 @@ std::vector<bdd::Var> Router::AcquireKillBuffer(LogicalNode src) {
 
 size_t Router::pending() const {
   size_t n = 0;
-  for (const RouterShard& s : shards_) n += s.queued() + s.outgoing();
+  for (const RouterShard& s : shards_) {
+    n += s.queued() + s.outgoing() + s.retry.size();
+  }
   return n;
 }
 
@@ -225,13 +234,22 @@ size_t Router::PrepareGeneration() {
   // sequence-sorted. Consumed buffers are recycled in place (cleared, not
   // freed), so steady-state generations reuse envelope storage.
   merge_sources_.clear();
+  const bool lossy = injector_ != nullptr && injector_->plan().lossy();
   size_t total = 0;
   for (RouterShard& s : shards_) {
     s.queue.clear();
     s.head = 0;
+    // Lossy mode: previously dropped envelopes re-enter this merge. They
+    // are moved aside first so a repeat drop appends to an empty `retry`
+    // instead of the buffer being iterated.
+    if (!s.retry.empty()) {
+      std::swap(s.retry, s.retry_scratch);
+      merge_sources_.push_back(MergeSource{&s.retry_scratch, 0, true});
+      total += s.retry_scratch.size();
+    }
     for (std::vector<Envelope>& mailbox : s.mailboxes) {
       if (!mailbox.empty()) {
-        merge_sources_.push_back(MergeSource{&mailbox, 0});
+        merge_sources_.push_back(MergeSource{&mailbox, 0, false});
         total += mailbox.size();
       }
     }
@@ -254,12 +272,51 @@ size_t Router::PrepareGeneration() {
     }
     if (best == nullptr) break;
     Envelope& env = (*best->mailbox)[best->next++];
+    const size_t dst_shard = static_cast<size_t>(ShardOf(env.dst));
+    bool duplicate = false;
+    if (lossy && ShardOf(env.src) != static_cast<int>(dst_shard)) {
+      // Decisions key on the envelope's pre-merge stamp, which uniquely
+      // identifies the send, so a retried envelope draws a fresh coin per
+      // attempt while a given (plan, workload) replays exactly.
+      if (injector_->ShouldDropLink(env.key_trig, env.key_sub,
+                                    env.attempts)) {
+        NetworkStats& st =
+            shards_[static_cast<size_t>(ShardOf(env.src))]
+                .stats[static_cast<size_t>(NamespaceOf(env.port))];
+        ++st.link_dropped;
+        Envelope dropped = std::move(env);
+        ++dropped.attempts;  // Keeps its ordering key for the next merge.
+        shards_[dst_shard].retry.push_back(std::move(dropped));
+        continue;  // No sequence number consumed.
+      }
+      if (best->is_retry) {
+        ++shards_[static_cast<size_t>(ShardOf(env.src))]
+              .stats[static_cast<size_t>(NamespaceOf(env.port))]
+              .link_retried;
+      }
+      duplicate = injector_->ShouldDuplicateLink(env.key_trig, env.key_sub);
+    }
+    if (duplicate) {
+      // The duplicate is real wire traffic: charged like any send, delivered
+      // right after the original with its own sequence number. Fixpoints are
+      // insensitive to it (re-derivations are absorbed, kills are idempotent).
+      Envelope copy(env.src, env.dst, env.port, Update(env.update));
+      ChargeSend(copy.src, copy.dst, copy.port, copy.update);
+      ++shards_[static_cast<size_t>(ShardOf(env.src))]
+            .stats[static_cast<size_t>(NamespaceOf(env.port))]
+            .link_duplicated;
+      env.key_trig = next_seq_++;
+      shards_[dst_shard].queue.push_back(std::move(env));
+      copy.key_trig = next_seq_++;
+      shards_[dst_shard].queue.push_back(std::move(copy));
+      continue;
+    }
     env.key_trig = next_seq_++;  // Now the envelope's own sequence number.
-    shards_[static_cast<size_t>(ShardOf(env.dst))].queue.push_back(
-        std::move(env));
+    shards_[dst_shard].queue.push_back(std::move(env));
   }
   for (RouterShard& s : shards_) {
     for (std::vector<Envelope>& mailbox : s.mailboxes) mailbox.clear();
+    s.retry_scratch.clear();
   }
   return total;
 }
@@ -521,6 +578,11 @@ void Router::PurgeNamespace(int ns) {
       mailbox.erase(std::remove_if(mailbox.begin(), mailbox.end(), in_ns),
                     mailbox.end());
     }
+    for (const Envelope& env : s.retry) {
+      if (in_ns(env)) UnchargeSend(env);
+    }
+    s.retry.erase(std::remove_if(s.retry.begin(), s.retry.end(), in_ns),
+                  s.retry.end());
     // Retired envelopes (the consumed prefix of the last generation) are
     // normally recycled at the next PrepareGeneration; a detaching
     // namespace must not leave its provenance handles alive in them, so
@@ -546,8 +608,63 @@ void Router::AbortRun(int ns) {
       for (const Envelope& env : mailbox) UnchargeSend(env);
       mailbox.clear();
     }
+    for (const Envelope& env : s.retry) UnchargeSend(env);
+    s.retry.clear();
   }
   ++shards_[0].stats[static_cast<size_t>(ns)].aborted_runs;
+}
+
+Router::FlowState Router::SaveFlowState() const {
+  FlowState fs;
+  fs.next_seq = next_seq_;
+  fs.ext_trig = ext_trig_;
+  fs.ext_sub = ext_sub_;
+  fs.delivered = delivered();
+  return fs;
+}
+
+void Router::RestoreFlowState(const FlowState& fs) {
+  next_seq_ = fs.next_seq;
+  ext_trig_ = fs.ext_trig;
+  ext_sub_ = fs.ext_sub;
+  shards_[0].delivered = fs.delivered;
+}
+
+void Router::RestoreDeliveredByNs(int ns, uint64_t delivered) {
+  shards_[0].delivered_by_ns[static_cast<size_t>(ns)] = delivered;
+}
+
+void Router::ForEachPendingEnvelope(
+    const std::function<void(EnvelopeHome, const Envelope&)>& fn) const {
+  for (const RouterShard& s : shards_) {
+    for (size_t i = s.head; i < s.queue.size(); ++i) {
+      fn(EnvelopeHome::kQueue, s.queue[i]);
+    }
+    for (const std::vector<Envelope>& mailbox : s.mailboxes) {
+      for (const Envelope& env : mailbox) fn(EnvelopeHome::kMailbox, env);
+    }
+    for (const Envelope& env : s.retry) fn(EnvelopeHome::kRetry, env);
+  }
+}
+
+void Router::RestoreEnvelope(EnvelopeHome home, Envelope&& env) {
+  switch (home) {
+    case EnvelopeHome::kQueue:
+      // Queue tails are captured per shard in sequence order and the queue
+      // is keyed by the destination shard, so append order is preserved.
+      shards_[static_cast<size_t>(ShardOf(env.dst))].queue.push_back(
+          std::move(env));
+      break;
+    case EnvelopeHome::kMailbox:
+      shards_[static_cast<size_t>(ShardOf(env.src))]
+          .mailboxes[static_cast<size_t>(ShardOf(env.dst))]
+          .push_back(std::move(env));
+      break;
+    case EnvelopeHome::kRetry:
+      shards_[static_cast<size_t>(ShardOf(env.dst))].retry.push_back(
+          std::move(env));
+      break;
+  }
 }
 
 }  // namespace recnet

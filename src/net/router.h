@@ -12,6 +12,10 @@
 
 namespace recnet {
 
+namespace fault {
+class FaultInjector;
+}  // namespace fault
+
 // Discrete, deterministic substitute for the paper's cluster + FreePastry
 // transport: logical query-processing nodes exchange updates over reliable
 // FIFO channels, and logical nodes are mapped onto a configurable number of
@@ -219,6 +223,50 @@ class Router {
   // the same ownership rule as Send (src is the node being processed).
   std::vector<bdd::Var> AcquireKillBuffer(LogicalNode src);
 
+  // --- Fault injection ------------------------------------------------------
+
+  // Arms lossy-link mode: shard-boundary envelopes consult the injector's
+  // drop/duplication decisions at every superstep barrier. The injector is
+  // owned by the caller (Substrate) and must outlive the router. Null
+  // disarms. Intra-shard traffic is never lossy, so a single-shard router
+  // is unaffected.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
+  // --- Micro-checkpoint support (session fault tolerance) -------------------
+  //
+  // Session's barrier-consistent micro-checkpoints serialize the router's
+  // ordering context and every in-flight envelope, so a rebuilt substrate
+  // resumes the EXACT delivery schedule (global sequence numbers included)
+  // of the faulted run. Only coordinator-side state is covered — these are
+  // called between delivery runs, never while workers are active.
+
+  struct FlowState {
+    uint64_t next_seq = 1;
+    uint64_t ext_trig = 0;
+    uint32_t ext_sub = 0;
+    uint64_t delivered = 0;
+  };
+  FlowState SaveFlowState() const;
+  // Restores the ordering context; the delivered total is loaded into shard
+  // 0 (like LoadStats, the per-shard split is not observable).
+  void RestoreFlowState(const FlowState& fs);
+  void RestoreDeliveredByNs(int ns, uint64_t delivered);
+
+  // Where an in-flight envelope was captured: the undelivered tail of a
+  // generation queue (already sequence-stamped), a pre-merge mailbox (still
+  // carrying its send-order key), or a lossy-mode retry buffer.
+  enum class EnvelopeHome { kQueue, kMailbox, kRetry };
+  // Visits every in-flight envelope: per shard the queue tail in sequence
+  // order, then each mailbox in send order, then the retry buffer.
+  void ForEachPendingEnvelope(
+      const std::function<void(EnvelopeHome, const Envelope&)>& fn) const;
+  // Re-enqueues a captured envelope into the home its endpoints imply.
+  // Envelopes must be replayed in capture order (the buffers' internal
+  // ordering invariants rely on it).
+  void RestoreEnvelope(EnvelopeHome home, Envelope&& env);
+
  private:
   // The namespace owning absolute port `port`. Out-of-range ports fall into
   // the last namespace, so a single-namespace router accepts any port.
@@ -278,8 +326,15 @@ class Router {
   struct MergeSource {
     std::vector<Envelope>* mailbox;
     size_t next;
+    // Source is a retry buffer (lossy mode): a merged envelope counts as
+    // link_retried.
+    bool is_retry;
   };
   std::vector<MergeSource> merge_sources_;
+
+  // Lossy-link mode (null = lossless). Consulted only at superstep barriers
+  // on the coordinating thread.
+  fault::FaultInjector* injector_ = nullptr;
 
   static thread_local int tls_shard_;
 };

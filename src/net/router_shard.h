@@ -35,6 +35,13 @@ struct NetworkStats {
   // when a figure cell is reported as "did not complete".
   uint64_t aborted_runs = 0;
   uint64_t dropped_messages = 0;
+  // Lossy-link accounting (fault-injected runs only): shard-boundary
+  // envelopes dropped at a superstep barrier, duplicated on delivery, and
+  // successfully re-delivered after a drop. Charged to the sending node's
+  // namespace like every other traffic counter.
+  uint64_t link_dropped = 0;
+  uint64_t link_duplicated = 0;
+  uint64_t link_retried = 0;
   std::vector<uint64_t> per_peer_bytes;
 
   double AvgProvBytesPerTuple() const {
@@ -70,6 +77,12 @@ struct Envelope {
   int port = 0;  // Which operator input at the destination.
   uint64_t key_trig = 0;
   uint32_t key_sub = 0;
+  // Lossy-link mode: how many superstep barriers dropped this envelope so
+  // far. A dropped envelope keeps its pre-merge ordering key, so a retry
+  // sorts before newer traffic; at FaultPlan::max_drop_attempts it is
+  // force-delivered (delivery is eventual). Occupies the padding hole after
+  // key_sub, so the struct size is unchanged.
+  uint32_t attempts = 0;
   Update update;
 };
 
@@ -113,6 +126,13 @@ struct RouterShard {
   // Recycled kill-list buffers scavenged from delivered kill envelopes
   // (the arena behind Update::Kill; see Router::AcquireKillBuffer).
   std::vector<std::vector<bdd::Var>> kill_pool;
+  // Lossy-link mode: envelopes bound for THIS shard that a superstep
+  // barrier dropped, still carrying their pre-merge ordering keys. They
+  // re-enter the next barrier merge (via `retry_scratch`, so a repeat drop
+  // cannot append to the buffer being merged) and therefore stay pending
+  // until delivered.
+  std::vector<Envelope> retry;
+  std::vector<Envelope> retry_scratch;
 
   size_t queued() const { return queue.size() - head; }
   size_t outgoing() const {

@@ -147,6 +147,9 @@ void SnapshotWriter::PutStats(const NetworkStats& s) {
   out_->U64(s.batches);
   out_->U64(s.aborted_runs);
   out_->U64(s.dropped_messages);
+  out_->U64(s.link_dropped);
+  out_->U64(s.link_duplicated);
+  out_->U64(s.link_retried);
   out_->U64(s.per_peer_bytes.size());
   for (uint64_t b : s.per_peer_bytes) out_->U64(b);
 }
@@ -162,6 +165,10 @@ void SnapshotWriter::PutMetrics(const RunMetrics& m) {
   out_->U64(m.batches);
   out_->U64(m.aborted_runs);
   out_->U64(m.dropped_messages);
+  out_->U64(m.link_dropped);
+  out_->U64(m.link_duplicated);
+  out_->U64(m.link_retried);
+  out_->U64(m.recoveries);
   out_->Bool(m.converged);
 }
 
@@ -232,6 +239,9 @@ NetworkStats SnapshotReader::GetStats() {
   s.batches = in_->U64();
   s.aborted_runs = in_->U64();
   s.dropped_messages = in_->U64();
+  s.link_dropped = in_->U64();
+  s.link_duplicated = in_->U64();
+  s.link_retried = in_->U64();
   uint64_t peers = in_->Count(8);
   s.per_peer_bytes.reserve(peers);
   for (uint64_t i = 0; i < peers; ++i) s.per_peer_bytes.push_back(in_->U64());
@@ -250,6 +260,10 @@ RunMetrics SnapshotReader::GetMetrics() {
   m.batches = in_->U64();
   m.aborted_runs = in_->U64();
   m.dropped_messages = in_->U64();
+  m.link_dropped = in_->U64();
+  m.link_duplicated = in_->U64();
+  m.link_retried = in_->U64();
+  m.recoveries = in_->U64();
   m.converged = in_->Bool();
   return m;
 }

@@ -56,7 +56,8 @@ Status ValidatePrefix(Reader& r, const std::string& path,
 
 }  // namespace
 
-Status WriteSnapshotFile(const std::string& path, const Writer& payload) {
+Status WriteSnapshotFile(const std::string& path, const Writer& payload,
+                         size_t tear_after_bytes) {
   Writer head;
   head.U64(kSnapshotMagic);
   head.U32(kSnapshotVersion);
@@ -64,18 +65,36 @@ Status WriteSnapshotFile(const std::string& path, const Writer& payload) {
   head.U64(payload.bytes().size());
   head.U64(Fnv1a(payload.bytes().data(), payload.bytes().size()));
 
-  File f(std::fopen(path.c_str(), "wb"));
+  // Everything lands in the temporary first; `path` is only ever touched by
+  // the final rename, which the filesystem performs atomically. An injected
+  // tear stops the write short and skips the rename — the torn file is the
+  // .tmp, never the target.
+  const std::string tmp = path + ".tmp";
+  const size_t head_n = head.bytes().size();
+  const size_t total = head_n + payload.bytes().size();
+  const size_t limit = tear_after_bytes < total ? tear_after_bytes : total;
+  const size_t head_write = limit < head_n ? limit : head_n;
+  const size_t payload_write = limit - head_write;
+
+  File f(std::fopen(tmp.c_str(), "wb"));
   if (f == nullptr) {
-    return Status::InvalidArgument("cannot open for writing: " + path);
+    return Status::InvalidArgument("cannot open for writing: " + tmp);
   }
-  if (std::fwrite(head.bytes().data(), 1, head.bytes().size(), f.get()) !=
-          head.bytes().size() ||
-      std::fwrite(payload.bytes().data(), 1, payload.bytes().size(),
-                  f.get()) != payload.bytes().size()) {
-    return Status::Internal("short write: " + path);
+  if (std::fwrite(head.bytes().data(), 1, head_write, f.get()) != head_write ||
+      std::fwrite(payload.bytes().data(), 1, payload_write, f.get()) !=
+          payload_write) {
+    return Status::Internal("short write: " + tmp);
   }
   if (std::fflush(f.get()) != 0) {
-    return Status::Internal("flush failed: " + path);
+    return Status::Internal("flush failed: " + tmp);
+  }
+  f.reset();  // Close before rename: a renamed-but-open file is not durable.
+  if (limit != total) {
+    return Status::Unavailable("injected snapshot tear after " +
+                               std::to_string(limit) + " bytes: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("rename failed: " + tmp + " -> " + path);
   }
   return Status::OK();
 }

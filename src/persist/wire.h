@@ -20,7 +20,9 @@ namespace persist {
 // snapshot written on a machine with different endianness (the paper's
 // engine state is a memory image, not an interchange format).
 inline constexpr uint64_t kSnapshotMagic = 0x706B63'74656E6372ULL;  // "rcnetckp"
-inline constexpr uint32_t kSnapshotVersion = 1;
+// Version 2: NetworkStats/RunMetrics gained the lossy-link and recovery
+// counters (link_dropped / link_duplicated / link_retried / recoveries).
+inline constexpr uint32_t kSnapshotVersion = 2;
 inline constexpr uint32_t kEndianTag = 0x01020304;
 inline constexpr size_t kSnapshotHeaderBytes = 8 + 4 + 4 + 8 + 8;
 
@@ -143,10 +145,18 @@ struct SnapshotHeader {
   uint64_t checksum = 0;
 };
 
-// Writes header + payload atomically enough for our purposes (temp name
-// then rename would need <filesystem>; a failed write returns non-OK and
-// leaves a short file the reader rejects as truncated).
-Status WriteSnapshotFile(const std::string& path, const Writer& payload);
+// Crash-atomic write: header + payload go to `path + ".tmp"`, which is
+// flushed, closed, and renamed over `path` only once complete — so a crash
+// (or injected fault) mid-write never leaves a partial file at `path`; at
+// worst a torn `.tmp` remains, which the next successful write replaces.
+//
+// `tear_after_bytes` is the fault-injection hook: when set to less than the
+// full container size, exactly that many bytes are written to the temporary,
+// the rename is skipped, and Unavailable is returned — modeling a process
+// death mid-checkpoint. Production callers leave it at the default (no
+// tear).
+Status WriteSnapshotFile(const std::string& path, const Writer& payload,
+                         size_t tear_after_bytes = SIZE_MAX);
 
 // Reads and validates the container. Typed failures:
 //   InvalidArgument  — wrong magic, unsupported version, endianness mismatch

@@ -488,6 +488,85 @@ TEST_F(PersistCorruptionTest, WrongMagicIsInvalidArgument) {
   EXPECT_EQ(RestoreCode(), StatusCode::kInvalidArgument);
 }
 
+// Byte-level fuzz, part 1: truncating the container at EVERY offset must
+// yield a typed error — the header probe, the size check, or the checksum
+// catches it — and never a crash, hang, or sanitizer report.
+TEST_F(PersistCorruptionTest, TruncationAtEveryOffsetIsTyped) {
+  for (size_t n = 0; n < bytes_.size(); ++n) {
+    WriteBack(std::vector<char>(bytes_.begin(),
+                                bytes_.begin() + static_cast<long>(n)));
+    std::vector<uint8_t> payload;
+    Status st = persist::ReadSnapshotPayload(path_, &payload);
+    ASSERT_FALSE(st.ok()) << "truncation to " << n << " bytes went unnoticed";
+    ASSERT_TRUE(st.code() == StatusCode::kDataLoss ||
+                st.code() == StatusCode::kInvalidArgument)
+        << "offset " << n << ": " << st.ToString();
+  }
+}
+
+// Byte-level fuzz, part 2: seeded single-bit flips anywhere in the file.
+// The checksum covers the payload and the header fields are validated, so
+// every flip must surface as DataLoss or InvalidArgument — from the raw
+// container read AND from the full Session::Restore path.
+TEST_F(PersistCorruptionTest, BitFlipFuzzIsTyped) {
+  Rng rng(0xf1a9);
+  for (int trial = 0; trial < 128; ++trial) {
+    std::vector<char> flipped = bytes_;
+    size_t at = static_cast<size_t>(rng.NextBounded(flipped.size()));
+    flipped[at] ^= static_cast<char>(1u << rng.NextBounded(8));
+    WriteBack(flipped);
+    std::vector<uint8_t> payload;
+    Status st = persist::ReadSnapshotPayload(path_, &payload);
+    ASSERT_FALSE(st.ok()) << "flip at byte " << at << " went unnoticed";
+    ASSERT_TRUE(st.code() == StatusCode::kDataLoss ||
+                st.code() == StatusCode::kInvalidArgument)
+        << "byte " << at << ": " << st.ToString();
+    StatusCode restore = RestoreCode();
+    ASSERT_TRUE(restore == StatusCode::kDataLoss ||
+                restore == StatusCode::kInvalidArgument)
+        << "byte " << at;
+  }
+}
+
+// Crash-atomic writes: WriteSnapshotFile stages into `<path>.tmp` and
+// renames only once complete, so an interrupted write never leaves a
+// partial file at the target.
+TEST(PersistTest, WriteSnapshotFileIsCrashAtomic) {
+  const std::string path = TempPath("atomic.snap");
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  auto file_size = [](const std::string& p) -> long {
+    std::ifstream in(p, std::ios::binary | std::ios::ate);
+    return in.good() ? static_cast<long>(in.tellg()) : -1;
+  };
+
+  persist::Writer payload;
+  for (uint32_t i = 0; i < 64; ++i) payload.U32(i);
+  const size_t total = persist::kSnapshotHeaderBytes + payload.bytes().size();
+
+  // Tears at every interesting boundary: nothing written, mid-header,
+  // mid-payload, one byte short. The target never appears; the tmp holds
+  // exactly the torn prefix.
+  for (size_t tear : {size_t{0}, size_t{1}, persist::kSnapshotHeaderBytes - 1,
+                      persist::kSnapshotHeaderBytes + 1, total - 1}) {
+    Status st = persist::WriteSnapshotFile(path, payload, tear);
+    EXPECT_EQ(st.code(), StatusCode::kUnavailable) << "tear " << tear;
+    EXPECT_EQ(file_size(path), -1) << "tear " << tear << " touched the target";
+    EXPECT_EQ(file_size(path + ".tmp"), static_cast<long>(tear));
+  }
+
+  // The complete write lands and consumes the tmp.
+  Status st = persist::WriteSnapshotFile(path, payload);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(file_size(path), static_cast<long>(total));
+  EXPECT_EQ(file_size(path + ".tmp"), -1);
+
+  std::vector<uint8_t> read_back;
+  ASSERT_TRUE(persist::ReadSnapshotPayload(path, &read_back).ok());
+  EXPECT_EQ(read_back, payload.bytes());
+  std::remove(path.c_str());
+}
+
 TEST(PersistTest, CheckpointRequiresDrainedQueue) {
   const Strategy strategy{"AbsorptionLazy", ProvMode::kAbsorption,
                           ShipMode::kLazy};

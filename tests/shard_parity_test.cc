@@ -39,6 +39,9 @@ void ExpectStatsEqual(const NetworkStats& got, const NetworkStats& want,
   EXPECT_EQ(got.prov_samples, want.prov_samples) << label;
   EXPECT_EQ(got.aborted_runs, want.aborted_runs) << label;
   EXPECT_EQ(got.dropped_messages, want.dropped_messages) << label;
+  EXPECT_EQ(got.link_dropped, want.link_dropped) << label;
+  EXPECT_EQ(got.link_duplicated, want.link_duplicated) << label;
+  EXPECT_EQ(got.link_retried, want.link_retried) << label;
   EXPECT_EQ(got.per_peer_bytes, want.per_peer_bytes) << label;
   // `batches` is the one permitted difference: shard-local queues can
   // coalesce runs differently than the global FIFO.
@@ -351,6 +354,36 @@ TEST(ShardParityTest, BudgetAbortCutsAtSameDelivery) {
   for (int shards : kShardCounts) {
     SCOPED_TRACE(shards);
     ExpectStatsEqual(run(shards), base, "aborted");
+  }
+}
+
+// Wall-clock cutoffs are inherently machine-dependent (see the caveat
+// above), so the deadline-exceeded drain is pinned behaviorally rather than
+// bit-for-bit: at EVERY shard count an already-expired time budget must
+// abort the run, book exactly one aborted run, purge (and uncharge) the
+// initiating view's queued envelopes, and freeze a non-converged metrics
+// snapshot — the sequential poll loop and the superstep workers' shared
+// deadline have to agree on all of that.
+TEST(ShardParityTest, DeadlineExceededDrainAbortsAtEveryShardCount) {
+  GraphWorkload w = MakeGraphWorkload(16, 40, 9);
+  for (int shards : {1, 2, 3, 7}) {
+    SCOPED_TRACE(shards);
+    Strategy absorption{"AbsorptionLazy", ProvMode::kAbsorption,
+                        ShipMode::kLazy};
+    RuntimeOptions opts = ShardedOptions(absorption, shards);
+    opts.time_budget_s = 1e-9;  // Expired before the first poll point.
+    ReachableRuntime rt(16, opts);
+    for (const auto& [src, dst] : w.inserts) rt.InsertLink(src, dst);
+    EXPECT_FALSE(rt.Run());
+    NetworkStats stats = rt.router().stats();
+    EXPECT_EQ(stats.aborted_runs, 1u);
+    EXPECT_GT(stats.dropped_messages, 0u);
+    RunMetrics m = rt.Metrics();
+    EXPECT_FALSE(m.converged);
+    // The purge uncharged the dropped envelopes: the frozen charge counter
+    // only covers deliveries that actually happened before the cutoff.
+    EXPECT_EQ(m.messages, stats.messages);
+    EXPECT_EQ(m.dropped_messages, stats.dropped_messages);
   }
 }
 
