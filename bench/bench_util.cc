@@ -142,6 +142,19 @@ void FigurePrinter::AddShardCell(const std::string& series, double x,
               m.wall_seconds, m.converged ? "" : " (>budget)");
 }
 
+void FigurePrinter::AddLossyCell(const std::string& series,
+                                 const std::string& spec, int shards,
+                                 const RunMetrics& m) {
+  lossy_cells_.push_back(LossyCell{series, spec, shards, m});
+  std::printf("  [lossy link] %s spec=%s shards=%d: dropped=%llu "
+              "retried=%llu duplicated=%llu, %.3fs wall%s\n",
+              series.c_str(), spec.c_str(), shards,
+              static_cast<unsigned long long>(m.link_dropped),
+              static_cast<unsigned long long>(m.link_retried),
+              static_cast<unsigned long long>(m.link_duplicated),
+              m.wall_seconds, m.converged ? "" : " (>budget)");
+}
+
 void FigurePrinter::PrintPanel(const std::string& panel_title,
                                double (*extract)(const RunMetrics&),
                                const char* format) const {
@@ -255,7 +268,7 @@ bool FigurePrinter::WriteJson(const std::string& path) const {
                    "\"batches\": %llu, \"aborted_runs\": %llu, "
                    "\"dropped_messages\": %llu, \"link_dropped\": %llu, "
                    "\"link_retried\": %llu, \"link_duplicated\": %llu, "
-                   "\"recoveries\": %llu, \"converged\": %s}",
+                   "\"recoveries\": %llu, \"converged\": %s",
                    static_cast<unsigned long long>(m.messages),
                    static_cast<unsigned long long>(m.kill_messages),
                    static_cast<unsigned long long>(m.batches),
@@ -266,6 +279,15 @@ bool FigurePrinter::WriteJson(const std::string& path) const {
                    static_cast<unsigned long long>(m.link_duplicated),
                    static_cast<unsigned long long>(m.recoveries),
                    m.converged ? "true" : "false");
+      // Concurrent-manager observability (appended keys; the trajectory
+      // format is append-only for the cross-PR diff scripts).
+      std::fprintf(f,
+                   ", \"bdd_stripe_contention\": %llu, "
+                   "\"bdd_store_segments\": %llu, \"bdd_cache_hit_rate\": ",
+                   static_cast<unsigned long long>(m.bdd_stripe_contention),
+                   static_cast<unsigned long long>(m.bdd_store_segments));
+      PrintJsonDouble(f, m.bdd_cache_hit_rate);
+      std::fprintf(f, "}");
     }
   }
   // Run metadata: enough to interpret a trajectory file on its own —
@@ -304,8 +326,33 @@ bool FigurePrinter::WriteJson(const std::string& path) const {
     std::fprintf(f, ", \"converged\": %s}",
                  c.metrics.converged ? "true" : "false");
   }
-  std::fprintf(f, "%s,\n  \"total_wall_seconds\": ",
-               shard_cells_.empty() ? "]" : "\n  ]");
+  std::fprintf(f, "%s", shard_cells_.empty() ? "]" : "\n  ]");
+  // Lossy-link cells (appended block): the same workload under a seeded
+  // drop/dup plan must converge to the lossless fixpoint; the counters pin
+  // the fault schedule the seed produces, so injector changes show up as a
+  // trajectory diff rather than silently reshaping the fault model.
+  if (!lossy_cells_.empty()) {
+    std::fprintf(f, ",\n  \"lossy_link\": [");
+    for (size_t i = 0; i < lossy_cells_.size(); ++i) {
+      const LossyCell& c = lossy_cells_[i];
+      std::fprintf(f,
+                   "%s\n    {\"series\": \"%s\", \"spec\": \"%s\", "
+                   "\"shards\": %d, \"messages\": %llu, "
+                   "\"link_dropped\": %llu, \"link_retried\": %llu, "
+                   "\"link_duplicated\": %llu, \"wall_seconds\": ",
+                   i == 0 ? "" : ",", JsonEscape(c.series).c_str(),
+                   JsonEscape(c.spec).c_str(), c.shards,
+                   static_cast<unsigned long long>(c.metrics.messages),
+                   static_cast<unsigned long long>(c.metrics.link_dropped),
+                   static_cast<unsigned long long>(c.metrics.link_retried),
+                   static_cast<unsigned long long>(c.metrics.link_duplicated));
+      PrintJsonDouble(f, c.metrics.wall_seconds);
+      std::fprintf(f, ", \"converged\": %s}",
+                   c.metrics.converged ? "true" : "false");
+    }
+    std::fprintf(f, "\n  ]");
+  }
+  std::fprintf(f, ",\n  \"total_wall_seconds\": ");
   PrintJsonDouble(f, total_wall);
   std::fprintf(f, "\n}\n");
   bool ok = std::fclose(f) == 0;

@@ -92,6 +92,14 @@ class FigurePrinter {
   void AddShardCell(const std::string& series, double x, int shards,
                     const RunMetrics& m);
 
+  // Records one convergence-under-loss cell: the (series) full workload
+  // re-run under the seeded lossy-link plan `spec` at `shards` shards. The
+  // trajectory pins the drop/retry/duplicate counters (fully determined by
+  // the plan seed and the workload), giving the fault model a committed
+  // baseline to diff across PRs.
+  void AddLossyCell(const std::string& series, const std::string& spec,
+                    int shards, const RunMetrics& m);
+
   // Shard count of the main figure cells (recorded in the JSON).
   void set_shards(int shards) { shards_ = shards; }
 
@@ -124,6 +132,13 @@ class FigurePrinter {
     RunMetrics metrics;
   };
 
+  struct LossyCell {
+    std::string series;
+    std::string spec;
+    int shards;
+    RunMetrics metrics;
+  };
+
   std::string figure_;
   std::string title_;
   std::string x_label_;
@@ -131,6 +146,7 @@ class FigurePrinter {
   std::vector<double> xs_;
   std::map<std::pair<std::string, double>, RunMetrics> cells_;
   std::vector<ShardCell> shard_cells_;
+  std::vector<LossyCell> lossy_cells_;
   int shards_ = 1;
   bool checkpoint_ = false;
   std::string faults_;

@@ -284,6 +284,31 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Lossy-link cell: the full-insert Absorption Lazy workload under a
+  // pinned seeded drop/dup plan at 2 shards (loss is injected on
+  // shard-boundary links, so 1 shard would make the plan inert). The
+  // drop/retry/duplicate counters are deterministic given the seed, so the
+  // recorded cell is a baseline the fault injector is diffed against.
+  {
+    static constexpr char kLossySpec[] = "seed=7,drop=0.05,dup=0.02";
+    auto plan = fault::ParseFaultSpec(kLossySpec);
+    RECNET_CHECK(plan.ok());
+    const Strategy strategy{"Absorption Lazy", ProvMode::kAbsorption,
+                            ShipMode::kLazy};
+    EngineOptions options;
+    options.num_nodes = topo.num_nodes;
+    options.runtime = MakeOptions(strategy, 12, 30'000'000);
+    options.runtime.shards = 2;
+    options.runtime.faults = plan.value();
+    auto engine = Engine::Compile(kQuery1, options);
+    if (!engine.ok()) return 1;
+    for (const LinkTuple& l : InsertionPrefix(topo, 1.0, env.seed)) {
+      (*engine)->Insert("link", {double(l.src), double(l.dst)});
+    }
+    (void)(*engine)->Apply();
+    fig.AddLossyCell(strategy.name, kLossySpec, 2, (*engine)->Metrics());
+  }
+
   fig.PrintAll();
   if (!args.json_path.empty() && !fig.WriteJson(args.json_path)) return 1;
   return 0;

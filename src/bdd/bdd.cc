@@ -9,6 +9,8 @@
 namespace recnet {
 namespace bdd {
 
+__thread int Manager::tls_worker_ = 0;
+
 uint64_t Manager::NodeHash(Var var, NodeIndex low, NodeIndex high) {
   return Mix64((static_cast<uint64_t>(low) << 32 | high) ^
                static_cast<uint64_t>(var) * 0xda942042e4dd58b5ULL);
@@ -17,14 +19,38 @@ uint64_t Manager::NodeHash(Var var, NodeIndex low, NodeIndex high) {
 Manager::Manager(const Options& options)
     : options_(options), gc_threshold_(options.gc_threshold) {
   RECNET_CHECK((options.cache_size & (options.cache_size - 1)) == 0);
-  // Terminals. They are permanently referenced and never collected.
-  nodes_.push_back(Node{kTerminalVar, kFalse, kFalse, kNilNode});  // FALSE
-  nodes_.push_back(Node{kTerminalVar, kTrue, kTrue, kNilNode});    // TRUE
-  refcount_.assign(2, 1);
-  live_nodes_ = 2;
-  // The unique-table buckets and operation caches (several MB) materialize
-  // lazily on the first node creation: set-semantics and relative-mode
-  // engines construct a Manager per run and never build a BDD node.
+  // Terminals are virtual: they are permanently live, never stored, never
+  // refcounted (Ref/Deref early-return), and never collected. live_nodes_
+  // counts them for continuity with the accounting the engine reports.
+  live_nodes_.store(2, std::memory_order_relaxed);
+  workers_.push_back(std::make_unique<WorkerSlot>());
+  worker0_ = workers_.front().get();
+  // The unique-table buckets, segment spine, and op caches (several MB)
+  // materialize lazily on the first node creation: set-semantics and
+  // relative-mode engines construct a Manager per run and never build a
+  // BDD node.
+}
+
+Manager::~Manager() {
+  if (spine_ == nullptr) return;
+  for (size_t i = 0; i < kMaxSegments; ++i) {
+    delete spine_[i].load(std::memory_order_relaxed);
+  }
+}
+
+void Manager::EnsureWorkerSlots(size_t n) {
+  while (workers_.size() < n) {
+    workers_.push_back(std::make_unique<WorkerSlot>());
+  }
+}
+
+void Manager::set_concurrent(bool enabled) {
+  // Toggled only between superstep barriers (no concurrent callers), but
+  // the first MakeNode *after* the toggle may come from a worker thread:
+  // materialize the lazily-built tables now so no worker races the
+  // one-time setup.
+  if (enabled && buckets_.empty()) EnsureTables();
+  concurrent_ = enabled;
 }
 
 void Manager::EnsureTables() {
@@ -34,42 +60,72 @@ void Manager::EnsureTables() {
   size_t buckets = 1 << 12;
   while (buckets < options_.gc_threshold) buckets <<= 1;
   buckets_.assign(buckets, kNilNode);
-  op_cache_.assign(options_.cache_size, CacheEntry{});
+  spine_ = std::make_unique<std::atomic<Segment*>[]>(kMaxSegments);
+  for (size_t i = 0; i < kMaxSegments; ++i) {
+    spine_[i].store(nullptr, std::memory_order_relaxed);
+  }
 }
 
-// Marks n visited in the current stamped traversal; returns true on first
-// visit. Replaces per-traversal unordered_sets: one byte-compare against a
-// flat array, no allocation after warm-up.
-bool Manager::VisitFirst(NodeIndex n) const {
-  if (visit_stamp_[n] == current_stamp_) return false;
-  visit_stamp_[n] = current_stamp_;
+void Manager::EnsureSegment(size_t seg) {
+  RECNET_CHECK_LT(seg, kMaxSegments);
+  if (spine_[seg].load(std::memory_order_acquire) != nullptr) return;
+  // Double-checked under a dedicated spinlock: segment allocation is rare
+  // (once per 2^16 nodes) and may race between stripes.
+  while (seg_alloc_lock_.exchange(true, std::memory_order_acquire)) {
+  }
+  if (spine_[seg].load(std::memory_order_relaxed) == nullptr) {
+    Segment* s = new Segment();
+    s->nodes = std::make_unique<Node[]>(kSegSize);
+    s->refs = std::make_unique<std::atomic<uint32_t>[]>(kSegSize);
+    for (size_t i = 0; i < kSegSize; ++i) {
+      s->refs[i].store(0, std::memory_order_relaxed);
+    }
+    spine_[seg].store(s, std::memory_order_release);
+    if (seg == 0) {
+      seg0_nodes_.store(s->nodes.get(), std::memory_order_release);
+      seg0_refs_.store(s->refs.get(), std::memory_order_release);
+    }
+    segments_allocated_.fetch_add(1, std::memory_order_relaxed);
+  }
+  seg_alloc_lock_.store(false, std::memory_order_release);
+}
+
+// Marks n visited in the worker's current stamped traversal; returns true
+// on first visit. Replaces per-traversal unordered_sets: one word-compare
+// against a flat array, no allocation after warm-up.
+bool Manager::VisitFirst(WorkerSlot& w, NodeIndex n) const {
+  if (w.visit_stamp[n] == w.current_stamp) return false;
+  w.visit_stamp[n] = w.current_stamp;
   return true;
 }
 
-void Manager::BeginTraversal() const {
-  if (visit_stamp_.size() < nodes_.size()) {
-    visit_stamp_.resize(nodes_.size(), 0);
+void Manager::BeginTraversal(WorkerSlot& w) const {
+  size_t allocated = next_index_.load(std::memory_order_relaxed);
+  if (w.visit_stamp.size() < allocated) {
+    w.visit_stamp.resize(allocated, 0);
   }
-  if (++current_stamp_ == 0) {  // Stamp wrap: reset all marks once per 2^32.
-    std::fill(visit_stamp_.begin(), visit_stamp_.end(), 0);
-    current_stamp_ = 1;
+  if (++w.current_stamp == 0) {  // Stamp wrap: reset marks once per 2^32.
+    std::fill(w.visit_stamp.begin(), w.visit_stamp.end(), 0);
+    w.current_stamp = 1;
   }
-  traverse_stack_.clear();
+  w.traverse_stack.clear();
 }
 
-bool Manager::CacheLookup(uint64_t key, NodeIndex* out) {
-  ++cache_lookups_;
-  const CacheEntry& e = op_cache_[Mix64(key) & (op_cache_.size() - 1)];
+bool Manager::CacheLookup(WorkerSlot& w, uint64_t key, NodeIndex* out) {
+  ++w.cache_lookups;
+  if (w.op_cache.empty()) return false;
+  const CacheEntry& e = w.op_cache[Mix64(key) & (w.op_cache.size() - 1)];
   if (e.key == key) {
-    ++cache_hits_;
+    ++w.cache_hits;
     *out = e.result;
     return true;
   }
   return false;
 }
 
-void Manager::CacheStore(uint64_t key, NodeIndex result) {
-  CacheEntry& e = op_cache_[Mix64(key) & (op_cache_.size() - 1)];
+void Manager::CacheStore(WorkerSlot& w, uint64_t key, NodeIndex result) {
+  if (w.op_cache.empty()) w.op_cache.assign(options_.cache_size, CacheEntry{});
+  CacheEntry& e = w.op_cache[Mix64(key) & (w.op_cache.size() - 1)];
   e.key = key;
   e.result = result;
 }
@@ -77,29 +133,43 @@ void Manager::CacheStore(uint64_t key, NodeIndex result) {
 NodeIndex Manager::MakeNode(Var var, NodeIndex low, NodeIndex high) {
   if (low == high) return low;  // Reduction rule: redundant test.
   if (buckets_.empty()) EnsureTables();
-  size_t bucket = NodeHash(var, low, high) & (buckets_.size() - 1);
-  for (NodeIndex n = buckets_[bucket]; n != kNilNode; n = nodes_[n].next) {
-    const Node& node = nodes_[n];
-    if (node.var == var && node.low == low && node.high == high) return n;
+  uint64_t hash = NodeHash(var, low, high);
+  Stripe& stripe = stripes_[hash & kStripeMask];
+  // Buckets are a power of two ≥ the stripe count, so bucket ≡ stripe
+  // (mod kStripeCount): each bucket is only ever touched under its own
+  // stripe's lock, at any bucket-array size.
+  const bool locked = concurrent_;
+  if (locked) LockStripe(stripe);
+  size_t bucket = hash & (buckets_.size() - 1);
+  for (NodeIndex n = buckets_[bucket]; n != kNilNode; n = node_at(n).next) {
+    const Node& node = node_at(n);
+    if (node.var == var && node.low == low && node.high == high) {
+      if (locked) UnlockStripe(stripe);
+      return n;
+    }
   }
-  if (table_entries_ >= buckets_.size()) {
+  if (!locked && table_entries_.load(std::memory_order_relaxed) >=
+                     buckets_.size()) {
+    // Concurrent mode defers growth to CollectAtBarrier (chains just run
+    // longer within the generation); sequential mode grows in place.
     GrowBuckets();
-    bucket = NodeHash(var, low, high) & (buckets_.size() - 1);
+    bucket = hash & (buckets_.size() - 1);
   }
   NodeIndex idx;
-  if (!free_list_.empty()) {
-    idx = free_list_.back();
-    free_list_.pop_back();
-    nodes_[idx] = Node{var, low, high, buckets_[bucket]};
-    refcount_[idx] = 0;
+  if (!stripe.free_list.empty()) {
+    idx = stripe.free_list.back();
+    stripe.free_list.pop_back();
   } else {
-    idx = static_cast<NodeIndex>(nodes_.size());
-    nodes_.push_back(Node{var, low, high, buckets_[bucket]});
-    refcount_.push_back(0);
+    idx = next_index_.fetch_add(1, std::memory_order_relaxed);
+    RECNET_CHECK_LT(idx, kMaxNodes);
+    EnsureSegment(idx >> kSegBits);
   }
+  node_at(idx) = Node{var, low, high, buckets_[bucket]};
+  ref_at(idx).store(0, std::memory_order_relaxed);
   buckets_[bucket] = idx;
-  ++table_entries_;
-  ++live_nodes_;
+  table_entries_.fetch_add(1, std::memory_order_relaxed);
+  live_nodes_.fetch_add(1, std::memory_order_relaxed);
+  if (locked) UnlockStripe(stripe);
   return idx;
 }
 
@@ -108,11 +178,11 @@ void Manager::GrowBuckets() {
   buckets_.assign(old.size() * 2, kNilNode);
   for (NodeIndex head : old) {
     for (NodeIndex n = head; n != kNilNode;) {
-      NodeIndex next = nodes_[n].next;
+      Node& node = node_at(n);
+      NodeIndex next = node.next;
       size_t bucket =
-          NodeHash(nodes_[n].var, nodes_[n].low, nodes_[n].high) &
-          (buckets_.size() - 1);
-      nodes_[n].next = buckets_[bucket];
+          NodeHash(node.var, node.low, node.high) & (buckets_.size() - 1);
+      node.next = buckets_[bucket];
       buckets_[bucket] = n;
       n = next;
     }
@@ -120,68 +190,65 @@ void Manager::GrowBuckets() {
 }
 
 NodeIndex Manager::MakeVar(Var v) {
-  MaybeLock lock(this);
   RECNET_CHECK_NE(v, kTerminalVar);
   MaybeGc();
   return MakeNode(v, kFalse, kTrue);
 }
 
 NodeIndex Manager::MakeNodeForRestore(Var var, NodeIndex low, NodeIndex high) {
-  MaybeLock lock(this);
   RECNET_CHECK_NE(var, kTerminalVar);
-  RECNET_CHECK_LT(low, nodes_.size());
-  RECNET_CHECK_LT(high, nodes_.size());
+  RECNET_CHECK_LT(low, next_index_.load(std::memory_order_relaxed));
+  RECNET_CHECK_LT(high, next_index_.load(std::memory_order_relaxed));
   return MakeNode(var, low, high);
 }
 
 NodeIndex Manager::And(NodeIndex a, NodeIndex b) {
-  MaybeLock lock(this);
   MaybeGc();
-  in_operation_ = true;
-  NodeIndex r = ApplyAndOr(Op::kAnd, a, b);
-  in_operation_ = false;
+  WorkerSlot& w = worker();
+  if (!concurrent_) in_operation_ = true;
+  NodeIndex r = ApplyAndOr(Op::kAnd, a, b, w);
+  if (!concurrent_) in_operation_ = false;
   return r;
 }
 
 NodeIndex Manager::Or(NodeIndex a, NodeIndex b) {
-  MaybeLock lock(this);
   MaybeGc();
-  in_operation_ = true;
-  NodeIndex r = ApplyAndOr(Op::kOr, a, b);
-  in_operation_ = false;
+  WorkerSlot& w = worker();
+  if (!concurrent_) in_operation_ = true;
+  NodeIndex r = ApplyAndOr(Op::kOr, a, b, w);
+  if (!concurrent_) in_operation_ = false;
   return r;
 }
 
 NodeIndex Manager::Not(NodeIndex a) {
-  MaybeLock lock(this);
   MaybeGc();
-  in_operation_ = true;
-  NodeIndex r = NotRec(a);
-  in_operation_ = false;
+  WorkerSlot& w = worker();
+  if (!concurrent_) in_operation_ = true;
+  NodeIndex r = NotRec(a, w);
+  if (!concurrent_) in_operation_ = false;
   return r;
 }
 
 NodeIndex Manager::Restrict(NodeIndex f, Var v, bool value) {
-  MaybeLock lock(this);
   MaybeGc();
-  in_operation_ = true;
-  NodeIndex r = RestrictRec(f, v, value);
-  in_operation_ = false;
+  WorkerSlot& w = worker();
+  if (!concurrent_) in_operation_ = true;
+  NodeIndex r = RestrictRec(f, v, value, w);
+  if (!concurrent_) in_operation_ = false;
   return r;
 }
 
 NodeIndex Manager::Diff(NodeIndex a, NodeIndex b) {
-  MaybeLock lock(this);
   MaybeGc();
-  in_operation_ = true;
-  NodeIndex r = ApplyDiff(a, b);
-  in_operation_ = false;
+  WorkerSlot& w = worker();
+  if (!concurrent_) in_operation_ = true;
+  NodeIndex r = ApplyDiff(a, b, w);
+  if (!concurrent_) in_operation_ = false;
   return r;
 }
 
 NodeIndex Manager::RestrictAllFalse(NodeIndex f,
                                     const std::vector<Var>& vars) {
-  MaybeLock lock(this);
   // Pin each intermediate result across the next Restrict (which may GC).
   NodeIndex r = f;
   Ref(r);
@@ -195,7 +262,8 @@ NodeIndex Manager::RestrictAllFalse(NodeIndex f,
   return r;
 }
 
-NodeIndex Manager::ApplyAndOr(Op op, NodeIndex a, NodeIndex b) {
+NodeIndex Manager::ApplyAndOr(Op op, NodeIndex a, NodeIndex b,
+                              WorkerSlot& w) {
   // Terminal cases.
   if (op == Op::kAnd) {
     if (a == kFalse || b == kFalse) return kFalse;
@@ -212,143 +280,143 @@ NodeIndex Manager::ApplyAndOr(Op op, NodeIndex a, NodeIndex b) {
   if (a > b) std::swap(a, b);
   uint64_t key = CacheKey(op, a, b);
   NodeIndex cached;
-  if (CacheLookup(key, &cached)) return cached;
+  if (CacheLookup(w, key, &cached)) return cached;
 
-  const Node& na = nodes_[a];
-  const Node& nb = nodes_[b];
+  const Node& na = node_at(a);
+  const Node& nb = node_at(b);
   Var top = std::min(na.var, nb.var);
   NodeIndex a_lo = (na.var == top) ? na.low : a;
   NodeIndex a_hi = (na.var == top) ? na.high : a;
   NodeIndex b_lo = (nb.var == top) ? nb.low : b;
   NodeIndex b_hi = (nb.var == top) ? nb.high : b;
 
-  NodeIndex lo = ApplyAndOr(op, a_lo, b_lo);
-  NodeIndex hi = ApplyAndOr(op, a_hi, b_hi);
+  NodeIndex lo = ApplyAndOr(op, a_lo, b_lo, w);
+  NodeIndex hi = ApplyAndOr(op, a_hi, b_hi, w);
   NodeIndex r = MakeNode(top, lo, hi);
-  CacheStore(key, r);
+  CacheStore(w, key, r);
   return r;
 }
 
-NodeIndex Manager::ApplyDiff(NodeIndex a, NodeIndex b) {
+NodeIndex Manager::ApplyDiff(NodeIndex a, NodeIndex b, WorkerSlot& w) {
   // Terminal cases of a ∧ ¬b.
   if (a == kFalse || b == kTrue || a == b) return kFalse;
   if (b == kFalse) return a;
-  if (a == kTrue) return NotRec(b);
+  if (a == kTrue) return NotRec(b, w);
   uint64_t key = CacheKey(Op::kDiff, a, b);
   NodeIndex cached;
-  if (CacheLookup(key, &cached)) return cached;
-  // Copy: recursive calls may grow (reallocate) the node store.
-  const Node na = nodes_[a];
-  const Node nb = nodes_[b];
+  if (CacheLookup(w, key, &cached)) return cached;
+  const Node& na = node_at(a);
+  const Node& nb = node_at(b);
   Var top = std::min(na.var, nb.var);
   NodeIndex a_lo = (na.var == top) ? na.low : a;
   NodeIndex a_hi = (na.var == top) ? na.high : a;
   NodeIndex b_lo = (nb.var == top) ? nb.low : b;
   NodeIndex b_hi = (nb.var == top) ? nb.high : b;
-  NodeIndex lo = ApplyDiff(a_lo, b_lo);
-  NodeIndex hi = ApplyDiff(a_hi, b_hi);
+  NodeIndex lo = ApplyDiff(a_lo, b_lo, w);
+  NodeIndex hi = ApplyDiff(a_hi, b_hi, w);
   NodeIndex r = MakeNode(top, lo, hi);
-  CacheStore(key, r);
+  CacheStore(w, key, r);
   return r;
 }
 
-NodeIndex Manager::NotRec(NodeIndex a) {
+NodeIndex Manager::NotRec(NodeIndex a, WorkerSlot& w) {
   if (a == kFalse) return kTrue;
   if (a == kTrue) return kFalse;
   uint64_t key = CacheKey(Op::kNot, a, 0);
   NodeIndex cached;
-  if (CacheLookup(key, &cached)) return cached;
-  // Copy: recursive calls may grow (reallocate) the node store.
-  Node n = nodes_[a];
-  NodeIndex lo = NotRec(n.low);
-  NodeIndex hi = NotRec(n.high);
+  if (CacheLookup(w, key, &cached)) return cached;
+  const Node& n = node_at(a);
+  NodeIndex lo = NotRec(n.low, w);
+  NodeIndex hi = NotRec(n.high, w);
   NodeIndex r = MakeNode(n.var, lo, hi);
-  CacheStore(key, r);
+  CacheStore(w, key, r);
   return r;
 }
 
-NodeIndex Manager::RestrictRec(NodeIndex f, Var v, bool value) {
+NodeIndex Manager::RestrictRec(NodeIndex f, Var v, bool value,
+                               WorkerSlot& w) {
   if (IsTerminal(f)) return f;
-  // Copy: recursive calls may grow (reallocate) the node store.
-  Node n = nodes_[f];
+  const Node& n = node_at(f);
   if (n.var > v) return f;  // Ordered: v cannot appear below.
   if (n.var == v) return value ? n.high : n.low;
   uint64_t key =
       CacheKey(Op::kRestrict, f,
                (static_cast<uint64_t>(v) << 1) | (value ? 1u : 0u));
   NodeIndex cached;
-  if (CacheLookup(key, &cached)) return cached;
-  NodeIndex lo = RestrictRec(n.low, v, value);
-  NodeIndex hi = RestrictRec(n.high, v, value);
+  if (CacheLookup(w, key, &cached)) return cached;
+  NodeIndex lo = RestrictRec(n.low, v, value, w);
+  NodeIndex hi = RestrictRec(n.high, v, value, w);
   NodeIndex r = MakeNode(n.var, lo, hi);
-  CacheStore(key, r);
+  CacheStore(w, key, r);
   return r;
 }
 
 size_t Manager::CountNodes(NodeIndex f) const {
-  MaybeLock lock(this);
   if (IsTerminal(f)) return 0;
+  WorkerSlot& w = worker();
   // Wire-size accounting calls this once per shipped copy of an
   // annotation; memoize per root (entries die with the next GC, which is
   // when indices can be recycled).
-  auto memo = count_memo_.find(f);
-  if (memo != count_memo_.end()) return memo->second;
-  BeginTraversal();
-  traverse_stack_.push_back(f);
+  auto memo = w.count_memo.find(f);
+  if (memo != w.count_memo.end()) return memo->second;
+  BeginTraversal(w);
+  w.traverse_stack.push_back(f);
   size_t count = 0;
-  while (!traverse_stack_.empty()) {
-    NodeIndex n = traverse_stack_.back();
-    traverse_stack_.pop_back();
-    if (IsTerminal(n) || !VisitFirst(n)) continue;
+  while (!w.traverse_stack.empty()) {
+    NodeIndex n = w.traverse_stack.back();
+    w.traverse_stack.pop_back();
+    if (IsTerminal(n) || !VisitFirst(w, n)) continue;
     ++count;
-    traverse_stack_.push_back(nodes_[n].low);
-    traverse_stack_.push_back(nodes_[n].high);
+    const Node& node = node_at(n);
+    w.traverse_stack.push_back(node.low);
+    w.traverse_stack.push_back(node.high);
   }
-  count_memo_.emplace(f, count);
+  w.count_memo.emplace(f, count);
   return count;
 }
 
 void Manager::Support(NodeIndex f, std::vector<Var>* vars) const {
-  MaybeLock lock(this);
+  WorkerSlot& w = worker();
   size_t start = vars->size();
-  BeginTraversal();
-  traverse_stack_.push_back(f);
-  while (!traverse_stack_.empty()) {
-    NodeIndex n = traverse_stack_.back();
-    traverse_stack_.pop_back();
-    if (IsTerminal(n) || !VisitFirst(n)) continue;
-    vars->push_back(nodes_[n].var);
-    traverse_stack_.push_back(nodes_[n].low);
-    traverse_stack_.push_back(nodes_[n].high);
+  BeginTraversal(w);
+  w.traverse_stack.push_back(f);
+  while (!w.traverse_stack.empty()) {
+    NodeIndex n = w.traverse_stack.back();
+    w.traverse_stack.pop_back();
+    if (IsTerminal(n) || !VisitFirst(w, n)) continue;
+    const Node& node = node_at(n);
+    vars->push_back(node.var);
+    w.traverse_stack.push_back(node.low);
+    w.traverse_stack.push_back(node.high);
   }
   std::sort(vars->begin() + start, vars->end());
   vars->erase(std::unique(vars->begin() + start, vars->end()), vars->end());
 }
 
 bool Manager::DependsOn(NodeIndex f, Var v) const {
-  MaybeLock lock(this);
-  BeginTraversal();
-  traverse_stack_.push_back(f);
-  while (!traverse_stack_.empty()) {
-    NodeIndex n = traverse_stack_.back();
-    traverse_stack_.pop_back();
-    if (IsTerminal(n) || !VisitFirst(n)) continue;
-    if (nodes_[n].var == v) return true;
-    if (nodes_[n].var > v) continue;  // Ordered: v cannot appear below.
-    traverse_stack_.push_back(nodes_[n].low);
-    traverse_stack_.push_back(nodes_[n].high);
+  WorkerSlot& w = worker();
+  BeginTraversal(w);
+  w.traverse_stack.push_back(f);
+  while (!w.traverse_stack.empty()) {
+    NodeIndex n = w.traverse_stack.back();
+    w.traverse_stack.pop_back();
+    if (IsTerminal(n) || !VisitFirst(w, n)) continue;
+    const Node& node = node_at(n);
+    if (node.var == v) return true;
+    if (node.var > v) continue;  // Ordered: v cannot appear below.
+    w.traverse_stack.push_back(node.low);
+    w.traverse_stack.push_back(node.high);
   }
   return false;
 }
 
 bool Manager::AnyWitness(NodeIndex f,
                          std::vector<std::pair<Var, bool>>* assignment) const {
-  MaybeLock lock(this);
   assignment->clear();
   if (f == kFalse) return false;
   NodeIndex n = f;
   while (!IsTerminal(n)) {
-    const Node& node = nodes_[n];
+    const Node& node = node_at(n);
     // Prefer the high branch (variable true) when it can reach TRUE; for
     // monotone provenance functions this yields a minimal witness of
     // present base tuples.
@@ -366,10 +434,9 @@ bool Manager::AnyWitness(NodeIndex f,
 
 bool Manager::Evaluate(NodeIndex f,
                        const std::unordered_map<Var, bool>& truth) const {
-  MaybeLock lock(this);
   NodeIndex n = f;
   while (!IsTerminal(n)) {
-    const Node& node = nodes_[n];
+    const Node& node = node_at(n);
     auto it = truth.find(node.var);
     bool value = (it != truth.end()) && it->second;
     n = value ? node.high : node.low;
@@ -378,7 +445,6 @@ bool Manager::Evaluate(NodeIndex f,
 }
 
 std::string Manager::ToDot(NodeIndex f) const {
-  MaybeLock lock(this);
   std::ostringstream os;
   os << "digraph bdd {\n";
   os << "  f [shape=none,label=\"f\"];\n  f -> n" << f << ";\n";
@@ -389,7 +455,7 @@ std::string Manager::ToDot(NodeIndex f) const {
     NodeIndex n = stack.back();
     stack.pop_back();
     if (IsTerminal(n) || !seen.insert(n).second) continue;
-    const Node& node = nodes_[n];
+    const Node& node = node_at(n);
     os << "  n" << n << " [label=\"x" << node.var << "\"];\n";
     os << "  n" << n << " -> n" << node.low << " [style=dashed];\n";
     os << "  n" << n << " -> n" << node.high << ";\n";
@@ -398,19 +464,6 @@ std::string Manager::ToDot(NodeIndex f) const {
   }
   os << "}\n";
   return os.str();
-}
-
-void Manager::Ref(NodeIndex n) {
-  MaybeLock lock(this);
-  RECNET_DCHECK(n < refcount_.size());
-  ++refcount_[n];
-}
-
-void Manager::Deref(NodeIndex n) {
-  MaybeLock lock(this);
-  RECNET_DCHECK(n < refcount_.size());
-  RECNET_DCHECK(refcount_[n] > 0);
-  --refcount_[n];
 }
 
 void Manager::MaybeGc() {
@@ -422,27 +475,36 @@ void Manager::MaybeGc() {
   // CollectAtBarrier() at superstep barriers, where workers are joined and
   // every live node is reachable from a Ref'd root.
   if (concurrent_) return;
-  if (live_nodes_ < gc_threshold_) return;
+  if (live_nodes_.load(std::memory_order_relaxed) < gc_threshold_) return;
   size_t freed = GarbageCollect();
   // If the collection recovered little, grow the threshold so we do not
   // thrash on workloads whose live set is genuinely large.
-  if (freed * 4 < live_nodes_ + freed) gc_threshold_ *= 2;
+  if (freed * 4 < live_nodes_.load(std::memory_order_relaxed) + freed) {
+    gc_threshold_ *= 2;
+  }
 }
 
 void Manager::CollectAtBarrier() {
-  if (live_nodes_ < gc_threshold_) return;
+  // Bucket growth deferred by concurrent MakeNode: do it here, where no
+  // workers are running.
+  while (!buckets_.empty() &&
+         table_entries_.load(std::memory_order_relaxed) >= buckets_.size()) {
+    GrowBuckets();
+  }
+  if (live_nodes_.load(std::memory_order_relaxed) < gc_threshold_) return;
   size_t freed = GarbageCollect();
-  if (freed * 4 < live_nodes_ + freed) gc_threshold_ *= 2;
+  if (freed * 4 < live_nodes_.load(std::memory_order_relaxed) + freed) {
+    gc_threshold_ *= 2;
+  }
 }
 
 size_t Manager::GarbageCollect() {
-  MaybeLock lock(this);
   ++gc_runs_;
-  std::vector<bool> marked(nodes_.size(), false);
-  marked[kFalse] = marked[kTrue] = true;
+  size_t allocated = next_index_.load(std::memory_order_relaxed);
+  std::vector<bool> marked(allocated, false);
   std::vector<NodeIndex> stack;
-  for (NodeIndex i = 0; i < nodes_.size(); ++i) {
-    if (refcount_[i] > 0 && !marked[i]) {
+  for (NodeIndex i = 2; i < allocated; ++i) {
+    if (ref_at(i).load(std::memory_order_relaxed) > 0 && !marked[i]) {
       stack.push_back(i);
       marked[i] = true;
     }
@@ -450,42 +512,73 @@ size_t Manager::GarbageCollect() {
   while (!stack.empty()) {
     NodeIndex n = stack.back();
     stack.pop_back();
-    for (NodeIndex child : {nodes_[n].low, nodes_[n].high}) {
-      if (!marked[child]) {
+    const Node& node = node_at(n);
+    for (NodeIndex child : {node.low, node.high}) {
+      if (child > kTrue && !marked[child]) {
         marked[child] = true;
         stack.push_back(child);
       }
     }
   }
-  // Sweep: rebuild the unique table and free list from the mark bits in one
-  // linear pass (every unmarked slot is free, whether it died now or was
-  // already on the free list).
-  size_t entries_before = table_entries_;
+  // Sweep: rebuild the unique table and the per-stripe free lists from the
+  // mark bits in one linear pass (every unmarked slot is free, whether it
+  // died now or was already on a free list). Free slots are distributed
+  // round-robin over stripes so recycling stays lock-local.
+  size_t entries_before = table_entries_.load(std::memory_order_relaxed);
   std::fill(buckets_.begin(), buckets_.end(), kNilNode);
-  free_list_.clear();
-  table_entries_ = 0;
-  for (NodeIndex i = 2; i < nodes_.size(); ++i) {
+  for (Stripe& s : stripes_) s.free_list.clear();
+  size_t entries = 0;
+  for (NodeIndex i = 2; i < allocated; ++i) {
     if (!marked[i]) {
-      free_list_.push_back(i);
+      stripes_[i & kStripeMask].free_list.push_back(i);
       continue;
     }
-    size_t bucket = NodeHash(nodes_[i].var, nodes_[i].low, nodes_[i].high) &
+    Node& node = node_at(i);
+    size_t bucket = NodeHash(node.var, node.low, node.high) &
                     (buckets_.size() - 1);
-    nodes_[i].next = buckets_[bucket];
+    node.next = buckets_[bucket];
     buckets_[bucket] = i;
-    ++table_entries_;
+    ++entries;
   }
-  size_t freed = entries_before - table_entries_;
-  live_nodes_ -= freed;
+  table_entries_.store(entries, std::memory_order_relaxed);
+  size_t freed = entries_before - entries;
+  live_nodes_.fetch_sub(freed, std::memory_order_relaxed);
   ClearCaches();
   return freed;
 }
 
 void Manager::ClearCaches() {
-  std::fill(op_cache_.begin(), op_cache_.end(), CacheEntry{});
-  // Node indices are recycled after a collection; memoized counts keyed by
-  // root index would go stale.
-  count_memo_.clear();
+  // Node indices are recycled after a collection; cached results and
+  // memoized counts keyed by index would go stale. Every worker's private
+  // caches are cleared together (callers guarantee quiescence).
+  for (const std::unique_ptr<WorkerSlot>& w : workers_) {
+    std::fill(w->op_cache.begin(), w->op_cache.end(), CacheEntry{});
+    w->count_memo.clear();
+  }
+}
+
+uint64_t Manager::cache_hits() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<WorkerSlot>& w : workers_) {
+    total += w->cache_hits;
+  }
+  return total;
+}
+
+uint64_t Manager::cache_lookups() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<WorkerSlot>& w : workers_) {
+    total += w->cache_lookups;
+  }
+  return total;
+}
+
+uint64_t Manager::stripe_contention() const {
+  uint64_t total = 0;
+  for (const Stripe& s : stripes_) {
+    total += s.contended.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 }  // namespace bdd

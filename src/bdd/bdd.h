@@ -1,8 +1,10 @@
 #ifndef RECNET_BDD_BDD_H_
 #define RECNET_BDD_BDD_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -33,43 +35,73 @@ inline constexpr NodeIndex kTrue = 1;
 // reference counting with mark-and-sweep garbage collection.
 //
 // The unique table is intrusive: each node carries the index of the next
-// node in its hash bucket, so a MakeNode is one bucket probe over the
-// contiguous node array with no per-entry allocation — the dominant cost of
-// every provenance composition in an engine run.
+// node in its hash bucket, so a MakeNode is one bucket probe with no
+// per-entry allocation — the dominant cost of every provenance composition
+// in an engine run.
 //
-// Threading: single-threaded by default (the conditional lock below is a
-// plain branch). During a parallel sharded drain the engine calls
-// set_concurrent(true), which engages one manager-wide recursive mutex on
-// every public operation — including Ref/Deref, which fire on every Prov
-// handle copy — so shard workers can share the manager safely. Canonicity
-// makes the results order-independent: whichever worker interns a node
-// first, every equal Boolean function still resolves to the same index, so
-// semantic outcomes (and all wire-size accounting, which is per-BDD
-// structure) do not depend on the interleaving. The coarse lock serializes
-// annotation-heavy workloads; distbdd-style striped unique-table locking is
-// the planned follow-on.
+// Threading (the concurrent manager):
+//  - Node storage is a spine of append-only segments (2^16 nodes each).
+//    Interning a node never moves existing nodes, so readers traverse
+//    published BDDs without any lock while other workers intern.
+//  - The unique table is partitioned into 2^6 lock stripes (stripe =
+//    hash & 63, invariant under bucket growth, so every bucket belongs to
+//    exactly one stripe). In concurrent mode MakeNode takes only its
+//    stripe's spinlock; failed first acquisitions are counted in
+//    stripe_contention() for observability.
+//  - Ref/Deref — the per-envelope hot path, firing on every Prov handle
+//    copy — are a single relaxed fetch_add/fetch_sub on a per-node atomic.
+//    No lock, ever.
+//  - Each worker thread owns a private direct-mapped op cache, count memo,
+//    and traversal scratch (slot chosen by SetThreadWorkerSlot, wired from
+//    the router shard id during parallel drains). Caches never contend and
+//    are cleared together at barrier GC. Canonicity makes results
+//    interleaving-independent: whichever worker interns a node first, every
+//    equal Boolean function resolves to the same index, so semantic
+//    outcomes (and wire-size accounting, which is per-BDD structure) do not
+//    depend on the schedule — the shard_parity_test suite pins this.
+//  - GC stays barrier-only in concurrent mode: set_concurrent(true)
+//    suppresses automatic collection (a sibling worker may hold a
+//    just-computed index it has not Ref'd yet), and the engine calls
+//    CollectAtBarrier() at superstep barriers where workers are joined.
+//    Bucket-array growth is likewise deferred to the barrier; chains
+//    simply run longer within a generation.
 class Manager {
  public:
   struct Options {
     // GC is considered when the node store exceeds this many nodes; the
     // threshold doubles whenever a collection frees less than 25%.
     size_t gc_threshold = 1 << 17;
-    // Size (entries, power of two) of each direct-mapped operation cache.
+    // Size (entries, power of two) of each worker's direct-mapped
+    // operation cache.
     size_t cache_size = 1 << 17;
   };
 
   Manager() : Manager(Options()) {}
   explicit Manager(const Options& options);
+  ~Manager();
 
   Manager(const Manager&) = delete;
   Manager& operator=(const Manager&) = delete;
 
-  // Engages (or releases) the manager-wide operation mutex. The engine
-  // brackets parallel sharded drains with this; everything else runs
-  // lock-free as before. Must be toggled only while no concurrent callers
-  // exist (worker threads are joined at every superstep barrier).
-  void set_concurrent(bool enabled) { concurrent_ = enabled; }
+  // Enters (or leaves) concurrent mode. While concurrent: MakeNode locks
+  // its unique-table stripe, refcount updates are atomic RMWs, automatic GC
+  // and bucket growth are deferred to CollectAtBarrier(). Must be toggled
+  // only while no concurrent callers exist (worker threads are joined at
+  // every superstep barrier). Enabling materializes the unique table and
+  // segment spine so the first parallel MakeNode never races lazy setup.
+  void set_concurrent(bool enabled);
   bool concurrent() const { return concurrent_; }
+
+  // Grows the per-worker cache/scratch slot array to `n` slots (idempotent;
+  // never shrinks). Call while quiescent, before workers run.
+  void EnsureWorkerSlots(size_t n);
+  size_t worker_slots() const { return workers_.size(); }
+
+  // Binds the calling thread to per-worker slot `w` (clamped to the slots
+  // that exist). The engine sets this to the router shard id while a shard
+  // worker drains; external threads default to slot 0.
+  static void SetThreadWorkerSlot(int w) { tls_worker_ = w; }
+  static int thread_worker_slot() { return tls_worker_; }
 
   // --- Core algebra (all results are canonical ROBDD roots) ---------------
 
@@ -128,27 +160,70 @@ class Manager {
 
   // --- Reference counting & GC --------------------------------------------
 
-  void Ref(NodeIndex n);
-  void Deref(NodeIndex n);
+  // Lock-free on every path: a relaxed atomic RMW in concurrent mode, a
+  // plain load/store otherwise. Terminals are permanently live and skip the
+  // counter entirely.
+  void Ref(NodeIndex n) {
+    if (n <= kTrue) return;
+    RECNET_DCHECK(n < next_index_.load(std::memory_order_relaxed));
+    std::atomic<uint32_t>& rc = ref_at(n);
+    if (concurrent_) {
+      rc.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      rc.store(rc.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+    }
+  }
+  void Deref(NodeIndex n) {
+    if (n <= kTrue) return;
+    RECNET_DCHECK(n < next_index_.load(std::memory_order_relaxed));
+    std::atomic<uint32_t>& rc = ref_at(n);
+    if (concurrent_) {
+      rc.fetch_sub(1, std::memory_order_relaxed);
+    } else {
+      RECNET_DCHECK(rc.load(std::memory_order_relaxed) > 0);
+      rc.store(rc.load(std::memory_order_relaxed) - 1,
+               std::memory_order_relaxed);
+    }
+  }
 
   // Mark-and-sweep over externally referenced roots. Indices of live nodes
-  // are preserved. Returns the number of nodes freed.
+  // are preserved. Returns the number of nodes freed. Single-threaded
+  // contexts only (in concurrent mode, only at a quiescent barrier).
   size_t GarbageCollect();
 
   // GC poll for concurrent mode, called by the engine at superstep barriers
-  // (no workers running, so no un-Ref'd intermediates exist). Automatic GC
-  // inside operations is suppressed while concurrent() — see MaybeGc.
+  // (no workers running, so no un-Ref'd intermediates exist). Also performs
+  // the bucket-array growth that MakeNode defers while concurrent.
   void CollectAtBarrier();
 
-  size_t live_nodes() const { return live_nodes_; }
-  size_t allocated_nodes() const { return nodes_.size(); }
+  size_t live_nodes() const {
+    return live_nodes_.load(std::memory_order_relaxed);
+  }
+  size_t allocated_nodes() const {
+    return next_index_.load(std::memory_order_relaxed);
+  }
   uint64_t gc_runs() const { return gc_runs_; }
-  uint64_t cache_hits() const { return cache_hits_; }
-  uint64_t cache_lookups() const { return cache_lookups_; }
+  // Aggregated over all worker op caches.
+  uint64_t cache_hits() const;
+  uint64_t cache_lookups() const;
+  // Number of failed first acquisitions of unique-table stripe locks, over
+  // all stripes: the direct measure of MakeNode contention.
+  uint64_t stripe_contention() const;
+  // Allocated node-store segments (each 2^16 node slots).
+  size_t store_segments() const {
+    return segments_allocated_.load(std::memory_order_relaxed);
+  }
 
-  Var var_of(NodeIndex n) const { return nodes_[n].var; }
-  NodeIndex low_of(NodeIndex n) const { return nodes_[n].low; }
-  NodeIndex high_of(NodeIndex n) const { return nodes_[n].high; }
+  Var var_of(NodeIndex n) const {
+    return n <= kTrue ? kTerminalVar : node_at(n).var;
+  }
+  NodeIndex low_of(NodeIndex n) const {
+    return n <= kTrue ? n : node_at(n).low;
+  }
+  NodeIndex high_of(NodeIndex n) const {
+    return n <= kTrue ? n : node_at(n).high;
+  }
 
   // Interns one node while decoding a snapshot (children must already be
   // interned). Same hash-consing as the internal MakeNode but never triggers
@@ -163,36 +238,57 @@ class Manager {
     NodeIndex low;
     NodeIndex high;
     // Intrusive unique-table chain (next node in the same hash bucket).
-    // kNilNode terminates a chain; free-list slots are not chained.
+    // kNilNode terminates a chain; free-list slots are not chained. Only
+    // MakeNode touches it, under the stripe lock in concurrent mode.
     NodeIndex next;
   };
 
-  enum class Op : uint8_t { kAnd = 0, kOr = 1, kNot = 2, kRestrict = 3, kDiff = 4 };
+  // Node storage: fixed-capacity spine of lazily allocated segments. A
+  // segment never moves once published, so concurrent readers index it
+  // without synchronization beyond the acquire load of the spine pointer.
+  static constexpr size_t kSegBits = 16;
+  static constexpr size_t kSegSize = size_t{1} << kSegBits;
+  static constexpr size_t kSegMask = kSegSize - 1;
+  // Matches the CacheKey packing bound: operands stay below 2^30.
+  static constexpr size_t kMaxNodes = size_t{1} << 30;
+  static constexpr size_t kMaxSegments = kMaxNodes >> kSegBits;
+
+  struct Segment {
+    std::unique_ptr<Node[]> nodes;
+    std::unique_ptr<std::atomic<uint32_t>[]> refs;
+  };
+
+  // Unique-table lock stripes. Stripe choice is hash & kStripeMask —
+  // independent of the bucket count, so a bucket's stripe never changes
+  // when the table grows. Each stripe also owns a share of the free list,
+  // so post-GC recycling needs no extra lock.
+  static constexpr size_t kStripeCount = 64;
+  static constexpr size_t kStripeMask = kStripeCount - 1;
+
+  struct alignas(64) Stripe {
+    std::atomic<bool> locked{false};
+    std::atomic<uint64_t> contended{0};
+    std::vector<NodeIndex> free_list;
+  };
 
   struct CacheEntry {
     uint64_t key = ~0ULL;
     NodeIndex result = 0;
   };
 
-  // Conditional critical section: a no-op branch unless set_concurrent(true)
-  // is in effect. Recursive because public operations compose (e.g.
-  // RestrictAllFalse calls Restrict, SerializedSizeBytes calls CountNodes).
-  class MaybeLock {
-   public:
-    explicit MaybeLock(const Manager* mgr)
-        : mgr_(mgr->concurrent_ ? mgr : nullptr) {
-      if (mgr_ != nullptr) mgr_->mu_.lock();
-    }
-    ~MaybeLock() {
-      if (mgr_ != nullptr) mgr_->mu_.unlock();
-    }
-    MaybeLock(const MaybeLock&) = delete;
-    MaybeLock& operator=(const MaybeLock&) = delete;
-
-   private:
-    const Manager* mgr_;
+  // Per-worker private state: direct-mapped op cache, count memo, and the
+  // stamped traversal scratch. Indexed by the thread's worker slot.
+  struct WorkerSlot {
+    std::vector<CacheEntry> op_cache;
+    std::unordered_map<NodeIndex, size_t> count_memo;
+    std::vector<uint32_t> visit_stamp;
+    uint32_t current_stamp = 0;
+    std::vector<NodeIndex> traverse_stack;
+    uint64_t cache_hits = 0;
+    uint64_t cache_lookups = 0;
   };
 
+  enum class Op : uint8_t { kAnd = 0, kOr = 1, kNot = 2, kRestrict = 3, kDiff = 4 };
   static constexpr Var kTerminalVar = ~Var{0};
   // Chain terminator. Index 0 is the FALSE terminal, which never lives in
   // the unique table, so it doubles as the nil sentinel.
@@ -200,22 +296,61 @@ class Manager {
 
   static uint64_t NodeHash(Var var, NodeIndex low, NodeIndex high);
 
-  // Stamped visited-marking for the const traversals (CountNodes, Support,
-  // DependsOn): one stamp array reused across calls instead of a fresh
-  // unordered_set per call. Not reentrant; traversals do not nest.
-  void BeginTraversal() const;
-  bool VisitFirst(NodeIndex n) const;
+  // Segment 0 backs every index below 2^16 — the entire store for all but
+  // the largest workloads — so its base pointers are cached flat to keep
+  // the recursion's per-node cost at one predictable branch plus one
+  // indexed load (the spine's double indirection is the cold path).
+  // Relaxed reads suffice: the cache is written (under seg_alloc_lock_)
+  // before any index into segment 0 exists, and every cross-thread path
+  // that hands over an index carries an acquire/release edge.
+  Node& node_at(NodeIndex n) const {
+    if (n < kSegSize) return seg0_nodes_.load(std::memory_order_relaxed)[n];
+    return spine_[n >> kSegBits].load(std::memory_order_acquire)
+        ->nodes[n & kSegMask];
+  }
+  std::atomic<uint32_t>& ref_at(NodeIndex n) const {
+    if (n < kSegSize) return seg0_refs_.load(std::memory_order_relaxed)[n];
+    return spine_[n >> kSegBits].load(std::memory_order_acquire)
+        ->refs[n & kSegMask];
+  }
 
-  // Materializes the unique-table buckets and op caches (first node only).
+  WorkerSlot& worker() const {
+    size_t w = static_cast<size_t>(tls_worker_);
+    if (w == 0) return *worker0_;  // Sequential mode and external callers.
+    return *workers_[w < workers_.size() ? w : 0];
+  }
+
+  void LockStripe(Stripe& s) {
+    if (!s.locked.exchange(true, std::memory_order_acquire)) return;
+    s.contended.fetch_add(1, std::memory_order_relaxed);
+    do {
+      while (s.locked.load(std::memory_order_relaxed)) {
+      }
+    } while (s.locked.exchange(true, std::memory_order_acquire));
+  }
+  void UnlockStripe(Stripe& s) {
+    s.locked.store(false, std::memory_order_release);
+  }
+
+  // Stamped visited-marking for the const traversals (CountNodes, Support,
+  // DependsOn), per worker slot: one stamp array reused across calls
+  // instead of a fresh unordered_set per call. Not reentrant; traversals
+  // do not nest within a worker.
+  void BeginTraversal(WorkerSlot& w) const;
+  bool VisitFirst(WorkerSlot& w, NodeIndex n) const;
+
+  // Materializes the unique-table buckets and the segment spine (first node
+  // only).
   void EnsureTables();
+  void EnsureSegment(size_t seg);
   NodeIndex MakeNode(Var var, NodeIndex low, NodeIndex high);
   void GrowBuckets();
-  NodeIndex ApplyAndOr(Op op, NodeIndex a, NodeIndex b);
+  NodeIndex ApplyAndOr(Op op, NodeIndex a, NodeIndex b, WorkerSlot& w);
   // One-pass a ∧ ¬b: the complement of b is never materialized, so a delta
   // computation costs one apply instead of a full Not plus an And.
-  NodeIndex ApplyDiff(NodeIndex a, NodeIndex b);
-  NodeIndex NotRec(NodeIndex a);
-  NodeIndex RestrictRec(NodeIndex f, Var v, bool value);
+  NodeIndex ApplyDiff(NodeIndex a, NodeIndex b, WorkerSlot& w);
+  NodeIndex NotRec(NodeIndex a, WorkerSlot& w);
+  NodeIndex RestrictRec(NodeIndex f, Var v, bool value, WorkerSlot& w);
   void MaybeGc();
   void ClearCaches();
 
@@ -229,32 +364,47 @@ class Manager {
     return (static_cast<uint64_t>(op) << 60) |
            (static_cast<uint64_t>(a) << 30) | b;
   }
-  bool CacheLookup(uint64_t key, NodeIndex* out);
-  void CacheStore(uint64_t key, NodeIndex result);
+  bool CacheLookup(WorkerSlot& w, uint64_t key, NodeIndex* out);
+  void CacheStore(WorkerSlot& w, uint64_t key, NodeIndex result);
+
+  // __thread (not thread_local): constant init is part of the declaration,
+  // so every TU compiles direct TLS loads. A plain thread_local member
+  // routes cross-TU accesses through the compiler's TLS init wrapper —
+  // which misresolves in freshly spawned threads under sanitizers — and a
+  // function-local static would pay a __tls_get_addr call per access.
+  static __thread int tls_worker_;
 
   Options options_;
-  mutable std::recursive_mutex mu_;
   bool concurrent_ = false;
-  std::vector<Node> nodes_;
-  std::vector<uint32_t> refcount_;
-  std::vector<NodeIndex> free_list_;
+
+  // Node store spine (lazily allocated, fixed capacity so the array itself
+  // never moves under concurrent readers).
+  mutable std::unique_ptr<std::atomic<Segment*>[]> spine_;
+  // Flat base pointers of segment 0 (see node_at): written once when the
+  // segment allocates, read relaxed on the hot path.
+  mutable std::atomic<Node*> seg0_nodes_{nullptr};
+  mutable std::atomic<std::atomic<uint32_t>*> seg0_refs_{nullptr};
+  std::atomic<size_t> segments_allocated_{0};
+  std::atomic<bool> seg_alloc_lock_{false};
+  std::atomic<NodeIndex> next_index_{2};
+
   // Unique-table buckets (power-of-two length): head node index per bucket,
-  // chained through Node::next.
+  // chained through Node::next. Grown only while single-threaded.
   std::vector<NodeIndex> buckets_;
-  size_t table_entries_ = 0;
-  std::vector<CacheEntry> op_cache_;
-  // Root index -> reachable internal-node count (wire-size accounting);
-  // cleared with the op caches whenever GC may recycle indices.
-  mutable std::unordered_map<NodeIndex, size_t> count_memo_;
-  mutable std::vector<uint32_t> visit_stamp_;
-  mutable uint32_t current_stamp_ = 0;
-  mutable std::vector<NodeIndex> traverse_stack_;
-  size_t live_nodes_ = 0;
+  std::array<Stripe, kStripeCount> stripes_;
+  std::atomic<size_t> table_entries_{0};
+  std::atomic<size_t> live_nodes_{0};
+
+  mutable std::vector<std::unique_ptr<WorkerSlot>> workers_;
+  // workers_[0], pre-resolved: slot 0 serves sequential mode and external
+  // threads, so the common worker() call skips the vector walk entirely.
+  // workers_ only ever appends (EnsureWorkerSlots), so the pointer is
+  // stable for the manager's lifetime.
+  WorkerSlot* worker0_ = nullptr;
+
   size_t gc_threshold_ = 0;
   bool in_operation_ = false;  // Guards against GC mid-recursion.
   uint64_t gc_runs_ = 0;
-  uint64_t cache_hits_ = 0;
-  uint64_t cache_lookups_ = 0;
 };
 
 // RAII handle to a BDD root. Copying increments the external reference

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <iterator>
 #include <utility>
@@ -17,12 +18,17 @@ namespace recnet {
 // facade's lookup indexes).
 //
 // Layout: a power-of-two probe array of 16-byte slots (precomputed full
-// hash + dense index), linear probing with tombstones, entries packed in a
-// dense array. A probe walks only the compact slot metadata and touches an
-// entry exactly once, on a full-hash match; iteration sweeps the dense
-// array contiguously. Unlike the node-per-element libstdc++ `unordered_map`
+// hash + dense index) with a parallel byte-per-slot control array, group
+// probing with tombstones, entries packed in a dense array. Each control
+// byte holds a 7-bit fragment of the slot's hash (top bit clear) or an
+// empty/tombstone sentinel (top bit set), so one 8-byte SWAR load filters
+// eight slots per probe step: candidate slots are picked by byte-matching
+// the key's fragment, then verified against the full stored hash. A probe
+// walks only the compact control/slot metadata and touches an entry exactly
+// once, on a full-hash match; iteration sweeps the dense array
+// contiguously. Unlike the node-per-element libstdc++ `unordered_map`
 // this replaces, inserts don't allocate per element, and unlike a
-// slot-per-entry flat map, reserving capacity costs 16 bytes per slot no
+// slot-per-entry flat map, reserving capacity costs 17 bytes per slot no
 // matter how wide the entries are. Hashes are computed once per key and
 // carried in the slots, so growth rehashes never re-hash tuple values.
 //
@@ -99,6 +105,7 @@ class FlatTable {
 
   void clear() {
     std::fill(slots_.begin(), slots_.end(), Slot{0, kEmpty});
+    std::fill(ctrl_.begin(), ctrl_.end(), kCtrlEmpty);
     entries_.clear();
     entry_slot_.clear();
     tombs_ = 0;
@@ -174,6 +181,41 @@ class FlatTable {
     int32_t entry;  // Dense index, or kEmpty / kTomb.
   };
 
+  // Control-byte values. Full slots carry H2(hash) with the top bit clear;
+  // the sentinels keep it set, so no fragment ever collides with them.
+  static constexpr uint8_t kCtrlEmpty = 0x80;
+  static constexpr uint8_t kCtrlTomb = 0x81;
+  static constexpr size_t kGroup = 8;  // Slots filtered per SWAR load.
+  static constexpr uint64_t kLsbBytes = 0x0101010101010101ull;
+  static constexpr uint64_t kMsbBytes = 0x8080808080808080ull;
+  static constexpr size_t kNoSlot = static_cast<size_t>(-1);
+
+  // 7-bit hash fragment from the TOP bits — `hash & mask` consumes the low
+  // bits for slot placement, so the fragment stays independent of it.
+  static uint8_t H2(size_t hash) {
+    return static_cast<uint8_t>(hash >> (sizeof(size_t) * 8 - 7)) & 0x7F;
+  }
+
+  uint64_t LoadGroup(size_t base) const {
+    uint64_t g;
+    std::memcpy(&g, ctrl_.data() + base, sizeof(g));
+    return g;
+  }
+
+  // Per-byte equality mask: bit 7 of each byte is set where `group`'s byte
+  // equals `byte`. The zero-byte trick can set spurious flags, but only in
+  // bytes ABOVE a true match (borrow propagation runs low-to-high): probes
+  // scan low bit first, so the lowest flagged byte is always a true match,
+  // and extra match candidates are discarded by the full-hash verify.
+  static uint64_t MatchMask(uint64_t group, uint8_t byte) {
+    uint64_t x = group ^ (kLsbBytes * byte);
+    return (x - kLsbBytes) & ~x & kMsbBytes;
+  }
+
+  static size_t Ctz(uint64_t v) {
+    return static_cast<size_t>(__builtin_ctzll(v));
+  }
+
   static size_t NextPow2(size_t n) {
     size_t cap = 16;
     while (cap < n) cap <<= 1;
@@ -187,18 +229,35 @@ class FlatTable {
     return cap;
   }
 
+  // Group probe: check every fragment match in the 8-slot group, then stop
+  // if the group holds an empty slot (an inserted key never sits past the
+  // first empty in its probe sequence). The first group is entered
+  // mid-stride, so bytes before the home slot are masked off; they are
+  // re-scanned if the probe wraps the whole table, which is harmless.
   int32_t ProbeFind(const K& key, size_t hash) const {
     if (slots_.empty()) return kEmpty;
-    size_t mask = slots_.size() - 1;
-    size_t i = hash & mask;
+    const size_t mask = slots_.size() - 1;
+    const uint8_t h2 = H2(hash);
+    const size_t start = hash & mask;
+    size_t base = start & ~(kGroup - 1);
+    uint64_t ignore = ~0ull << ((start - base) * 8);
     while (true) {
-      const Slot& s = slots_[i];
-      if (s.entry == kEmpty) return kEmpty;
-      if (s.entry >= 0 && s.hash == hash &&
-          entries_[static_cast<size_t>(s.entry)].first == key) {
-        return s.entry;
+      // Bytes below the home slot are neutralized IN the loaded word (0xFF
+      // matches nothing and kills borrow propagation) — masking only the
+      // result would let a skipped byte raise a spurious flag above it.
+      const uint64_t group = LoadGroup(base) | ~ignore;
+      uint64_t match = MatchMask(group, h2);
+      while (match != 0) {
+        const Slot& s = slots_[base + (Ctz(match) >> 3)];
+        if (s.entry >= 0 && s.hash == hash &&
+            entries_[static_cast<size_t>(s.entry)].first == key) {
+          return s.entry;
+        }
+        match &= match - 1;
       }
-      i = (i + 1) & mask;
+      if (MatchMask(group, kCtrlEmpty) != 0) return kEmpty;
+      base = (base + kGroup) & mask;
+      ignore = ~0ull;
     }
   }
 
@@ -212,25 +271,48 @@ class FlatTable {
                  ? NextPow2(slots_.size() == 0 ? 16 : slots_.size() * 2)
                  : slots_.size());
     }
-    size_t mask = slots_.size() - 1;
-    size_t i = hash & mask;
-    size_t tomb = static_cast<size_t>(-1);
+    const size_t mask = slots_.size() - 1;
+    const uint8_t h2 = H2(hash);
+    const size_t start = hash & mask;
+    size_t base = start & ~(kGroup - 1);
+    uint64_t ignore = ~0ull << ((start - base) * 8);
+    size_t tomb = kNoSlot;
+    size_t i;
     while (true) {
-      Slot& s = slots_[i];
-      if (s.entry == kEmpty) break;
-      if (s.entry == kTomb) {
-        if (tomb == static_cast<size_t>(-1)) tomb = i;
-      } else if (s.hash == hash &&
-                 entries_[static_cast<size_t>(s.entry)].first == key) {
-        return {iterator(entries_.data() + s.entry), false};
+      // See ProbeFind: skipped bytes are neutralized in the word itself so
+      // they neither flag nor leak borrows into visible bytes.
+      const uint64_t group = LoadGroup(base) | ~ignore;
+      const uint64_t empties = MatchMask(group, kCtrlEmpty);
+      uint64_t match = MatchMask(group, h2);
+      while (match != 0) {
+        const Slot& s = slots_[base + (Ctz(match) >> 3)];
+        if (s.entry >= 0 && s.hash == hash &&
+            entries_[static_cast<size_t>(s.entry)].first == key) {
+          return {iterator(entries_.data() + s.entry), false};
+        }
+        match &= match - 1;
       }
-      i = (i + 1) & mask;
-    }
-    if (tomb != static_cast<size_t>(-1)) {
-      i = tomb;
-      --tombs_;
+      if (tomb == kNoSlot) {
+        uint64_t tombs = MatchMask(group, kCtrlTomb);
+        // Only a tombstone BEFORE the first empty may be recycled: placing
+        // past an empty would strand the key beyond find's stopping point.
+        if (empties != 0) tombs &= (empties & (~empties + 1)) - 1;
+        if (tombs != 0) tomb = base + (Ctz(tombs) >> 3);
+      }
+      if (empties != 0) {
+        if (tomb != kNoSlot) {
+          i = tomb;
+          --tombs_;
+        } else {
+          i = base + (Ctz(empties) >> 3);
+        }
+        break;
+      }
+      base = (base + kGroup) & mask;
+      ignore = ~0ull;
     }
     slots_[i] = Slot{hash, static_cast<int32_t>(entries_.size())};
+    ctrl_[i] = h2;
     entries_.emplace_back(std::piecewise_construct,
                           std::forward_as_tuple(key),
                           std::forward_as_tuple(std::forward<Args>(args)...));
@@ -241,6 +323,7 @@ class FlatTable {
   void EraseEntry(size_t e) {
     RECNET_DCHECK(e < entries_.size());
     slots_[entry_slot_[e]].entry = kTomb;
+    ctrl_[entry_slot_[e]] = kCtrlTomb;
     ++tombs_;
     size_t last = entries_.size() - 1;
     if (e != last) {
@@ -263,17 +346,25 @@ class FlatTable {
       hashes[e] = slots_[entry_slot_[e]].hash;
     }
     slots_.assign(new_cap, Slot{0, kEmpty});
+    ctrl_.assign(new_cap, kCtrlEmpty);
     tombs_ = 0;
     size_t mask = new_cap - 1;
     for (size_t e = 0; e < entries_.size(); ++e) {
+      // Linear placement is probe-compatible with the group scan: the key
+      // lands at the first empty from its home slot, so no empty precedes
+      // it anywhere in its probe sequence.
       size_t i = hashes[e] & mask;
       while (slots_[i].entry != kEmpty) i = (i + 1) & mask;
       slots_[i] = Slot{hashes[e], static_cast<int32_t>(e)};
+      ctrl_[i] = H2(hashes[e]);
       entry_slot_[e] = static_cast<uint32_t>(i);
     }
   }
 
   std::vector<Slot> slots_;
+  // Byte-per-slot probe filter: H2 fragment or empty/tombstone sentinel,
+  // scanned eight at a time by the SWAR group loop.
+  std::vector<uint8_t> ctrl_;
   std::vector<value_type> entries_;
   // Dense index -> probe-array slot (so erase can tombstone its slot).
   std::vector<uint32_t> entry_slot_;

@@ -46,6 +46,16 @@ struct RunMetrics {
   uint64_t recoveries = 0;
   bool converged = true;
 
+  // Concurrent BDD manager observability (manager-wide — co-resident views
+  // share one manager, so these are substrate totals, not per-view):
+  // contended first acquisitions of a unique-table stripe lock, op-cache
+  // hit rate across all worker slots, and node-store segments allocated.
+  // Transient diagnostics: sampled live from the manager, deliberately NOT
+  // serialized into checkpoint metrics (the v2 snapshot format is stable).
+  uint64_t bdd_stripe_contention = 0;
+  double bdd_cache_hit_rate = 0;
+  uint64_t bdd_store_segments = 0;
+
   std::string ToString() const;
 };
 

@@ -1,6 +1,7 @@
 #ifndef RECNET_ENGINE_REACHABLE_RUNTIME_H_
 #define RECNET_ENGINE_REACHABLE_RUNTIME_H_
 
+#include <atomic>
 #include <memory>
 #include <set>
 #include <unordered_map>
@@ -113,8 +114,10 @@ class ReachableRuntime : public RuntimeBase {
   std::vector<std::vector<LogicalNode>> links_by_src_;
   bool rederive_pending_ = false;
   // Relative mode: a kill happened; run the derivability traversal at
-  // quiescence to collect cyclically self-supported tuples.
-  bool relative_check_pending_ = false;
+  // quiescence to collect cyclically self-supported tuples. Atomic: set by
+  // parallel shard workers in HandleKill, consumed at the quiescence
+  // barrier.
+  std::atomic<bool> relative_check_pending_{false};
 };
 
 }  // namespace recnet

@@ -1,6 +1,7 @@
 #ifndef RECNET_ENGINE_REGION_RUNTIME_H_
 #define RECNET_ENGINE_REGION_RUNTIME_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <set>
@@ -128,7 +129,8 @@ class RegionRuntime : public RuntimeBase {
   // Node 0's largestRegion state: region -> size.
   std::unordered_map<int, int64_t> sizes_at_root_;
   bool rederive_pending_ = false;
-  bool relative_check_pending_ = false;
+  // Set by parallel shard workers in HandleKill, consumed at quiescence.
+  std::atomic<bool> relative_check_pending_{false};
 };
 
 }  // namespace recnet

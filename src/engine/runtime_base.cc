@@ -122,12 +122,20 @@ RunMetrics RuntimeBase::ComputeMetrics() const {
   m.link_duplicated = s.link_duplicated;
   m.link_retried = s.link_retried;
   m.converged = converged_;
+  const bdd::Manager& mgr = *sub_->bdd_manager();
+  m.bdd_stripe_contention = mgr.stripe_contention();
+  uint64_t lookups = mgr.cache_lookups();
+  m.bdd_cache_hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(mgr.cache_hits()) /
+                         static_cast<double>(lookups);
+  m.bdd_store_segments = static_cast<uint64_t>(mgr.store_segments());
   return m;
 }
 
 void RuntimeBase::SaveState(persist::SnapshotWriter& w) const {
   persist::Writer& raw = w.raw();
-  raw.U64(num_dead_);
+  raw.U64(num_dead_.load(std::memory_order_relaxed));
   // Relative-provenance pseudo-variables. tuple_vars_ re-inserts in
   // iteration order (flat-table layout reproduction — TupleVar misses probe
   // it); var_tuples_ is lookup-only.
@@ -167,7 +175,7 @@ void RuntimeBase::SaveState(persist::SnapshotWriter& w) const {
 
 Status RuntimeBase::LoadState(persist::SnapshotReader& r) {
   persist::Reader& raw = r.raw();
-  num_dead_ = static_cast<size_t>(raw.U64());
+  num_dead_.store(static_cast<size_t>(raw.U64()), std::memory_order_relaxed);
   uint64_t num_tuple_vars = raw.Count(4);
   tuple_vars_.reserve(num_tuple_vars);
   for (uint64_t i = 0; i < num_tuple_vars && raw.ok(); ++i) {
@@ -234,7 +242,7 @@ void RuntimeBase::ResetMetrics() {
 Prov RuntimeBase::GuardIncoming(const Prov& pv) const {
   // Per-view fast path: only this view's own dead variables can appear in
   // its annotations, so neighbors' kills never force the support scan.
-  if (num_dead_ == 0 || opts_.prov == ProvMode::kSet) return pv;
+  if (!AnyDead() || opts_.prov == ProvMode::kSet) return pv;
   // Scratch for the support extraction is thread-local (not a member):
   // parallel shard workers guard concurrently for different nodes, and the
   // common case still allocates nothing after warm-up.
@@ -305,6 +313,11 @@ std::vector<bdd::Var> RuntimeBase::AcceptKill(
 }
 
 bdd::Var RuntimeBase::TupleVar(const Tuple& t) {
+  // Parallel shard workers race to name the same tuple; the mutex makes the
+  // find-or-alloc atomic so exactly one pseudo-variable ever stands for a
+  // tuple. AllocVar is safe under the lock: it only advances the calling
+  // shard's private id stream.
+  std::lock_guard<std::mutex> lock(tuple_vars_mu_);
   auto it = tuple_vars_.find(t);
   if (it != tuple_vars_.end()) return it->second;
   bdd::Var v = AllocVar();
@@ -319,13 +332,20 @@ Prov RuntimeBase::RefProv(const Tuple& t) {
 
 void RuntimeBase::OnTupleRemoved(LogicalNode owner, const Tuple& t) {
   if (opts_.prov != ProvMode::kRelative) return;
-  auto it = tuple_vars_.find(t);
-  if (it == tuple_vars_.end()) return;
-  bdd::Var v = it->second;
-  tuple_vars_.erase(it);
-  // Keep the reverse entry: annotations in flight may still mention v, and
-  // the dead-variable guard needs to classify it. The variable is dead and
-  // never reused.
+  bdd::Var v;
+  {
+    std::lock_guard<std::mutex> lock(tuple_vars_mu_);
+    auto it = tuple_vars_.find(t);
+    if (it == tuple_vars_.end()) return;
+    v = it->second;
+    tuple_vars_.erase(it);
+    // Keep the reverse entry: annotations in flight may still mention v,
+    // and the dead-variable guard needs to classify it. The variable is
+    // dead and never reused.
+  }
+  // The kill is sent outside the lock — StartKill routes through the
+  // subscription tables and the router, neither of which touches the
+  // pseudo-variable tables.
   StartKill(owner, {v});
 }
 

@@ -1,8 +1,10 @@
 #ifndef RECNET_ENGINE_RUNTIME_BASE_H_
 #define RECNET_ENGINE_RUNTIME_BASE_H_
 
+#include <atomic>
 #include <iterator>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -267,9 +269,11 @@ class RuntimeBase {
 
   bdd::Var AllocVar() { return sub_->AllocVar(); }
   void MarkDead(bdd::Var v) {
-    if (sub_->MarkDead(v)) ++num_dead_;
+    if (sub_->MarkDead(v)) num_dead_.fetch_add(1, std::memory_order_relaxed);
   }
-  bool AnyDead() const { return num_dead_ > 0; }
+  bool AnyDead() const {
+    return num_dead_.load(std::memory_order_relaxed) > 0;
+  }
 
   // Restricts an incoming annotation by any base variables that died while
   // the update was in flight, so late arrivals cannot resurrect state.
@@ -355,9 +359,16 @@ class RuntimeBase {
   int port_base_ = 0;  // ns_ * Router::kPortsPerNamespace.
   int num_logical_ = 0;
   // Variables THIS view killed (fast path for GuardIncoming; the full dead
-  // set is the substrate's).
-  size_t num_dead_ = 0;
-  // Relative mode: pseudo-variables standing for view tuples.
+  // set is the substrate's). Atomic: parallel shard workers kill
+  // concurrently during a drain.
+  std::atomic<size_t> num_dead_{0};
+  // Relative mode: pseudo-variables standing for view tuples. Shard workers
+  // allocate pseudo-variables concurrently mid-drain, so both tables are
+  // guarded by tuple_vars_mu_. Which worker wins the find-or-alloc race is
+  // schedule-dependent, but the *values* handed out come from the
+  // substrate's per-shard interleaved id streams, so every observable
+  // (traffic counters, scans, kill fan-out) stays deterministic.
+  mutable std::mutex tuple_vars_mu_;
   FlatTable<Tuple, bdd::Var, TupleHash> tuple_vars_;
   std::unordered_map<bdd::Var, Tuple> var_tuples_;
   // Per logical node: variable -> destinations shipped annotations

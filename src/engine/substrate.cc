@@ -26,6 +26,13 @@ Substrate::Substrate(int num_nodes, const SubstrateOptions& options)
     injector_ = std::make_shared<fault::FaultInjector>(options.faults);
   }
   if (injector_ != nullptr) router_.set_fault_injector(injector_.get());
+  next_k_.assign(static_cast<size_t>(router_.num_shards()), 0);
+}
+
+Substrate::~Substrate() {
+  for (auto& slot : dead_chunks_) {
+    delete[] slot.load(std::memory_order_relaxed);
+  }
 }
 
 bool Substrate::PollFault(DrainOutcome* out) {
@@ -58,26 +65,108 @@ void Substrate::EnsureNodes(int num_nodes) {
 }
 
 bdd::Var Substrate::AllocVar() {
-  bdd::Var v = static_cast<bdd::Var>(dead_.size());
-  dead_.push_back(0);
-  return v;
+  // Draw from the calling shard's id stream: shard workers allocate from
+  // their own stream, external callers (current_shard() == 0 outside a
+  // drain) from stream 0. Stream counters need no synchronization — each
+  // is advanced by exactly one thread per generation, with barriers
+  // ordering the generations.
+  size_t shard = static_cast<size_t>(Router::current_shard());
+  uint64_t stride = static_cast<uint64_t>(router_.num_shards());
+  uint64_t v = next_k_[shard]++ * stride + shard;
+  RECNET_CHECK_LT(v, kMaxDeadChunks * kDeadChunkSize);
+  return static_cast<bdd::Var>(v);
+}
+
+std::atomic<uint32_t>& Substrate::DeadSlot(bdd::Var v) {
+  size_t chunk_idx = v >> kDeadChunkBits;
+  std::atomic<uint32_t>* chunk =
+      dead_chunks_[chunk_idx].load(std::memory_order_acquire);
+  if (chunk == nullptr) {
+    while (dead_alloc_lock_.exchange(true, std::memory_order_acquire)) {
+    }
+    chunk = dead_chunks_[chunk_idx].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new std::atomic<uint32_t>[kDeadChunkSize];
+      for (size_t i = 0; i < kDeadChunkSize; ++i) {
+        chunk[i].store(0, std::memory_order_relaxed);
+      }
+      dead_chunks_[chunk_idx].store(chunk, std::memory_order_release);
+    }
+    dead_alloc_lock_.store(false, std::memory_order_release);
+  }
+  return chunk[v & kDeadChunkMask];
 }
 
 bool Substrate::MarkDead(bdd::Var v) {
-  RECNET_CHECK_LT(v, dead_.size());
-  if (dead_[v] != 0) return false;
-  dead_[v] = 1;
-  ++num_dead_;
+  // Epoch-at-mark + 1, plus one more when the mark is staged mid-generation
+  // (visible only after the next barrier advances the epoch). The CAS makes
+  // first-marker-wins exact under parallel workers; losing means the
+  // variable was already dead.
+  uint64_t t = dead_epoch() + (router_.draining() ? 2 : 1);
+  RECNET_CHECK_LT(t, UINT32_MAX);
+  uint32_t expected = 0;
+  if (!DeadSlot(v).compare_exchange_strong(expected,
+                                           static_cast<uint32_t>(t),
+                                           std::memory_order_relaxed)) {
+    return false;
+  }
+  num_dead_.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+uint64_t Substrate::VarWatermark() const {
+  uint64_t stride = static_cast<uint64_t>(router_.num_shards());
+  uint64_t watermark = 0;
+  for (size_t s = 0; s < next_k_.size(); ++s) {
+    if (next_k_[s] == 0) continue;
+    watermark = std::max(watermark, (next_k_[s] - 1) * stride + s + 1);
+  }
+  return watermark;
+}
+
+std::vector<char> Substrate::dead_vars() const {
+  uint64_t len = VarWatermark();
+  std::vector<char> out(static_cast<size_t>(len), 0);
+  uint64_t visible_bound = dead_epoch() + 1;
+  for (uint64_t v = 0; v < len; ++v) {
+    const std::atomic<uint32_t>* chunk =
+        dead_chunks_[v >> kDeadChunkBits].load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+      v |= kDeadChunkMask;  // Skip the rest of the absent chunk.
+      continue;
+    }
+    uint32_t t = chunk[v & kDeadChunkMask].load(std::memory_order_relaxed);
+    if (t == 0) continue;
+    out[static_cast<size_t>(v)] = t <= visible_bound ? 1 : 2;
+  }
+  return out;
 }
 
 void Substrate::RestoreDeadVars(std::vector<char> dead) {
   // Only a virgin substrate may be restored into: any allocation that
   // happened before this point would alias the snapshot's variable ids.
-  RECNET_CHECK(dead_.empty());
-  dead_ = std::move(dead);
-  num_dead_ = static_cast<size_t>(
-      std::count_if(dead_.begin(), dead_.end(), [](char c) { return c != 0; }));
+  for (uint64_t k : next_k_) RECNET_CHECK_EQ(k, 0u);
+  size_t marked = 0;
+  for (size_t v = 0; v < dead.size(); ++v) {
+    if (dead[v] == 0) continue;
+    // Visible marks restore below the fresh epoch; staged marks restore at
+    // it, becoming visible at the resumed drain's next barrier — exactly
+    // the visibility the checkpoint captured.
+    DeadSlot(static_cast<bdd::Var>(v))
+        .store(dead[v] == 1 ? 1u : static_cast<uint32_t>(dead_epoch() + 2),
+               std::memory_order_relaxed);
+    ++marked;
+  }
+  num_dead_.store(marked, std::memory_order_relaxed);
+  // Advance every id stream past the snapshot's watermark. Ids below it
+  // that fall on this substrate's streams but were holes (or live ids) of
+  // the snapshot's stream layout cannot be told apart, so all are skipped —
+  // id values are unobservable, only freshness matters.
+  uint64_t stride = static_cast<uint64_t>(router_.num_shards());
+  uint64_t len = static_cast<uint64_t>(dead.size());
+  for (size_t s = 0; s < next_k_.size(); ++s) {
+    next_k_[s] = len > s ? (len - 1 - s) / stride + 1 : 0;
+  }
 }
 
 int Substrate::Attach(RuntimeBase* runtime) {
@@ -112,6 +201,11 @@ void Substrate::Dispatch(const Envelope* envs, size_t n) {
 }
 
 bool Substrate::PollAfterQuiescent(const std::vector<char>& skip_aborted) {
+  // Quiescence is a barrier: every queued generation has completed, so any
+  // dead-variable mark staged during the drain becomes visible here. The
+  // epoch bump happens before the views are polled — kRelative's
+  // underivability sweep must see the kills the drain just staged.
+  ++quiesce_epochs_;
   // Every live view is polled every round (no short-circuit): one view's
   // re-derivation must not starve another's. Budget-aborted views are
   // skipped — their queues were just purged, so seeding re-derivation work
@@ -162,21 +256,6 @@ uint64_t Substrate::StepCapacity(const Arbitration& arb) const {
     cap = std::min(cap, v.budget - used);
   }
   return cap;
-}
-
-bool Substrate::ParallelSafe() const {
-  for (RuntimeBase* rt : runtimes_) {
-    if (rt != nullptr && rt->options().prov == ProvMode::kRelative) {
-      // Relative provenance allocates tuple pseudo-variables and marks
-      // variables dead *during* the drain; both are cross-node effects
-      // whose timing the parallel schedule would perturb. The serialized
-      // superstep schedule is bit-identical to the sequential drain, so
-      // correctness (and the determinism contract) is preserved — only the
-      // parallelism is given up.
-      return false;
-    }
-  }
-  return true;
 }
 
 Substrate::DrainOutcome Substrate::DrainToFixpoint(const DrainBudget& budget) {
@@ -233,10 +312,18 @@ Substrate::DrainOutcome Substrate::DrainSupersteps(const DrainBudget& budget) {
                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                    std::chrono::duration<double>(budget.time_budget_s));
   }
-  bool parallel = ParallelSafe();
-  // Shard workers share the manager: engage its operation lock for the
-  // drain. Workers are joined at every superstep barrier, so toggling here
-  // is race-free.
+  // Shard workers share the manager through the striped unique table and
+  // per-worker op caches: give every shard its private slot and switch the
+  // hot path to its concurrent (stripe-locked, barrier-GC) mode. Workers
+  // are joined at every superstep barrier, so toggling here is race-free.
+  // Every provenance mode runs parallel now — kRelative's pseudo-variable
+  // allocation uses per-shard interleaved id streams and its kills are
+  // staged behind the barrier epoch, so the schedule no longer leaks.
+  // A single-hardware-thread host never spawns drain workers (the router
+  // interleaves shards on this thread), so it keeps the manager's cheaper
+  // single-threaded mode; results are bit-identical either way.
+  const bool parallel = Router::ParallelWidth() > 1;
+  bdd_.EnsureWorkerSlots(static_cast<size_t>(router_.num_shards()));
   bdd_.set_concurrent(parallel);
   DrainOutcome out;
   Arbitration arb = BeginArbitration();

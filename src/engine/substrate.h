@@ -1,6 +1,8 @@
 #ifndef RECNET_ENGINE_SUBSTRATE_H_
 #define RECNET_ENGINE_SUBSTRATE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -25,9 +27,10 @@ struct SubstrateOptions {
   bool batch_delivery = true;
   // Router shards the logical node-id space is partitioned across. With
   // more than one shard the drain becomes a superstep loop whose shards
-  // run on parallel worker threads (serialized — but still sharded — when
-  // a relative-provenance view is attached); results and traffic counters
-  // are bit-identical for every shard count.
+  // run on parallel worker threads (every provenance mode, relative
+  // included: tuple variables come from per-shard id streams and kill
+  // visibility is published at superstep barriers); results and traffic
+  // counters are bit-identical for every shard count.
   int shards = 1;
   // Fault injection: when `injector` is set it is shared with the caller
   // (Session keeps one injector across substrate rebuilds so the fault
@@ -51,6 +54,7 @@ struct SubstrateOptions {
 class Substrate {
  public:
   Substrate(int num_nodes, const SubstrateOptions& options);
+  ~Substrate();
 
   Substrate(const Substrate&) = delete;
   Substrate& operator=(const Substrate&) = delete;
@@ -73,25 +77,55 @@ class Substrate {
 
   // --- Session-wide base-variable space -------------------------------------
   //
-  // Base variables are allocated from one counter so co-resident views can
-  // share the BDD manager without id collisions; each view's variables keep
-  // their relative allocation order, which keeps its annotations isomorphic
-  // to the ones it would build on a private manager.
+  // Variables are allocated from per-shard interleaved id streams: the
+  // stream of router shard s hands out ids k*S + s (S = shard count, fixed
+  // at construction), and a caller draws from the stream of the shard it is
+  // running on (Router::current_shard(); external callers — fact ingestion,
+  // AfterQuiescent — use stream 0). Within a stream ids are monotone in
+  // allocation order, so a view's variables keep their relative order and
+  // its BDDs stay isomorphic to a private-manager build; across streams the
+  // interleaving lets relative-provenance views allocate tuple variables
+  // from parallel shard workers with no lock and no schedule dependence. At
+  // S == 1 the scheme degenerates to the classic sequential counter. Id
+  // VALUES differ across shard counts, but no observable (traffic counters,
+  // wire sizes, Scan results) depends on them — only the tuple↔variable
+  // bijection and per-stream order do.
 
   bdd::Var AllocVar();
-  // Returns true when `v` was newly marked (callers keep per-view dead
-  // counts for their fast paths).
+
+  // Dead-variable set with epoch-quantized visibility. A kill marked while
+  // a delivery generation is in flight (Router::draining()) is *staged*: it
+  // becomes visible to is_dead() only at the next generation boundary (or
+  // at quiescence), uniformly for every shard count — immediate visibility
+  // inside a generation would depend on the parallel schedule. Kills marked
+  // outside a generation (fact deletion, AfterQuiescent sweeps) are visible
+  // immediately, as before. Returns true when `v` was newly marked (callers
+  // keep per-view dead counts for their fast paths); safe from parallel
+  // shard workers.
   bool MarkDead(bdd::Var v);
   bool is_dead(bdd::Var v) const {
-    return v < dead_.size() && dead_[v] != 0;
+    if ((v >> kDeadChunkBits) >= kMaxDeadChunks) return false;
+    const std::atomic<uint32_t>* chunk =
+        dead_chunks_[v >> kDeadChunkBits].load(std::memory_order_acquire);
+    if (chunk == nullptr) return false;
+    uint32_t t = chunk[v & kDeadChunkMask].load(std::memory_order_relaxed);
+    // Stored value is epoch-at-mark + 1 (0 = alive). Visible once the
+    // current epoch has passed it: staged marks carry epoch + 1 and so stay
+    // hidden until the epoch advances at a barrier.
+    return t != 0 && static_cast<uint64_t>(t) <= dead_epoch() + 1;
   }
-  bool AnyDead() const { return num_dead_ > 0; }
+  bool AnyDead() const {
+    return num_dead_.load(std::memory_order_relaxed) > 0;
+  }
 
-  // Snapshot hooks for the allocator: the dead-variable byte vector IS the
-  // allocation state (its length is the next variable id), so a checkpoint
-  // stores it verbatim and a restore reinstates it before any view state is
-  // decoded.
-  const std::vector<char>& dead_vars() const { return dead_; }
+  // Snapshot hooks for the allocator. The byte vector has one entry per id
+  // below the allocation watermark: 0 = alive (or an unallocated hole of an
+  // interleaved stream), 1 = dead and visible, 2 = dead but still staged
+  // (marked mid-generation, not yet published at a barrier) — so a
+  // micro-checkpoint taken between generations round-trips visibility
+  // exactly. Restore requires a virgin substrate and re-seeds every id
+  // stream past the watermark, for any shard count.
+  std::vector<char> dead_vars() const;
   void RestoreDeadVars(std::vector<char> dead);
 
   // --- View registration ----------------------------------------------------
@@ -135,10 +169,10 @@ class Substrate {
   // relative-mode derivability sweeps) and keeps draining until no view
   // seeds more work. On a single-shard substrate this is the classic
   // sequential FIFO drain, bit-for-bit; on a sharded substrate it is a
-  // superstep loop whose generations drain on parallel workers when every
-  // attached view tolerates it (relative-provenance views allocate tuple
-  // variables mid-drain, so their presence serializes the schedule — the
-  // sharded structure and results are unchanged).
+  // superstep loop whose generations drain on parallel workers for every
+  // provenance mode (relative views allocate tuple variables from
+  // per-shard id streams and their kills publish at barriers, so they no
+  // longer serialize the schedule).
   //
   // Message budgets are arbitrated per view: each attached runtime is
   // charged for the deliveries *it* received (Router::DeliveredByNs against
@@ -206,10 +240,20 @@ class Substrate {
   // Invokes the barrier hook every hook_interval_ generations (workers
   // joined at the call site).
   void MaybeBarrierHook();
-  // True when every attached view's maintenance mode is safe to drain on
-  // parallel workers (per-node state only, no mid-drain variable
-  // allocation): everything but ProvMode::kRelative.
-  bool ParallelSafe() const;
+
+  // The dead-variable visibility epoch: router generation merges plus
+  // quiescence points, both shard-count-invariant BSP boundaries. Advances
+  // only with workers joined, so it is stable within a generation.
+  uint64_t dead_epoch() const {
+    return router_.generations_begun() + quiesce_epochs_;
+  }
+  // The slot holding variable v's mark, materializing its chunk on first
+  // use (chunk allocation is double-checked under a spinlock; published
+  // chunks never move, so readers need only the acquire load in is_dead).
+  std::atomic<uint32_t>& DeadSlot(bdd::Var v);
+  // Allocation watermark: one past the highest id any stream has handed
+  // out (ids below it from less-advanced streams are unallocated holes).
+  uint64_t VarWatermark() const;
 
   // Declaration order is load-bearing: queued Envelopes hold Prov handles
   // into bdd_, so the router (destroyed first, in reverse order) must be
@@ -218,10 +262,25 @@ class Substrate {
   Router router_;
   // Attached runtimes, indexed by namespace id (nullptr once detached).
   std::vector<RuntimeBase*> runtimes_;
-  // Session-wide dead-variable set (vector<char>: element access is
-  // branch-free, unlike vector<bool>).
-  std::vector<char> dead_;
-  size_t num_dead_ = 0;
+  // Dead-variable store: a fixed spine of lazily allocated chunks of
+  // per-variable epoch marks (0 = alive). Chunks are append-only and never
+  // move, so parallel workers mark and query without locks while other
+  // streams allocate.
+  static constexpr size_t kDeadChunkBits = 12;
+  static constexpr size_t kDeadChunkSize = size_t{1} << kDeadChunkBits;
+  static constexpr size_t kDeadChunkMask = kDeadChunkSize - 1;
+  static constexpr size_t kMaxDeadChunks = size_t{1} << 12;  // 16M variables.
+  std::array<std::atomic<std::atomic<uint32_t>*>, kMaxDeadChunks>
+      dead_chunks_{};
+  std::atomic<bool> dead_alloc_lock_{false};
+  std::atomic<size_t> num_dead_{0};
+  // Per-shard variable-stream counters: stream s has handed out ids
+  // k*S + s for k < next_k_[s]. Each stream is only advanced by its own
+  // shard's worker (or the coordinator, for stream 0), so no atomics.
+  std::vector<uint64_t> next_k_;
+  // Quiescence epochs folded into dead_epoch() (bumped once per
+  // PollAfterQuiescent round, identically on both drain paths).
+  uint64_t quiesce_epochs_ = 0;
   // Fault injection (null when the options enabled none).
   std::shared_ptr<fault::FaultInjector> injector_;
   std::function<void()> barrier_hook_;

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <thread>
 
+#include "bdd/bdd.h"
 #include "common/logging.h"
 #include "fault/fault.h"
 
@@ -19,9 +20,24 @@ constexpr size_t kMaxKillPool = 256;
 // purely a thread-spawn amortization threshold.
 constexpr size_t kParallelCutover = 64;
 
+// Test override of the drain's worker-thread budget (0 = hardware auto).
+std::atomic<int> g_parallel_width_override{0};
+
 }  // namespace
 
 thread_local int Router::tls_shard_ = 0;
+
+int Router::ParallelWidth() {
+  int forced = g_parallel_width_override.load(std::memory_order_relaxed);
+  if (forced > 0) return forced;
+  static const int hw =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  return hw;
+}
+
+void Router::OverrideParallelWidth(int width) {
+  g_parallel_width_override.store(width, std::memory_order_relaxed);
+}
 
 void NetworkStats::Reset() {
   messages = 0;
@@ -224,6 +240,7 @@ size_t Router::PrepareGeneration() {
     s.head = 0;
     std::swap(s.queue, mailbox);
     for (Envelope& e : s.queue) e.key_trig = next_seq_++;
+    ++generations_;
     return s.queue.size();
   }
   // Superstep barrier: k-way merge of every (src, dst) mailbox by the
@@ -255,6 +272,7 @@ size_t Router::PrepareGeneration() {
     }
   }
   if (total == 0) return 0;
+  ++generations_;
   while (true) {
     MergeSource* best = nullptr;
     for (MergeSource& src : merge_sources_) {
@@ -376,6 +394,11 @@ void Router::DrainShardQueue(
     const std::chrono::steady_clock::time_point* deadline,
     std::atomic<bool>* stop) {
   tls_shard_ = shard_id;
+  // Bind this worker to its private BDD cache/scratch slot for the
+  // duration of the drain (the engine sized the slot array to the shard
+  // count before spawning workers). The interleaved fallback keeps slot 0:
+  // it runs all shards on one thread, so sharing a slot is race-free.
+  bdd::Manager::SetThreadWorkerSlot(shard_id);
   RouterShard& shard = shards_[static_cast<size_t>(shard_id)];
   uint64_t since_check = 0;
   while (shard.head < shard.queue.size()) {
@@ -392,6 +415,7 @@ void Router::DrainShardQueue(
       }
     }
   }
+  bdd::Manager::SetThreadWorkerSlot(0);
   tls_shard_ = 0;
 }
 
@@ -468,17 +492,33 @@ Router::StepResult Router::ProcessGeneration(
   uint64_t before = delivered();
   std::atomic<bool> stop{false};
   draining_ = true;
-  if (parallel && busy > 1 && queued >= kParallelCutover) {
+  // One OS thread per *hardware* thread, not per shard: worker w drains
+  // shard queues w, w+width, ... back to back. The shard queues of one
+  // generation are mutually independent (per-node state is only ever
+  // touched from the owning shard), so any shard-to-thread assignment
+  // yields the same result; clamping to the machine's parallelism avoids
+  // paying context-switch and cold-cache costs for oversubscribed workers.
+  // On a single hardware thread the interleaved drain delivers the
+  // identical schedule with no spawn at all.
+  const int width = std::min(busy, ParallelWidth());
+  // A forced width (test hook) also bypasses the spawn-amortization
+  // cutover: the point of forcing is to run the real threaded path on
+  // workloads whose generations are otherwise too small to warrant it.
+  const bool forced =
+      g_parallel_width_override.load(std::memory_order_relaxed) > 0;
+  if (parallel && width > 1 && (forced || queued >= kParallelCutover)) {
     std::vector<std::thread> workers;
-    workers.reserve(static_cast<size_t>(num_shards() - 1));
-    for (int i = 1; i < num_shards(); ++i) {
-      const RouterShard& s = shards_[static_cast<size_t>(i)];
-      if (s.head < s.queue.size() && s.queue[s.head].key_trig < cutoff) {
-        workers.emplace_back(&Router::DrainShardQueue, this, i, cutoff,
-                             deadline, &stop);
-      }
+    workers.reserve(static_cast<size_t>(width - 1));
+    for (int w = 1; w < width; ++w) {
+      workers.emplace_back([this, w, width, cutoff, deadline, &stop] {
+        for (int i = w; i < num_shards(); i += width) {
+          DrainShardQueue(i, cutoff, deadline, &stop);
+        }
+      });
     }
-    DrainShardQueue(0, cutoff, deadline, &stop);
+    for (int i = 0; i < num_shards(); i += width) {
+      DrainShardQueue(i, cutoff, deadline, &stop);
+    }
     for (std::thread& w : workers) w.join();
   } else {
     DrainInterleaved(cutoff, deadline, &stop);

@@ -113,6 +113,47 @@ class Router {
   // it so parallel workers never contend.
   static int current_shard() { return tls_shard_; }
 
+  // Worker-thread budget of the parallel drain: the machine's hardware
+  // concurrency unless overridden. Each worker drains a strided subset of
+  // the shard queues, so any width produces the same result; spawning more
+  // threads than hardware threads only buys context-switch and cold-cache
+  // cost. Width 1 (a single-core host) short-circuits to the interleaved
+  // drain — and lets the engine keep the BDD manager's cheaper
+  // single-threaded mode.
+  static int ParallelWidth();
+  // Test hook: forces the width (0 restores hardware auto-detection), so
+  // race detectors on small CI machines still exercise the genuinely
+  // multi-threaded drain.
+  static void OverrideParallelWidth(int width);
+
+  // True when no shard holds an undelivered envelope of the current
+  // generation (trivially true between generations). Generation boundaries
+  // are shard-count invariant — PrepareGeneration is a no-op mid
+  // generation — so this is where the engine publishes cross-node effects
+  // staged during parallel dispatch. Coordinator-only (workers joined).
+  bool generation_consumed() const {
+    for (const RouterShard& s : shards_) {
+      if (s.head < s.queue.size()) return false;
+    }
+    return true;
+  }
+
+  // Number of generations begun so far: incremented exactly when
+  // PrepareGeneration merges staged sends into a new deliverable
+  // generation. Generation boundaries are BSP points determined by the
+  // message dependency depth alone, so this count is identical for every
+  // shard count (single-shard StepBatch refills and superstep merges bump
+  // it at the same logical instants). The engine derives the dead-variable
+  // visibility epoch from it. Stable while workers run (merges happen with
+  // workers joined).
+  uint64_t generations_begun() const { return generations_; }
+
+  // True while ProcessGeneration / StepBatch dispatches handlers. The
+  // engine uses it to classify side effects as mid-generation (published at
+  // the next barrier) versus external (immediately visible). Written only
+  // with workers joined.
+  bool draining() const { return draining_; }
+
   // Enqueues an update from `src` to `dst`. Wire cost is charged (to the
   // sending node's shard) only when the endpoints live on different
   // physical peers. Takes the update by rvalue: exactly one move lands it
@@ -160,12 +201,12 @@ class Router {
   // Delivers up to `max_n` messages of the prepared generation, in global
   // sequence order. When `parallel` is set (and more than one shard has
   // work), shards drain on worker threads — callers must first make the
-  // handlers thread-safe across *different* destination nodes (the engine
-  // guards the shared BDD manager and serializes relative-provenance
-  // views). Otherwise shards are interleaved in sequence order on the
-  // calling thread; both schedules produce bit-identical results. If
-  // `deadline` is non-null, workers poll it and stop early (the run is then
-  // expected to be aborted).
+  // handlers thread-safe across *different* destination nodes (the engine's
+  // concurrent BDD manager and barrier-published dead-variable epochs make
+  // every provenance mode safe, relative included). Otherwise shards are
+  // interleaved in sequence order on the calling thread; both schedules
+  // produce bit-identical results. If `deadline` is non-null, workers poll
+  // it and stop early (the run is then expected to be aborted).
   StepResult ProcessGeneration(
       uint64_t max_n, bool parallel,
       const std::chrono::steady_clock::time_point* deadline = nullptr);
@@ -312,6 +353,8 @@ class Router {
   // Global delivery sequence numbers start at 1 so the pre-run external
   // context (trig 0) orders before every handler send.
   uint64_t next_seq_ = 1;
+  // Generations begun (see generations_begun()).
+  uint64_t generations_ = 0;
   // External send context: used when no drain is active (fact ingestion,
   // AfterQuiescent seeding). ext_trig_ tracks the last delivered sequence.
   uint64_t ext_trig_ = 0;

@@ -74,6 +74,78 @@ TEST(FlatTableTest, RandomizedParityWithUnorderedMap) {
   }
 }
 
+// Adversarial hashes for the SWAR group-probe loop. `kLowBits` pins every
+// key's home slot into a handful of 8-slot groups so probes always cross
+// group boundaries and wrap; `kFragments` additionally collapses the 7-bit
+// control fragment to two values, forcing the per-group match mask to flag
+// many false candidates that only the full-hash verify can reject.
+enum class Adversary { kLowBits, kFragments };
+
+template <Adversary kMode>
+struct ClusteredHash {
+  size_t operator()(int k) const {
+    size_t h = static_cast<size_t>(k);
+    if (kMode == Adversary::kLowBits) {
+      // Distinct top bits (distinct fragments), home slots all in [0, 16).
+      return (h << (sizeof(size_t) * 8 - 16)) | (h & 0xF);
+    }
+    // Two fragment values, home slots spread by the key: every group scan
+    // sees fragment matches for roughly half its occupied slots.
+    return ((h & 1) << (sizeof(size_t) * 8 - 1)) | h;
+  }
+};
+
+template <typename Hash>
+void RunGroupProbeParity(uint64_t seed) {
+  Rng rng(seed);
+  FlatTable<int, int64_t, Hash> table;
+  std::unordered_map<int, int64_t> ref;
+  for (int op = 0; op < 8000; ++op) {
+    // A tight key space keeps the table small (few groups, frequent
+    // wraparound) while erases seed tombstones between live clusters.
+    int key = static_cast<int>(rng.NextBounded(op < 4000 ? 48 : 300));
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1: {
+        int64_t v = static_cast<int64_t>(rng.NextBounded(1000));
+        auto [it, inserted] = table.try_emplace(key, v);
+        auto [rit, rinserted] = ref.try_emplace(key, v);
+        ASSERT_EQ(inserted, rinserted);
+        ASSERT_EQ(it->second, rit->second);
+        break;
+      }
+      case 2:
+        ASSERT_EQ(table.erase(key), ref.erase(key));
+        break;
+      case 3: {
+        auto it = table.find(key);
+        auto rit = ref.find(key);
+        ASSERT_EQ(it == table.end(), rit == ref.end());
+        if (rit != ref.end()) {
+          ASSERT_EQ(it->second, rit->second);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(table.size(), ref.size());
+  }
+  std::map<int, int64_t> sorted_table(table.begin(), table.end());
+  std::map<int, int64_t> sorted_ref(ref.begin(), ref.end());
+  EXPECT_EQ(sorted_table, sorted_ref);
+}
+
+TEST(FlatTableTest, GroupProbeParityUnderHomeSlotClustering) {
+  for (uint64_t seed : {3u, 19u, 271u}) {
+    RunGroupProbeParity<ClusteredHash<Adversary::kLowBits>>(seed);
+  }
+}
+
+TEST(FlatTableTest, GroupProbeParityUnderFragmentCollisions) {
+  for (uint64_t seed : {5u, 23u, 977u}) {
+    RunGroupProbeParity<ClusteredHash<Adversary::kFragments>>(seed);
+  }
+}
+
 TEST(FlatTableTest, EraseWhileIteratingVisitsEverySurvivor) {
   FlatTable<int, int> table;
   for (int i = 0; i < 100; ++i) table.try_emplace(i, i * 10);

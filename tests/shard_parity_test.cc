@@ -23,6 +23,18 @@
 namespace recnet {
 namespace {
 
+// Force the genuinely multi-threaded drain regardless of the CI machine's
+// core count: parity against the sequential baseline is exactly the
+// property the parallel worker schedule must uphold, and the TSan job
+// needs real concurrent workers to have anything to check.
+class ForceParallelDrain : public ::testing::Environment {
+ public:
+  void SetUp() override { Router::OverrideParallelWidth(4); }
+  void TearDown() override { Router::OverrideParallelWidth(0); }
+};
+const auto* const kForceParallelDrain =
+    ::testing::AddGlobalTestEnvironment(new ForceParallelDrain);
+
 // Shard counts exercised against the shards=1 baseline (include one count
 // larger than some test topologies so empty shards are covered too).
 const int kShardCounts[] = {2, 3, 7};

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Shard-scaling regression gate over a bench trajectory JSON.
+
+Reads the `shard_sweep` block of a figure bench's --json output and checks
+that the parallel drain actually pays off: for the gated (series, x) cell,
+the wall time at the highest recorded shard count must be below the
+1-shard (sequential drain) wall time, scaled by --max-ratio.
+
+The sweep's traffic counters are checked elsewhere (the determinism step);
+this gate is purely about wall-clock scaling, so it refuses to run on a
+machine that cannot exhibit scaling at all: with a single hardware thread
+the router never spawns drain workers (oversubscription only adds cost),
+and the gate exits 0 with a SKIP note instead of measuring noise.
+
+Exit codes: 0 pass/skip, 1 regression, 2 usage or malformed input.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("json_path", help="bench --json output (e.g. fig07.json)")
+    ap.add_argument("--series", default="Absorption Lazy",
+                    help="series to gate (default: %(default)s)")
+    ap.add_argument("--x", type=float, default=1.0,
+                    help="x value of the gated cell (default: %(default)s)")
+    ap.add_argument("--max-ratio", type=float, default=1.0,
+                    help="max allowed wall(max shards)/wall(1 shard) "
+                         "(default: %(default)s — sharded must be faster)")
+    args = ap.parse_args()
+
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        print(f"SKIP: {cores} hardware thread(s); the drain cannot scale "
+              "here (workers are clamped to hardware concurrency)")
+        return 0
+
+    try:
+        with open(args.json_path) as f:
+            doc = json.load(f)
+        sweep = doc["shard_sweep"]
+    except (OSError, ValueError, KeyError) as e:
+        print(f"error: cannot read shard_sweep from {args.json_path}: {e}",
+              file=sys.stderr)
+        return 2
+
+    cells = {c["shards"]: c for c in sweep
+             if c["series"] == args.series and c["x"] == args.x}
+    if 1 not in cells or len(cells) < 2:
+        print(f"error: sweep lacks a 1-shard baseline and a sharded cell "
+              f"for ({args.series!r}, x={args.x})", file=sys.stderr)
+        return 2
+
+    base = cells[1]["wall_seconds"]
+    top_shards = max(cells)
+    top = cells[top_shards]["wall_seconds"]
+    if base <= 0:
+        print(f"error: non-positive 1-shard wall time {base}",
+              file=sys.stderr)
+        return 2
+
+    ratio = top / base
+    verdict = "OK" if ratio <= args.max_ratio else "REGRESSION"
+    print(f"{verdict}: {args.series!r} x={args.x}: "
+          f"1 shard {base:.3f}s -> {top_shards} shards {top:.3f}s "
+          f"(ratio {ratio:.2f}, limit {args.max_ratio:.2f}, {cores} cores)")
+    return 0 if ratio <= args.max_ratio else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
