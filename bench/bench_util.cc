@@ -287,6 +287,8 @@ bool FigurePrinter::WriteJson(const std::string& path) const {
                    static_cast<unsigned long long>(m.bdd_stripe_contention),
                    static_cast<unsigned long long>(m.bdd_store_segments));
       PrintJsonDouble(f, m.bdd_cache_hit_rate);
+      std::fprintf(f, ", \"ship_demotions\": %llu",
+                   static_cast<unsigned long long>(m.ship_demotions));
       std::fprintf(f, "}");
     }
   }

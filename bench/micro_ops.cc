@@ -72,6 +72,111 @@ void BM_BddRestrict(benchmark::State& state) {
 }
 BENCHMARK(BM_BddRestrict)->Iterations(50000);
 
+// O(1) complement-edge negation: Not() is a tag flip, so the timed loop
+// must leave the unique-table probe and node-allocation counters exactly
+// where they started. A probe or an allocation here means the tagged-ref
+// invariant broke, so the bench hard-fails rather than just timing it.
+void BM_BddNotO1(benchmark::State& state) {
+  bdd::Manager mgr;
+  Rng rng(13);
+  bdd::Bdd f(&mgr, mgr.False());
+  for (int t = 0; t < 64; ++t) {
+    bdd::Var base = static_cast<bdd::Var>(rng.NextBounded(24));
+    bdd::Bdd p(&mgr, mgr.True());
+    for (bdd::Var j = 0; j < 4; ++j) {
+      p = p.And(bdd::Bdd(&mgr, mgr.MakeVar(base + j)));
+    }
+    f = f.Or(p);
+  }
+  const uint64_t probes_before = mgr.unique_probes();
+  const size_t nodes_before = mgr.allocated_nodes();
+  bdd::BddRef r = f.index();
+  for (auto _ : state) {
+    r = mgr.Not(r);
+    benchmark::DoNotOptimize(r);
+  }
+  if (mgr.unique_probes() != probes_before) {
+    state.SkipWithError("Not() touched the unique table");
+  }
+  if (mgr.allocated_nodes() != nodes_before) {
+    state.SkipWithError("Not() allocated nodes");
+  }
+}
+BENCHMARK(BM_BddNotO1)->Iterations(1000000);
+
+// Diff over complemented operands: Diff(¬a, ¬b) = And(¬a, b) recurses on
+// the same tagged pairs as earlier And calls, so after a warm-up pass the
+// steady state is pure op-cache hits — no materialized negation of either
+// operand is ever built.
+void BM_BddDiffComplemented(benchmark::State& state) {
+  bdd::Manager mgr;
+  Rng rng(17);
+  auto product = [&](int seed) {
+    Rng r(seed);
+    bdd::Bdd p(&mgr, mgr.True());
+    for (int j = 0; j < 6; ++j) {
+      p = p.And(bdd::Bdd(&mgr, mgr.MakeVar(static_cast<bdd::Var>(
+                                  r.NextBounded(24)))));
+    }
+    return p;
+  };
+  bdd::Bdd a = product(1).Or(product(2)).Or(product(3));
+  bdd::Bdd b = product(4).Or(product(5)).Or(product(6));
+  const bdd::BddRef na = mgr.Not(a.index());
+  const bdd::BddRef nb = mgr.Not(b.index());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mgr.Diff(na, nb));
+  }
+  state.counters["cache_hit_rate"] =
+      mgr.cache_lookups() == 0
+          ? 0.0
+          : static_cast<double>(mgr.cache_hits()) /
+                static_cast<double>(mgr.cache_lookups());
+}
+BENCHMARK(BM_BddDiffComplemented)->Iterations(200000);
+
+// Negated-result sharing on a deep Or chain: with complement edges,
+// Or(a, b) = ¬And(¬a, ¬b), so re-deriving the chain's De Morgan dual
+// (And of the negated products) walks cache entries the forward pass
+// already populated. The /0 variant measures the forward chain alone; the
+// /1 variant appends the dual pass, which must ride the warm cache rather
+// than re-expanding the recursion.
+void BM_BddOrChainNegated(benchmark::State& state) {
+  bdd::Manager mgr;
+  const bool negate = state.range(0) != 0;
+  Rng rng(23);
+  std::vector<bdd::Bdd> products;
+  for (int t = 0; t < 64; ++t) {
+    bdd::Var base = static_cast<bdd::Var>(rng.NextBounded(20));
+    bdd::Bdd p(&mgr, mgr.True());
+    for (bdd::Var j = 0; j < 4; ++j) {
+      p = p.And(bdd::Bdd(&mgr, mgr.MakeVar(base + j)));
+    }
+    products.push_back(p);
+  }
+  for (auto _ : state) {
+    bdd::Bdd f(&mgr, mgr.False());
+    for (const bdd::Bdd& p : products) f = f.Or(p);
+    if (negate) {
+      bdd::Bdd g(&mgr, mgr.True());
+      for (const bdd::Bdd& p : products) {
+        g = g.And(bdd::Bdd(&mgr, mgr.Not(p.index())));
+      }
+      if (g.index() != mgr.Not(f.index())) {
+        state.SkipWithError("De Morgan dual is not the complement edge");
+      }
+      benchmark::DoNotOptimize(g.index());
+    }
+    benchmark::DoNotOptimize(f.index());
+  }
+  state.counters["cache_hit_rate"] =
+      mgr.cache_lookups() == 0
+          ? 0.0
+          : static_cast<double>(mgr.cache_hits()) /
+                static_cast<double>(mgr.cache_lookups());
+}
+BENCHMARK(BM_BddOrChainNegated)->Arg(0)->Arg(1)->Iterations(2000);
+
 void BM_FixpointInsertAbsorption(benchmark::State& state) {
   bdd::Manager mgr;
   Rng rng(3);

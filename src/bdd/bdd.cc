@@ -11,7 +11,7 @@ namespace bdd {
 
 __thread int Manager::tls_worker_ = 0;
 
-uint64_t Manager::NodeHash(Var var, NodeIndex low, NodeIndex high) {
+uint64_t Manager::NodeHash(Var var, BddRef low, BddRef high) {
   return Mix64((static_cast<uint64_t>(low) << 32 | high) ^
                static_cast<uint64_t>(var) * 0xda942042e4dd58b5ULL);
 }
@@ -19,10 +19,12 @@ uint64_t Manager::NodeHash(Var var, NodeIndex low, NodeIndex high) {
 Manager::Manager(const Options& options)
     : options_(options), gc_threshold_(options.gc_threshold) {
   RECNET_CHECK((options.cache_size & (options.cache_size - 1)) == 0);
-  // Terminals are virtual: they are permanently live, never stored, never
-  // refcounted (Ref/Deref early-return), and never collected. live_nodes_
-  // counts them for continuity with the accounting the engine reports.
-  live_nodes_.store(2, std::memory_order_relaxed);
+  // The terminal is virtual: node 0 serves both constants (TRUE as ref 0,
+  // FALSE as its complement, ref 1). It is permanently live, never stored,
+  // never refcounted (Ref/Deref early-return), and never collected.
+  // live_nodes_ counts it for continuity with the accounting the engine
+  // reports.
+  live_nodes_.store(1, std::memory_order_relaxed);
   workers_.push_back(std::make_unique<WorkerSlot>());
   worker0_ = workers_.front().get();
   // The unique-table buckets, segment spine, and op caches (several MB)
@@ -111,7 +113,7 @@ void Manager::BeginTraversal(WorkerSlot& w) const {
   w.traverse_stack.clear();
 }
 
-bool Manager::CacheLookup(WorkerSlot& w, uint64_t key, NodeIndex* out) {
+bool Manager::CacheLookup(WorkerSlot& w, uint64_t key, BddRef* out) {
   ++w.cache_lookups;
   if (w.op_cache.empty()) return false;
   const CacheEntry& e = w.op_cache[Mix64(key) & (w.op_cache.size() - 1)];
@@ -123,15 +125,23 @@ bool Manager::CacheLookup(WorkerSlot& w, uint64_t key, NodeIndex* out) {
   return false;
 }
 
-void Manager::CacheStore(WorkerSlot& w, uint64_t key, NodeIndex result) {
+void Manager::CacheStore(WorkerSlot& w, uint64_t key, BddRef result) {
   if (w.op_cache.empty()) w.op_cache.assign(options_.cache_size, CacheEntry{});
   CacheEntry& e = w.op_cache[Mix64(key) & (w.op_cache.size() - 1)];
   e.key = key;
   e.result = result;
 }
 
-NodeIndex Manager::MakeNode(Var var, NodeIndex low, NodeIndex high) {
+BddRef Manager::MakeNode(Var var, BddRef low, BddRef high) {
   if (low == high) return low;  // Reduction rule: redundant test.
+  // Canonical polarity (regular then-edge): a complemented high cofactor is
+  // factored out of the node — (var ? ¬h : ¬l) ≡ ¬(var ? h : l) — so each
+  // function/negation pair shares one stored node and ref equality stays a
+  // canonical-function test.
+  const uint32_t flip = high & 1u;
+  low ^= flip;
+  high ^= flip;
+  ++worker().unique_probes;
   if (buckets_.empty()) EnsureTables();
   uint64_t hash = NodeHash(var, low, high);
   Stripe& stripe = stripes_[hash & kStripeMask];
@@ -145,7 +155,7 @@ NodeIndex Manager::MakeNode(Var var, NodeIndex low, NodeIndex high) {
     const Node& node = node_at(n);
     if (node.var == var && node.low == low && node.high == high) {
       if (locked) UnlockStripe(stripe);
-      return n;
+      return (n << 1) | flip;
     }
   }
   if (!locked && table_entries_.load(std::memory_order_relaxed) >=
@@ -170,7 +180,7 @@ NodeIndex Manager::MakeNode(Var var, NodeIndex low, NodeIndex high) {
   table_entries_.fetch_add(1, std::memory_order_relaxed);
   live_nodes_.fetch_add(1, std::memory_order_relaxed);
   if (locked) UnlockStripe(stripe);
-  return idx;
+  return (idx << 1) | flip;
 }
 
 void Manager::GrowBuckets() {
@@ -189,71 +199,65 @@ void Manager::GrowBuckets() {
   }
 }
 
-NodeIndex Manager::MakeVar(Var v) {
+BddRef Manager::MakeVar(Var v) {
   RECNET_CHECK_NE(v, kTerminalVar);
   MaybeGc();
   return MakeNode(v, kFalse, kTrue);
 }
 
-NodeIndex Manager::MakeNodeForRestore(Var var, NodeIndex low, NodeIndex high) {
+BddRef Manager::MakeNodeForRestore(Var var, BddRef low, BddRef high) {
   RECNET_CHECK_NE(var, kTerminalVar);
-  RECNET_CHECK_LT(low, next_index_.load(std::memory_order_relaxed));
-  RECNET_CHECK_LT(high, next_index_.load(std::memory_order_relaxed));
+  RECNET_CHECK_LT(low >> 1, next_index_.load(std::memory_order_relaxed));
+  RECNET_CHECK_LT(high >> 1, next_index_.load(std::memory_order_relaxed));
   return MakeNode(var, low, high);
 }
 
-NodeIndex Manager::And(NodeIndex a, NodeIndex b) {
+BddRef Manager::And(BddRef a, BddRef b) {
   MaybeGc();
   WorkerSlot& w = worker();
   if (!concurrent_) in_operation_ = true;
-  NodeIndex r = ApplyAndOr(Op::kAnd, a, b, w);
+  BddRef r = ApplyAnd(a, b, w);
   if (!concurrent_) in_operation_ = false;
   return r;
 }
 
-NodeIndex Manager::Or(NodeIndex a, NodeIndex b) {
+BddRef Manager::Or(BddRef a, BddRef b) {
+  // De Morgan over complement edges: a ∨ b = ¬(¬a ∧ ¬b). The negations are
+  // bit flips, so Or shares the AND recursion *and its cache entries* —
+  // a later ¬(a ∨ b) resolves to the identical cached AND result.
   MaybeGc();
   WorkerSlot& w = worker();
   if (!concurrent_) in_operation_ = true;
-  NodeIndex r = ApplyAndOr(Op::kOr, a, b, w);
+  BddRef r = Not(ApplyAnd(Not(a), Not(b), w));
   if (!concurrent_) in_operation_ = false;
   return r;
 }
 
-NodeIndex Manager::Not(NodeIndex a) {
+BddRef Manager::Diff(BddRef a, BddRef b) {
+  // a ∧ ¬b with ¬b a tag flip: one AND pass, nothing materialized.
   MaybeGc();
   WorkerSlot& w = worker();
   if (!concurrent_) in_operation_ = true;
-  NodeIndex r = NotRec(a, w);
+  BddRef r = ApplyAnd(a, Not(b), w);
   if (!concurrent_) in_operation_ = false;
   return r;
 }
 
-NodeIndex Manager::Restrict(NodeIndex f, Var v, bool value) {
+BddRef Manager::Restrict(BddRef f, Var v, bool value) {
   MaybeGc();
   WorkerSlot& w = worker();
   if (!concurrent_) in_operation_ = true;
-  NodeIndex r = RestrictRec(f, v, value, w);
+  BddRef r = RestrictRec(f, v, value, w);
   if (!concurrent_) in_operation_ = false;
   return r;
 }
 
-NodeIndex Manager::Diff(NodeIndex a, NodeIndex b) {
-  MaybeGc();
-  WorkerSlot& w = worker();
-  if (!concurrent_) in_operation_ = true;
-  NodeIndex r = ApplyDiff(a, b, w);
-  if (!concurrent_) in_operation_ = false;
-  return r;
-}
-
-NodeIndex Manager::RestrictAllFalse(NodeIndex f,
-                                    const std::vector<Var>& vars) {
+BddRef Manager::RestrictAllFalse(BddRef f, const std::vector<Var>& vars) {
   // Pin each intermediate result across the next Restrict (which may GC).
-  NodeIndex r = f;
+  BddRef r = f;
   Ref(r);
   for (Var v : vars) {
-    NodeIndex next = Restrict(r, v, false);
+    BddRef next = Restrict(r, v, false);
     Ref(next);
     Deref(r);
     r = next;
@@ -262,205 +266,180 @@ NodeIndex Manager::RestrictAllFalse(NodeIndex f,
   return r;
 }
 
-NodeIndex Manager::ApplyAndOr(Op op, NodeIndex a, NodeIndex b,
-                              WorkerSlot& w) {
-  // Terminal cases.
-  if (op == Op::kAnd) {
-    if (a == kFalse || b == kFalse) return kFalse;
-    if (a == kTrue) return b;
-    if (b == kTrue) return a;
-    if (a == b) return a;
-  } else {
-    if (a == kTrue || b == kTrue) return kTrue;
-    if (a == kFalse) return b;
-    if (b == kFalse) return a;
-    if (a == b) return a;
-  }
-  // AND/OR are commutative: normalize operand order for cache locality.
+BddRef Manager::ApplyAnd(BddRef a, BddRef b, WorkerSlot& w) {
+  // Terminal cases. a ∧ ¬a is the one complement-edge case a plain-node
+  // manager never sees syntactically.
+  if (a == kFalse || b == kFalse || a == Not(b)) return kFalse;
+  if (a == kTrue) return b;
+  if (b == kTrue) return a;
+  if (a == b) return a;
+  // AND is commutative: normalize operand order for cache locality.
   if (a > b) std::swap(a, b);
-  uint64_t key = CacheKey(op, a, b);
-  NodeIndex cached;
+  uint64_t key = CacheKey(Op::kAnd, a, b);
+  BddRef cached;
   if (CacheLookup(w, key, &cached)) return cached;
 
-  const Node& na = node_at(a);
-  const Node& nb = node_at(b);
+  const Node& na = node_at(a >> 1);
+  const Node& nb = node_at(b >> 1);
+  // The complement bit distributes over cofactors: (¬f)|_{x=c} = ¬(f|_{x=c}).
+  const uint32_t ca = a & 1u;
+  const uint32_t cb = b & 1u;
   Var top = std::min(na.var, nb.var);
-  NodeIndex a_lo = (na.var == top) ? na.low : a;
-  NodeIndex a_hi = (na.var == top) ? na.high : a;
-  NodeIndex b_lo = (nb.var == top) ? nb.low : b;
-  NodeIndex b_hi = (nb.var == top) ? nb.high : b;
+  BddRef a_lo = (na.var == top) ? (na.low ^ ca) : a;
+  BddRef a_hi = (na.var == top) ? (na.high ^ ca) : a;
+  BddRef b_lo = (nb.var == top) ? (nb.low ^ cb) : b;
+  BddRef b_hi = (nb.var == top) ? (nb.high ^ cb) : b;
 
-  NodeIndex lo = ApplyAndOr(op, a_lo, b_lo, w);
-  NodeIndex hi = ApplyAndOr(op, a_hi, b_hi, w);
-  NodeIndex r = MakeNode(top, lo, hi);
+  BddRef lo = ApplyAnd(a_lo, b_lo, w);
+  BddRef hi = ApplyAnd(a_hi, b_hi, w);
+  BddRef r = MakeNode(top, lo, hi);
   CacheStore(w, key, r);
   return r;
 }
 
-NodeIndex Manager::ApplyDiff(NodeIndex a, NodeIndex b, WorkerSlot& w) {
-  // Terminal cases of a ∧ ¬b.
-  if (a == kFalse || b == kTrue || a == b) return kFalse;
-  if (b == kFalse) return a;
-  if (a == kTrue) return NotRec(b, w);
-  uint64_t key = CacheKey(Op::kDiff, a, b);
-  NodeIndex cached;
-  if (CacheLookup(w, key, &cached)) return cached;
-  const Node& na = node_at(a);
-  const Node& nb = node_at(b);
-  Var top = std::min(na.var, nb.var);
-  NodeIndex a_lo = (na.var == top) ? na.low : a;
-  NodeIndex a_hi = (na.var == top) ? na.high : a;
-  NodeIndex b_lo = (nb.var == top) ? nb.low : b;
-  NodeIndex b_hi = (nb.var == top) ? nb.high : b;
-  NodeIndex lo = ApplyDiff(a_lo, b_lo, w);
-  NodeIndex hi = ApplyDiff(a_hi, b_hi, w);
-  NodeIndex r = MakeNode(top, lo, hi);
-  CacheStore(w, key, r);
-  return r;
-}
-
-NodeIndex Manager::NotRec(NodeIndex a, WorkerSlot& w) {
-  if (a == kFalse) return kTrue;
-  if (a == kTrue) return kFalse;
-  uint64_t key = CacheKey(Op::kNot, a, 0);
-  NodeIndex cached;
-  if (CacheLookup(w, key, &cached)) return cached;
-  const Node& n = node_at(a);
-  NodeIndex lo = NotRec(n.low, w);
-  NodeIndex hi = NotRec(n.high, w);
-  NodeIndex r = MakeNode(n.var, lo, hi);
-  CacheStore(w, key, r);
-  return r;
-}
-
-NodeIndex Manager::RestrictRec(NodeIndex f, Var v, bool value,
-                               WorkerSlot& w) {
-  if (IsTerminal(f)) return f;
-  const Node& n = node_at(f);
+BddRef Manager::RestrictRec(BddRef f, Var v, bool value, WorkerSlot& w) {
+  // Factor the polarity out up front: restrict commutes with complement,
+  // so the cache is keyed on the regular ref and one entry serves both
+  // polarities of f.
+  const uint32_t c = f & 1u;
+  const BddRef g = f ^ c;
+  if (IsTerminal(g)) return f;
+  const Node& n = node_at(g >> 1);
   if (n.var > v) return f;  // Ordered: v cannot appear below.
-  if (n.var == v) return value ? n.high : n.low;
+  if (n.var == v) return (value ? n.high : n.low) ^ c;
   uint64_t key =
-      CacheKey(Op::kRestrict, f,
+      CacheKey(Op::kRestrict, g,
                (static_cast<uint64_t>(v) << 1) | (value ? 1u : 0u));
-  NodeIndex cached;
-  if (CacheLookup(w, key, &cached)) return cached;
-  NodeIndex lo = RestrictRec(n.low, v, value, w);
-  NodeIndex hi = RestrictRec(n.high, v, value, w);
-  NodeIndex r = MakeNode(n.var, lo, hi);
+  BddRef cached;
+  if (CacheLookup(w, key, &cached)) return cached ^ c;
+  BddRef lo = RestrictRec(n.low, v, value, w);
+  BddRef hi = RestrictRec(n.high, v, value, w);
+  BddRef r = MakeNode(n.var, lo, hi);
   CacheStore(w, key, r);
-  return r;
+  return r ^ c;
 }
 
-size_t Manager::CountNodes(NodeIndex f) const {
-  if (IsTerminal(f)) return 0;
+size_t Manager::CountNodes(BddRef f) const {
+  NodeIndex root = f >> 1;
+  if (root == kTerminalNode) return 0;
   WorkerSlot& w = worker();
   // Wire-size accounting calls this once per shipped copy of an
-  // annotation; memoize per root (entries die with the next GC, which is
+  // annotation; memoize per root node — counts are polarity-independent,
+  // so f and ¬f share the entry (entries die with the next GC, which is
   // when indices can be recycled).
-  auto memo = w.count_memo.find(f);
+  auto memo = w.count_memo.find(root);
   if (memo != w.count_memo.end()) return memo->second;
   BeginTraversal(w);
-  w.traverse_stack.push_back(f);
+  w.traverse_stack.push_back(root);
   size_t count = 0;
   while (!w.traverse_stack.empty()) {
     NodeIndex n = w.traverse_stack.back();
     w.traverse_stack.pop_back();
-    if (IsTerminal(n) || !VisitFirst(w, n)) continue;
+    if (n == kTerminalNode || !VisitFirst(w, n)) continue;
     ++count;
     const Node& node = node_at(n);
-    w.traverse_stack.push_back(node.low);
-    w.traverse_stack.push_back(node.high);
+    w.traverse_stack.push_back(node.low >> 1);
+    w.traverse_stack.push_back(node.high >> 1);
   }
-  w.count_memo.emplace(f, count);
+  w.count_memo.emplace(root, count);
   return count;
 }
 
-void Manager::Support(NodeIndex f, std::vector<Var>* vars) const {
+void Manager::Support(BddRef f, std::vector<Var>* vars) const {
   WorkerSlot& w = worker();
   size_t start = vars->size();
   BeginTraversal(w);
-  w.traverse_stack.push_back(f);
+  w.traverse_stack.push_back(f >> 1);
   while (!w.traverse_stack.empty()) {
     NodeIndex n = w.traverse_stack.back();
     w.traverse_stack.pop_back();
-    if (IsTerminal(n) || !VisitFirst(w, n)) continue;
+    if (n == kTerminalNode || !VisitFirst(w, n)) continue;
     const Node& node = node_at(n);
     vars->push_back(node.var);
-    w.traverse_stack.push_back(node.low);
-    w.traverse_stack.push_back(node.high);
+    w.traverse_stack.push_back(node.low >> 1);
+    w.traverse_stack.push_back(node.high >> 1);
   }
   std::sort(vars->begin() + start, vars->end());
   vars->erase(std::unique(vars->begin() + start, vars->end()), vars->end());
 }
 
-bool Manager::DependsOn(NodeIndex f, Var v) const {
+bool Manager::DependsOn(BddRef f, Var v) const {
   WorkerSlot& w = worker();
   BeginTraversal(w);
-  w.traverse_stack.push_back(f);
+  w.traverse_stack.push_back(f >> 1);
   while (!w.traverse_stack.empty()) {
     NodeIndex n = w.traverse_stack.back();
     w.traverse_stack.pop_back();
-    if (IsTerminal(n) || !VisitFirst(w, n)) continue;
+    if (n == kTerminalNode || !VisitFirst(w, n)) continue;
     const Node& node = node_at(n);
     if (node.var == v) return true;
     if (node.var > v) continue;  // Ordered: v cannot appear below.
-    w.traverse_stack.push_back(node.low);
-    w.traverse_stack.push_back(node.high);
+    w.traverse_stack.push_back(node.low >> 1);
+    w.traverse_stack.push_back(node.high >> 1);
   }
   return false;
 }
 
-bool Manager::AnyWitness(NodeIndex f,
+bool Manager::AnyWitness(BddRef f,
                          std::vector<std::pair<Var, bool>>* assignment) const {
   assignment->clear();
   if (f == kFalse) return false;
-  NodeIndex n = f;
-  while (!IsTerminal(n)) {
-    const Node& node = node_at(n);
+  // Walk with the complement parity folded into the current ref. With
+  // complement edges every internal node is non-constant, so any internal
+  // child can still reach TRUE and the greedy descent cannot dead-end.
+  BddRef r = f;
+  while (!IsTerminal(r)) {
+    const Node& node = node_at(r >> 1);
+    const uint32_t c = r & 1u;
+    BddRef hi = node.high ^ c;
     // Prefer the high branch (variable true) when it can reach TRUE; for
     // monotone provenance functions this yields a minimal witness of
     // present base tuples.
-    if (node.high != kFalse) {
+    if (hi != kFalse) {
       assignment->emplace_back(node.var, true);
-      n = node.high;
+      r = hi;
     } else {
       assignment->emplace_back(node.var, false);
-      n = node.low;
+      r = node.low ^ c;
     }
   }
-  RECNET_CHECK_EQ(n, kTrue);
+  RECNET_CHECK_EQ(r, kTrue);
   return true;
 }
 
-bool Manager::Evaluate(NodeIndex f,
+bool Manager::Evaluate(BddRef f,
                        const std::unordered_map<Var, bool>& truth) const {
-  NodeIndex n = f;
-  while (!IsTerminal(n)) {
-    const Node& node = node_at(n);
+  BddRef r = f;
+  while (!IsTerminal(r)) {
+    const Node& node = node_at(r >> 1);
     auto it = truth.find(node.var);
     bool value = (it != truth.end()) && it->second;
-    n = value ? node.high : node.low;
+    r = (value ? node.high : node.low) ^ (r & 1u);
   }
-  return n == kTrue;
+  return r == kTrue;
 }
 
-std::string Manager::ToDot(NodeIndex f) const {
+std::string Manager::ToDot(BddRef f) const {
   std::ostringstream os;
   os << "digraph bdd {\n";
-  os << "  f [shape=none,label=\"f\"];\n  f -> n" << f << ";\n";
-  os << "  n0 [shape=box,label=\"0\"];\n  n1 [shape=box,label=\"1\"];\n";
+  os << "  f [shape=none,label=\"f\"];\n  f -> n" << (f >> 1)
+     << ((f & 1u) != 0 ? " [arrowhead=odot]" : "") << ";\n";
+  os << "  n0 [shape=box,label=\"1\"];\n";
   std::unordered_set<NodeIndex> seen;
-  std::vector<NodeIndex> stack{f};
+  std::vector<NodeIndex> stack{f >> 1};
   while (!stack.empty()) {
     NodeIndex n = stack.back();
     stack.pop_back();
-    if (IsTerminal(n) || !seen.insert(n).second) continue;
+    if (n == kTerminalNode || !seen.insert(n).second) continue;
     const Node& node = node_at(n);
     os << "  n" << n << " [label=\"x" << node.var << "\"];\n";
-    os << "  n" << n << " -> n" << node.low << " [style=dashed];\n";
-    os << "  n" << n << " -> n" << node.high << ";\n";
-    stack.push_back(node.low);
-    stack.push_back(node.high);
+    // Complemented else-edges get the classic dot arrowhead; then-edges are
+    // regular by canonicity.
+    os << "  n" << n << " -> n" << (node.low >> 1) << " [style=dashed"
+       << ((node.low & 1u) != 0 ? ",arrowhead=odot" : "") << "];\n";
+    os << "  n" << n << " -> n" << (node.high >> 1) << ";\n";
+    stack.push_back(node.low >> 1);
+    stack.push_back(node.high >> 1);
   }
   os << "}\n";
   return os.str();
@@ -469,9 +448,9 @@ std::string Manager::ToDot(NodeIndex f) const {
 void Manager::MaybeGc() {
   if (in_operation_) return;
   // Concurrent mode: never collect from inside an operation. A sibling
-  // worker may hold a just-computed node index it has not Ref'd yet (the
-  // gap between e.g. And() returning and the Bdd handle construction),
-  // which a collection would recycle under it. The engine instead calls
+  // worker may hold a just-computed ref it has not Ref'd yet (the gap
+  // between e.g. And() returning and the Bdd handle construction), which a
+  // collection would recycle under it. The engine instead calls
   // CollectAtBarrier() at superstep barriers, where workers are joined and
   // every live node is reachable from a Ref'd root.
   if (concurrent_) return;
@@ -503,7 +482,7 @@ size_t Manager::GarbageCollect() {
   size_t allocated = next_index_.load(std::memory_order_relaxed);
   std::vector<bool> marked(allocated, false);
   std::vector<NodeIndex> stack;
-  for (NodeIndex i = 2; i < allocated; ++i) {
+  for (NodeIndex i = 1; i < allocated; ++i) {
     if (ref_at(i).load(std::memory_order_relaxed) > 0 && !marked[i]) {
       stack.push_back(i);
       marked[i] = true;
@@ -513,8 +492,8 @@ size_t Manager::GarbageCollect() {
     NodeIndex n = stack.back();
     stack.pop_back();
     const Node& node = node_at(n);
-    for (NodeIndex child : {node.low, node.high}) {
-      if (child > kTrue && !marked[child]) {
+    for (NodeIndex child : {node.low >> 1, node.high >> 1}) {
+      if (child != kTerminalNode && !marked[child]) {
         marked[child] = true;
         stack.push_back(child);
       }
@@ -528,7 +507,7 @@ size_t Manager::GarbageCollect() {
   std::fill(buckets_.begin(), buckets_.end(), kNilNode);
   for (Stripe& s : stripes_) s.free_list.clear();
   size_t entries = 0;
-  for (NodeIndex i = 2; i < allocated; ++i) {
+  for (NodeIndex i = 1; i < allocated; ++i) {
     if (!marked[i]) {
       stripes_[i & kStripeMask].free_list.push_back(i);
       continue;
@@ -569,6 +548,14 @@ uint64_t Manager::cache_lookups() const {
   uint64_t total = 0;
   for (const std::unique_ptr<WorkerSlot>& w : workers_) {
     total += w->cache_lookups;
+  }
+  return total;
+}
+
+uint64_t Manager::unique_probes() const {
+  uint64_t total = 0;
+  for (const std::unique_ptr<WorkerSlot>& w : workers_) {
+    total += w->unique_probes;
   }
   return total;
 }

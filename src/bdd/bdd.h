@@ -14,8 +14,15 @@
 namespace recnet {
 namespace bdd {
 
-// Index of a node inside a Manager. Indices 0 and 1 are the FALSE and TRUE
-// terminals. Indices are stable for live nodes across garbage collections.
+// A reference to a BDD root: a node index shifted left by one, with the
+// complement ("negated") bit in the low bit. Node index 0 is the single
+// TRUE terminal, so the constant refs are kTrue = 0 and kFalse = ¬kTrue = 1.
+// Refs are stable for live nodes across garbage collections.
+using BddRef = uint32_t;
+
+// Index of a node inside a Manager (a BddRef with the complement bit
+// stripped and shifted out). Kept as a distinct alias because the unique
+// table, refcounts, and GC operate on nodes, not refs.
 using NodeIndex = uint32_t;
 
 // A Boolean variable. In recnet each base tuple (a `link` or `isTriggered`
@@ -23,16 +30,29 @@ using NodeIndex = uint32_t;
 // tuple with a Boolean function over these variables (paper Section 4).
 using Var = uint32_t;
 
-inline constexpr NodeIndex kFalse = 0;
-inline constexpr NodeIndex kTrue = 1;
+inline constexpr BddRef kTrue = 0;
+inline constexpr BddRef kFalse = 1;
 
-// Reduced Ordered Binary Decision Diagram manager.
+// Reduced Ordered Binary Decision Diagram manager with complement edges
+// (the Brace–Rudell–Bryant DAC'90 package design).
 //
 // This is a from-scratch replacement for the JavaBDD library the paper used:
 // hash-consed unique table (so isomorphic subgraphs are shared and Boolean
 // absorption `a ∧ (a ∨ b) ≡ a` happens automatically by canonicity),
 // direct-mapped memoization caches for the apply operations, and external
 // reference counting with mark-and-sweep garbage collection.
+//
+// Complement edges: every edge (and every external ref) may carry a
+// complement bit, meaning "the function rooted here, negated". Canonicity
+// is restored by the regular-then-edge rule — a stored node's high (then)
+// edge is always regular; MakeNode factors a complemented then-edge out of
+// the node and returns a complemented ref instead. Consequences:
+//  - Not() is a one-bit XOR: no unique-table probe, no allocation, O(1).
+//  - A function and its negation share every node, halving many stores.
+//  - One AND recursion serves the whole algebra (Or by De Morgan over
+//    complemented refs, Diff(a,b) = a ∧ ¬b by flipping b's bit), so the
+//    op cache is polarity-aware by construction: computing ¬(a ∨ b) hits
+//    the same cache entry as a ∨ b.
 //
 // The unique table is intrusive: each node carries the index of the next
 // node in its hash bucket, so a MakeNode is one bucket probe with no
@@ -56,12 +76,12 @@ inline constexpr NodeIndex kTrue = 1;
 //    the router shard id during parallel drains). Caches never contend and
 //    are cleared together at barrier GC. Canonicity makes results
 //    interleaving-independent: whichever worker interns a node first, every
-//    equal Boolean function resolves to the same index, so semantic
+//    equal Boolean function resolves to the same tagged ref, so semantic
 //    outcomes (and wire-size accounting, which is per-BDD structure) do not
 //    depend on the schedule — the shard_parity_test suite pins this.
 //  - GC stays barrier-only in concurrent mode: set_concurrent(true)
 //    suppresses automatic collection (a sibling worker may hold a
-//    just-computed index it has not Ref'd yet), and the engine calls
+//    just-computed ref it has not Ref'd yet), and the engine calls
 //    CollectAtBarrier() at superstep barriers where workers are joined.
 //    Bucket-array growth is likewise deferred to the barrier; chains
 //    simply run longer within a generation.
@@ -103,70 +123,83 @@ class Manager {
   static void SetThreadWorkerSlot(int w) { tls_worker_ = w; }
   static int thread_worker_slot() { return tls_worker_; }
 
-  // --- Core algebra (all results are canonical ROBDD roots) ---------------
+  // --- Core algebra (all results are canonical tagged refs) ----------------
 
-  NodeIndex False() const { return kFalse; }
-  NodeIndex True() const { return kTrue; }
+  BddRef False() const { return kFalse; }
+  BddRef True() const { return kTrue; }
 
   // The single-variable function v.
-  NodeIndex MakeVar(Var v);
+  BddRef MakeVar(Var v);
 
-  NodeIndex And(NodeIndex a, NodeIndex b);
-  NodeIndex Or(NodeIndex a, NodeIndex b);
-  NodeIndex Not(NodeIndex a);
+  BddRef And(BddRef a, BddRef b);
+  BddRef Or(BddRef a, BddRef b);
+  // Complement-edge negation: flip the tag bit. No unique-table probe, no
+  // allocation, no cache traffic — the unique_probes() and
+  // allocated_nodes() counters are flat across any number of calls (the
+  // micro-ops gate asserts this).
+  BddRef Not(BddRef a) const { return a ^ 1u; }
   // a ∧ ¬b; the BDD `restrict`-style difference used when merging deltas
-  // (Algorithm 1 line 19 computes deltaPv = newPv ∧ ¬oldPv).
-  NodeIndex Diff(NodeIndex a, NodeIndex b);
+  // (Algorithm 1 line 19 computes deltaPv = newPv ∧ ¬oldPv). With
+  // complement edges this is the AND recursion over a complemented b — the
+  // negation is never materialized and the cache entry is shared with any
+  // other AND touching the same (ref, ¬ref) pair.
+  BddRef Diff(BddRef a, BddRef b);
 
   // f with variable v fixed to `value` (paper: "restrict"; deleting base
   // tuple p zeroes out its variable, Section 4).
-  NodeIndex Restrict(NodeIndex f, Var v, bool value);
+  BddRef Restrict(BddRef f, Var v, bool value);
 
   // f with every variable in `vars` fixed to false.
-  NodeIndex RestrictAllFalse(NodeIndex f, const std::vector<Var>& vars);
+  BddRef RestrictAllFalse(BddRef f, const std::vector<Var>& vars);
 
   // --- Inspection ----------------------------------------------------------
 
-  bool IsTerminal(NodeIndex n) const { return n <= kTrue; }
+  // Both polarities of the terminal node: kTrue and kFalse.
+  bool IsTerminal(BddRef n) const { return (n >> 1) == kTerminalNode; }
 
-  // Number of internal (non-terminal) nodes reachable from f.
-  size_t CountNodes(NodeIndex f) const;
+  // Number of internal (non-terminal) nodes reachable from f. Polarity-
+  // independent: f and ¬f share their entire graph.
+  size_t CountNodes(BddRef f) const;
 
   // Estimated wire size of f when shipped inside an update message. Each
   // internal node serializes to (var, low, high) ≈ 10 bytes plus an 8-byte
   // header. This backs the paper's per-tuple provenance overhead metric.
-  size_t SerializedSizeBytes(NodeIndex f) const {
+  size_t SerializedSizeBytes(BddRef f) const {
     return 8 + 10 * CountNodes(f);
   }
 
   // Appends (sorted, deduplicated) the variables f depends on.
-  void Support(NodeIndex f, std::vector<Var>* vars) const;
+  void Support(BddRef f, std::vector<Var>* vars) const;
 
   // True iff variable v is in the support of f.
-  bool DependsOn(NodeIndex f, Var v) const;
+  bool DependsOn(BddRef f, Var v) const;
 
   // If f is satisfiable, fills `assignment` with one satisfying partial
   // assignment (variables on the path to the TRUE terminal) and returns
   // true. Used for "why is this tuple in the view" diagnostics.
-  bool AnyWitness(NodeIndex f,
+  bool AnyWitness(BddRef f,
                   std::vector<std::pair<Var, bool>>* assignment) const;
 
   // Evaluates f under `truth` (vars absent from the map default to false).
-  bool Evaluate(NodeIndex f,
+  bool Evaluate(BddRef f,
                 const std::unordered_map<Var, bool>& truth) const;
 
-  // Graphviz rendering of f, for debugging and docs.
-  std::string ToDot(NodeIndex f) const;
+  // Graphviz rendering of f, for debugging and docs. Complemented edges are
+  // drawn with a dot arrowhead (the classic complement-edge notation);
+  // there is a single terminal box labeled "1".
+  std::string ToDot(BddRef f) const;
 
   // --- Reference counting & GC --------------------------------------------
 
   // Lock-free on every path: a relaxed atomic RMW in concurrent mode, a
-  // plain load/store otherwise. Terminals are permanently live and skip the
-  // counter entirely.
-  void Ref(NodeIndex n) {
-    if (n <= kTrue) return;
-    RECNET_DCHECK(n < next_index_.load(std::memory_order_relaxed));
-    std::atomic<uint32_t>& rc = ref_at(n);
+  // plain load/store otherwise. The terminal is permanently live and skips
+  // the counter entirely. Both polarities of a ref share one count (the
+  // node is what GC keeps alive).
+  void Ref(BddRef n) {
+    NodeIndex idx = n >> 1;
+    if (idx == kTerminalNode) return;
+    RECNET_DCHECK(idx < next_index_.load(std::memory_order_relaxed));
+    std::atomic<uint32_t>& rc = ref_at(idx);
     if (concurrent_) {
       rc.fetch_add(1, std::memory_order_relaxed);
     } else {
@@ -174,10 +207,11 @@ class Manager {
                std::memory_order_relaxed);
     }
   }
-  void Deref(NodeIndex n) {
-    if (n <= kTrue) return;
-    RECNET_DCHECK(n < next_index_.load(std::memory_order_relaxed));
-    std::atomic<uint32_t>& rc = ref_at(n);
+  void Deref(BddRef n) {
+    NodeIndex idx = n >> 1;
+    if (idx == kTerminalNode) return;
+    RECNET_DCHECK(idx < next_index_.load(std::memory_order_relaxed));
+    std::atomic<uint32_t>& rc = ref_at(idx);
     if (concurrent_) {
       rc.fetch_sub(1, std::memory_order_relaxed);
     } else {
@@ -187,7 +221,7 @@ class Manager {
     }
   }
 
-  // Mark-and-sweep over externally referenced roots. Indices of live nodes
+  // Mark-and-sweep over externally referenced roots. Refs of live nodes
   // are preserved. Returns the number of nodes freed. Single-threaded
   // contexts only (in concurrent mode, only at a quiescent barrier).
   size_t GarbageCollect();
@@ -207,6 +241,9 @@ class Manager {
   // Aggregated over all worker op caches.
   uint64_t cache_hits() const;
   uint64_t cache_lookups() const;
+  // Unique-table probes (MakeNode intern attempts past the trivial
+  // reductions), aggregated over workers. Not() never moves this counter.
+  uint64_t unique_probes() const;
   // Number of failed first acquisitions of unique-table stripe locks, over
   // all stripes: the direct measure of MakeNode contention.
   uint64_t stripe_contention() const;
@@ -215,28 +252,34 @@ class Manager {
     return segments_allocated_.load(std::memory_order_relaxed);
   }
 
-  Var var_of(NodeIndex n) const {
-    return n <= kTrue ? kTerminalVar : node_at(n).var;
+  Var var_of(BddRef n) const {
+    return IsTerminal(n) ? kTerminalVar : node_at(n >> 1).var;
   }
-  NodeIndex low_of(NodeIndex n) const {
-    return n <= kTrue ? n : node_at(n).low;
+  // Cofactors of the *function* n refers to: the complement bit distributes
+  // over the stored node's edges (cofactor of ¬f is ¬(cofactor of f)).
+  BddRef low_of(BddRef n) const {
+    return IsTerminal(n) ? n : node_at(n >> 1).low ^ (n & 1u);
   }
-  NodeIndex high_of(NodeIndex n) const {
-    return n <= kTrue ? n : node_at(n).high;
+  BddRef high_of(BddRef n) const {
+    return IsTerminal(n) ? n : node_at(n >> 1).high ^ (n & 1u);
   }
 
   // Interns one node while decoding a snapshot (children must already be
-  // interned). Same hash-consing as the internal MakeNode but never triggers
-  // GC, so a decoder can hold freshly interned, not-yet-referenced nodes
-  // across calls. The caller is expected to Ref (e.g. via a Bdd handle)
-  // every returned root it wants to keep.
-  NodeIndex MakeNodeForRestore(Var var, NodeIndex low, NodeIndex high);
+  // interned; either may be complemented — the canonical polarity is
+  // re-derived here, so pre-complement-edge snapshots decode to canonical
+  // tagged refs). Never triggers GC, so a decoder can hold freshly
+  // interned, not-yet-referenced nodes across calls. The caller is
+  // expected to Ref (e.g. via a Bdd handle) every returned root it wants
+  // to keep.
+  BddRef MakeNodeForRestore(Var var, BddRef low, BddRef high);
 
  private:
   struct Node {
     Var var;
-    NodeIndex low;
-    NodeIndex high;
+    // Tagged child refs. Canonical polarity: `high` is always regular
+    // (complement bit clear); `low` may carry a complement bit.
+    BddRef low;
+    BddRef high;
     // Intrusive unique-table chain (next node in the same hash bucket).
     // kNilNode terminates a chain; free-list slots are not chained. Only
     // MakeNode touches it, under the stripe lock in concurrent mode.
@@ -249,14 +292,10 @@ class Manager {
   static constexpr size_t kSegBits = 16;
   static constexpr size_t kSegSize = size_t{1} << kSegBits;
   static constexpr size_t kSegMask = kSegSize - 1;
-  // Matches the CacheKey packing bound: operands stay below 2^30.
-  static constexpr size_t kMaxNodes = size_t{1} << 30;
+  // Tagged refs (index << 1 | bit) must fit the CacheKey packing bound of
+  // 2^30, so node indices stay below 2^29.
+  static constexpr size_t kMaxNodes = size_t{1} << 29;
   static constexpr size_t kMaxSegments = kMaxNodes >> kSegBits;
-
-  struct Segment {
-    std::unique_ptr<Node[]> nodes;
-    std::unique_ptr<std::atomic<uint32_t>[]> refs;
-  };
 
   // Unique-table lock stripes. Stripe choice is hash & kStripeMask —
   // independent of the bucket count, so a bucket's stripe never changes
@@ -264,6 +303,11 @@ class Manager {
   // so post-GC recycling needs no extra lock.
   static constexpr size_t kStripeCount = 64;
   static constexpr size_t kStripeMask = kStripeCount - 1;
+
+  struct Segment {
+    std::unique_ptr<Node[]> nodes;
+    std::unique_ptr<std::atomic<uint32_t>[]> refs;
+  };
 
   struct alignas(64) Stripe {
     std::atomic<bool> locked{false};
@@ -273,7 +317,7 @@ class Manager {
 
   struct CacheEntry {
     uint64_t key = ~0ULL;
-    NodeIndex result = 0;
+    BddRef result = 0;
   };
 
   // Per-worker private state: direct-mapped op cache, count memo, and the
@@ -286,15 +330,22 @@ class Manager {
     std::vector<NodeIndex> traverse_stack;
     uint64_t cache_hits = 0;
     uint64_t cache_lookups = 0;
+    uint64_t unique_probes = 0;
   };
 
-  enum class Op : uint8_t { kAnd = 0, kOr = 1, kNot = 2, kRestrict = 3, kDiff = 4 };
+  // With complement edges one AND recursion serves And/Or/Diff (all three
+  // are ANDs over possibly-complemented refs), so only two ops key the
+  // cache.
+  enum class Op : uint8_t { kAnd = 0, kRestrict = 1 };
   static constexpr Var kTerminalVar = ~Var{0};
-  // Chain terminator. Index 0 is the FALSE terminal, which never lives in
-  // the unique table, so it doubles as the nil sentinel.
+  // The single terminal: node index 0 represents TRUE (ref 0) and, through
+  // its complemented ref 1, FALSE. It is virtual — never stored, never
+  // refcounted, never collected — so index 0 doubles as the unique-table
+  // nil sentinel.
+  static constexpr NodeIndex kTerminalNode = 0;
   static constexpr NodeIndex kNilNode = 0;
 
-  static uint64_t NodeHash(Var var, NodeIndex low, NodeIndex high);
+  static uint64_t NodeHash(Var var, BddRef low, BddRef high);
 
   // Segment 0 backs every index below 2^16 — the entire store for all but
   // the largest workloads — so its base pointers are cached flat to keep
@@ -334,8 +385,9 @@ class Manager {
 
   // Stamped visited-marking for the const traversals (CountNodes, Support,
   // DependsOn), per worker slot: one stamp array reused across calls
-  // instead of a fresh unordered_set per call. Not reentrant; traversals
-  // do not nest within a worker.
+  // instead of a fresh unordered_set per call. Operates on node indices
+  // (complement bits stripped). Not reentrant; traversals do not nest
+  // within a worker.
   void BeginTraversal(WorkerSlot& w) const;
   bool VisitFirst(WorkerSlot& w, NodeIndex n) const;
 
@@ -343,29 +395,28 @@ class Manager {
   // only).
   void EnsureTables();
   void EnsureSegment(size_t seg);
-  NodeIndex MakeNode(Var var, NodeIndex low, NodeIndex high);
+  BddRef MakeNode(Var var, BddRef low, BddRef high);
   void GrowBuckets();
-  NodeIndex ApplyAndOr(Op op, NodeIndex a, NodeIndex b, WorkerSlot& w);
-  // One-pass a ∧ ¬b: the complement of b is never materialized, so a delta
-  // computation costs one apply instead of a full Not plus an And.
-  NodeIndex ApplyDiff(NodeIndex a, NodeIndex b, WorkerSlot& w);
-  NodeIndex NotRec(NodeIndex a, WorkerSlot& w);
-  NodeIndex RestrictRec(NodeIndex f, Var v, bool value, WorkerSlot& w);
+  // The single apply recursion: a ∧ b over tagged refs. Or and Diff are
+  // expressed through it by complementing operands/results, which is what
+  // makes the op cache polarity-aware.
+  BddRef ApplyAnd(BddRef a, BddRef b, WorkerSlot& w);
+  BddRef RestrictRec(BddRef f, Var v, bool value, WorkerSlot& w);
   void MaybeGc();
   void ClearCaches();
 
-  // Injective packing (node indices and operands stay below 2^30): op in
-  // the top bits, a and b in disjoint 30-bit fields. The direct-mapped
-  // cache hashes this key with a full 64-bit mix so entries spread across
-  // all slots.
-  uint64_t CacheKey(Op op, NodeIndex a, uint64_t b) const {
+  // Injective packing (tagged refs stay below 2^30 because node indices
+  // stay below 2^29): op in the top bits, a and b in disjoint 30-bit
+  // fields. The direct-mapped cache hashes this key with a full 64-bit mix
+  // so entries spread across all slots.
+  uint64_t CacheKey(Op op, BddRef a, uint64_t b) const {
     RECNET_DCHECK(b < (1ULL << 30));
     RECNET_DCHECK(a < (1U << 30));
     return (static_cast<uint64_t>(op) << 60) |
            (static_cast<uint64_t>(a) << 30) | b;
   }
-  bool CacheLookup(WorkerSlot& w, uint64_t key, NodeIndex* out);
-  void CacheStore(WorkerSlot& w, uint64_t key, NodeIndex result);
+  bool CacheLookup(WorkerSlot& w, uint64_t key, BddRef* out);
+  void CacheStore(WorkerSlot& w, uint64_t key, BddRef result);
 
   // __thread (not thread_local): constant init is part of the declaration,
   // so every TU compiles direct TLS loads. A plain thread_local member
@@ -386,7 +437,7 @@ class Manager {
   mutable std::atomic<std::atomic<uint32_t>*> seg0_refs_{nullptr};
   std::atomic<size_t> segments_allocated_{0};
   std::atomic<bool> seg_alloc_lock_{false};
-  std::atomic<NodeIndex> next_index_{2};
+  std::atomic<NodeIndex> next_index_{1};
 
   // Unique-table buckets (power-of-two length): head node index per bucket,
   // chained through Node::next. Grown only while single-threaded.
@@ -412,7 +463,7 @@ class Manager {
 class Bdd {
  public:
   Bdd() : mgr_(nullptr), idx_(kFalse) {}
-  Bdd(Manager* mgr, NodeIndex idx) : mgr_(mgr), idx_(idx) {
+  Bdd(Manager* mgr, BddRef idx) : mgr_(mgr), idx_(idx) {
     if (mgr_ != nullptr) mgr_->Ref(idx_);
   }
   Bdd(const Bdd& o) : mgr_(o.mgr_), idx_(o.idx_) {
@@ -438,7 +489,7 @@ class Bdd {
   bool is_null() const { return mgr_ == nullptr; }
   bool IsFalse() const { return idx_ == kFalse; }
   bool IsTrue() const { return idx_ == kTrue; }
-  NodeIndex index() const { return idx_; }
+  BddRef index() const { return idx_; }
   Manager* manager() const { return mgr_; }
 
   Bdd And(const Bdd& o) const {
@@ -473,7 +524,7 @@ class Bdd {
 
  private:
   Manager* mgr_;
-  NodeIndex idx_;
+  BddRef idx_;
 };
 
 }  // namespace bdd

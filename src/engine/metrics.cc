@@ -17,6 +17,9 @@ std::string RunMetrics::ToString() const {
   if (recoveries > 0) {
     os << " [recovered " << recoveries << " time(s)]";
   }
+  if (ship_demotions > 0) {
+    os << " [eager demoted " << ship_demotions << " time(s)]";
+  }
   if (!converged) {
     os << " [budget exceeded: " << aborted_runs << " aborted run(s), "
        << dropped_messages << " dropped msg(s)]";

@@ -55,6 +55,10 @@ struct RunMetrics {
   uint64_t bdd_stripe_contention = 0;
   double bdd_cache_hit_rate = 0;
   uint64_t bdd_store_segments = 0;
+  // Eager→lazy absorption demotions across this view's MinShips (see
+  // RuntimeOptions::eager_demote_width). Like the bdd_* fields above, a
+  // live diagnostic that is not serialized into checkpoint metrics.
+  uint64_t ship_demotions = 0;
 
   std::string ToString() const;
 };

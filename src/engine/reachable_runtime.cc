@@ -52,7 +52,8 @@ void ReachableRuntime::InitNode(int n, size_t expected_nodes) {
       [this, n](const Tuple& tuple, const Prov& pv) {
         LogicalNode dest = static_cast<LogicalNode>(tuple.IntAt(0));
         ShipInsert(n, dest, kPortFix, tuple, pv);
-      });
+      },
+      opts_.eager_demote_width);
   state.ship->Reserve(expected_nodes);
 }
 
@@ -265,7 +266,22 @@ void ReachableRuntime::HandleEnvelope(const Envelope& env) {
   HandleBatch(&env, 1);
 }
 
+uint64_t ReachableRuntime::CountShipDemotions() const {
+  uint64_t total = 0;
+  for (LogicalNode n = 0; n < num_logical(); ++n) {
+    total += node(n).ship->demotions();
+  }
+  return total;
+}
+
 bool ReachableRuntime::AfterQuiescent() {
+  // Demoted MinShips compact their buffers against the shipped state now
+  // that the insert storm has drained (no traffic is generated).
+  bool reabsorbed = false;
+  for (LogicalNode n = 0; n < num_logical(); ++n) {
+    if (node(n).ship->FlushIfDemoted()) reabsorbed = true;
+  }
+  if (reabsorbed) return true;
   if (rederive_pending_) {
     rederive_pending_ = false;
     SeedRederivation();

@@ -75,6 +75,7 @@ class ReachableRuntime : public RuntimeBase {
   void HandleBatch(const Envelope* envs, size_t n) override;
   void HandleEnvelope(const Envelope& env) override;
   bool AfterQuiescent() override;
+  uint64_t CountShipDemotions() const override;
   // Dynamic node-id space: extends the per-node operator state when the
   // substrate's topology grows (late facts mentioning unseen node ids).
   void OnTopologyGrown(int num_nodes) override;

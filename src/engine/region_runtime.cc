@@ -45,7 +45,8 @@ void RegionRuntime::InitNodes() {
         [this, n](const Tuple& tuple, const Prov& pv) {
           LogicalNode dest = static_cast<LogicalNode>(tuple.IntAt(1));
           ShipInsert(n, dest, kPortFix, tuple, pv);
-        });
+        },
+        opts_.eager_demote_width);
     state.ship->Reserve(field_.seed_sensors.size());
     state.region_sizes = std::make_unique<GroupByAggregate>(
         std::vector<size_t>{0},
@@ -303,7 +304,22 @@ void RegionRuntime::HandleEnvelope(const Envelope& env) {
   HandleBatch(&env, 1);
 }
 
+uint64_t RegionRuntime::CountShipDemotions() const {
+  uint64_t total = 0;
+  for (LogicalNode n = 0; n < num_logical(); ++n) {
+    total += node(n).ship->demotions();
+  }
+  return total;
+}
+
 bool RegionRuntime::AfterQuiescent() {
+  // Demoted MinShips compact their buffers against the shipped state now
+  // that the insert storm has drained (no traffic is generated).
+  bool reabsorbed = false;
+  for (LogicalNode n = 0; n < num_logical(); ++n) {
+    if (node(n).ship->FlushIfDemoted()) reabsorbed = true;
+  }
+  if (reabsorbed) return true;
   if (rederive_pending_) {
     rederive_pending_ = false;
     SeedRederivation();

@@ -83,6 +83,7 @@ class RegionRuntime : public RuntimeBase {
   void HandleBatch(const Envelope* envs, size_t n) override;
   void HandleEnvelope(const Envelope& env) override;
   bool AfterQuiescent() override;
+  uint64_t CountShipDemotions() const override;
   size_t StateSizeBytes() const override;
 
  private:

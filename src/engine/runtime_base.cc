@@ -130,6 +130,7 @@ RunMetrics RuntimeBase::ComputeMetrics() const {
                    : static_cast<double>(mgr.cache_hits()) /
                          static_cast<double>(lookups);
   m.bdd_store_segments = static_cast<uint64_t>(mgr.store_segments());
+  m.ship_demotions = CountShipDemotions();
   return m;
 }
 

@@ -49,6 +49,18 @@ struct RuntimeOptions {
   // once a second; our discrete equivalent counts updates — 256 updates
   // approximates one wall-clock second of their cluster's message rate).
   size_t batch_window = 256;
+  // Adaptive eager→lazy demotion ceiling for absorption provenance: when a
+  // tuple's merged annotation in a MinShip exceeds this many live BDD
+  // nodes, that operator drops to lazy semantics for the rest of the run
+  // (no periodic eager flushes; buffered alternates ship only when a kill
+  // promotes them), re-absorbing its buffer at each quiescent point.
+  // Bounds the quadratic Or-churn eager mode pays on wide fan-in nodes;
+  // 0 disables. Calibrated on the fig07 sweep: every converging eager
+  // cell's merged annotations stay under 384 nodes (zero demotions ⇒
+  // traffic bit-identical to the undemoted engine), while the one cell
+  // that blew the 45 s budget (Absorption-Eager x=1) crosses it within
+  // the first storms and converges in ~11 s demoted.
+  size_t eager_demote_width = 512;
   // Physical peers the logical nodes are mapped onto (paper default: 12).
   // Substrate-level: when a runtime attaches to a shared Substrate, the
   // substrate's own deployment wins.
@@ -240,6 +252,11 @@ class RuntimeBase {
 
   // Total bytes of operator state across all logical nodes.
   virtual size_t StateSizeBytes() const = 0;
+
+  // Total eager→lazy absorption demotions across the view's MinShips (see
+  // RuntimeOptions::eager_demote_width). Runtimes with shipping operators
+  // override; 0 means the view never crossed the width threshold.
+  virtual uint64_t CountShipDemotions() const { return 0; }
 
   // --- Namespaced transport -------------------------------------------------
   //

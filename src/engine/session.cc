@@ -854,7 +854,8 @@ Status Session::Restore(const std::string& path) {
         "or pending messages)");
   }
   std::vector<uint8_t> payload;
-  RECNET_RETURN_IF_ERROR(persist::ReadSnapshotPayload(path, &payload));
+  persist::SnapshotHeader header;
+  RECNET_RETURN_IF_ERROR(persist::ReadSnapshotPayload(path, &payload, &header));
   persist::Reader raw(payload);
   persist::SnapshotSummary summary;
   RECNET_RETURN_IF_ERROR(persist::ReadSummary(&raw, &summary));
@@ -876,7 +877,9 @@ Status Session::Restore(const std::string& path) {
         std::to_string(summary.num_nodes) + ")");
   }
 
-  persist::BddDecoder dec(substrate_->bdd_manager());
+  // The decoder speaks the on-disk version: a pre-complement-edge (v2)
+  // node table decodes into canonical tagged refs via the restore path.
+  persist::BddDecoder dec(substrate_->bdd_manager(), header.version);
   persist::SnapshotReader sr(&raw, &dec);
 
   // Clock.

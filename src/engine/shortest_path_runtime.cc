@@ -89,7 +89,8 @@ void ShortestPathRuntime::InitNode(int n, size_t expected_nodes) {
       [this, n](const Tuple& tuple, const Prov& pv) {
         LogicalNode dest = static_cast<LogicalNode>(tuple.IntAt(kSrc));
         ShipInsert(n, dest, kPortFix, tuple, pv);
-      });
+      },
+      opts_.eager_demote_width);
   state.ship->Reserve(expected_nodes);
   if (policy_ != AggSelPolicy::kNone) {
     state.agg_fix = std::make_unique<AggSel>(
@@ -308,6 +309,24 @@ void ShortestPathRuntime::HandleBatch(const Envelope* envs, size_t n) {
 
 void ShortestPathRuntime::HandleEnvelope(const Envelope& env) {
   HandleBatch(&env, 1);
+}
+
+bool ShortestPathRuntime::AfterQuiescent() {
+  // Demoted MinShips compact their buffers against the shipped state now
+  // that the insert storm has drained (no traffic is generated).
+  bool reabsorbed = false;
+  for (LogicalNode n = 0; n < num_logical(); ++n) {
+    if (node(n).ship->FlushIfDemoted()) reabsorbed = true;
+  }
+  return reabsorbed;
+}
+
+uint64_t ShortestPathRuntime::CountShipDemotions() const {
+  uint64_t total = 0;
+  for (LogicalNode n = 0; n < num_logical(); ++n) {
+    total += node(n).ship->demotions();
+  }
+  return total;
 }
 
 std::optional<double> ShortestPathRuntime::MinCost(LogicalNode src,

@@ -96,6 +96,10 @@ class ShortestPathRuntime : public RuntimeBase {
   // run, with the operator applied across the whole batch.
   void HandleBatch(const Envelope* envs, size_t n) override;
   void HandleEnvelope(const Envelope& env) override;
+  // Re-absorbs demoted MinShips at quiescence (the eager→lazy demotion
+  // policy; see RuntimeOptions::eager_demote_width).
+  bool AfterQuiescent() override;
+  uint64_t CountShipDemotions() const override;
   // Dynamic node-id space: extends the per-node operator state when the
   // substrate's topology grows (late facts mentioning unseen node ids).
   void OnTopologyGrown(int num_nodes) override;

@@ -15,13 +15,27 @@ const char* ShipModeName(ShipMode mode) {
 }
 
 MinShip::MinShip(ProvMode prov_mode, ShipMode ship_mode, size_t batch_window,
-                 SendFn send)
+                 SendFn send, size_t demote_width)
     : prov_mode_(prov_mode),
       ship_mode_(ship_mode),
       batch_window_(batch_window),
-      send_(std::move(send)) {
+      send_(std::move(send)),
+      demote_width_(demote_width) {
   RECNET_CHECK(send_ != nullptr);
 }
+
+namespace {
+
+// Live BDD nodes of an absorption annotation (0 for the other provenance
+// modes, whose width never feeds the demotion policy). CountNodes is
+// memoized per root in the manager, so repeated probes of a stable
+// annotation are one hash lookup.
+size_t AnnotationWidth(const Prov& pv) {
+  if (pv.mode() != ProvMode::kAbsorption || pv.bdd().is_null()) return 0;
+  return pv.bdd().CountNodes();
+}
+
+}  // namespace
 
 void MinShip::ProcessInsert(const Tuple& tuple, const Prov& pv) {
   // One probe handles both the first-derivation and the merge path.
@@ -42,9 +56,19 @@ void MinShip::ProcessInsert(const Tuple& tuple, const Prov& pv) {
     if (!(merged == sent->second)) {
       auto [it, inserted] = pins_.emplace(tuple, pv);
       if (!inserted) it->second = it->second.Or(pv);
+      // Adaptive demotion: once this tuple's full annotation (shipped ∨
+      // buffered) is wider than the ceiling, eager re-shipping of it each
+      // batch window costs more Or-churn than its freshness is worth.
+      // Drop to lazy until quiescence (FlushIfDemoted re-arms).
+      if (ship_mode_ == ShipMode::kEager && demote_width_ > 0 && !demoted_ &&
+          AnnotationWidth(merged) > demote_width_) {
+        demoted_ = true;
+        ++demotions_;
+      }
     }
   }
-  if (ship_mode_ == ShipMode::kEager && ++since_flush_ >= batch_window_) {
+  if (ship_mode_ == ShipMode::kEager && !demoted_ &&
+      ++since_flush_ >= batch_window_) {
     Flush();
   }
 }
@@ -86,6 +110,28 @@ void MinShip::ProcessKill(const std::vector<bdd::Var>& killed) {
 void MinShip::ProcessDelete(const Tuple& tuple) {
   bsent_.erase(tuple);
   pins_.erase(tuple);
+}
+
+bool MinShip::FlushIfDemoted() {
+  if (!demoted_ || pins_.empty()) return false;
+  // Quiescence: the insert storm that tripped the ceiling has drained.
+  // Re-absorb the buffer against what was shipped — pins whose merged
+  // annotation no longer adds anything over Bsent are dropped — but ship
+  // nothing: forwarding the wide buffered derivations downstream seeds the
+  // receiving joins with huge operands and re-ignites the Or-storm the
+  // demotion exists to stop. The surviving pins keep lazy semantics (they
+  // ship only when a kill promotes them). Demotion is sticky for the rest
+  // of the run: annotation widths only grow, so re-arming eager mode just
+  // thrashes demote/flush cycles.
+  for (auto it = pins_.begin(); it != pins_.end();) {
+    auto sent = bsent_.find(it->first);
+    if (sent != bsent_.end() && sent->second.Or(it->second) == sent->second) {
+      it = pins_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return false;
 }
 
 void MinShip::Flush() {

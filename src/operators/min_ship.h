@@ -42,6 +42,21 @@ const char* ShipModeName(ShipMode mode);
 // buffered alternative — if any survives — is promoted and shipped, so
 // downstream state stays correct without eager propagation of every
 // derivation.
+//
+// Adaptive eager→lazy demotion: eager mode pays for its freshness by
+// re-shipping (and re-absorbing downstream) every buffered derivation each
+// batch window — on dense fan-in that Or-churn is quadratic in annotation
+// width and is exactly what blows the budget on the paper's hardest cell.
+// When `demote_width` > 0 and an absorption annotation this operator merges
+// grows past that many live BDD nodes, the operator demotes itself for the
+// rest of the run: the periodic batch-window Flush stops and the buffer
+// gets exactly lazy's treatment — alternates ship only when a kill
+// promotes them — while FlushIfDemoted() re-absorbs the buffer against
+// the shipped state at each quiescent point. Nothing buffered ships
+// proactively once demoted: forwarding the wide annotations would seed
+// downstream joins with huge operands and re-ignite the Or-storm the
+// demotion exists to stop. Demotion is sticky (widths only grow;
+// re-arming thrashes demote/flush cycles).
 class MinShip {
  public:
   // `send` forwards an update towards its destination (routing by tuple is
@@ -49,7 +64,7 @@ class MinShip {
   using SendFn = std::function<void(const Tuple&, const Prov&)>;
 
   MinShip(ProvMode prov_mode, ShipMode ship_mode, size_t batch_window,
-          SendFn send);
+          SendFn send, size_t demote_width = 0);
 
   // Pre-sizes the shipped/buffered tables for an expected tuple count.
   void Reserve(size_t expected_tuples) {
@@ -72,6 +87,17 @@ class MinShip {
   // Algorithm 3 line 33).
   void Flush();
 
+  // Quiescence hook for the demotion policy: if this operator is demoted,
+  // re-absorb the buffer against the shipped state (dropping pins that no
+  // longer add anything) without shipping. Always returns false — the
+  // compaction generates no traffic, so it never extends the drain.
+  bool FlushIfDemoted();
+
+  bool demoted() const { return demoted_; }
+  // Times this operator demoted eager→lazy (observability; surfaces as the
+  // run metric ship_demotions).
+  uint64_t demotions() const { return demotions_; }
+
   size_t StateSizeBytes() const;
   size_t buffered() const { return pins_.size(); }
 
@@ -89,7 +115,11 @@ class MinShip {
   ShipMode ship_mode_;
   size_t batch_window_;
   SendFn send_;
+  // Annotation-width ceiling for eager mode (live BDD nodes; 0 disables).
+  size_t demote_width_;
   size_t since_flush_ = 0;
+  bool demoted_ = false;
+  uint64_t demotions_ = 0;
   FlatTable<Tuple, Prov, TupleHash> bsent_;
   // The eager-mode Flush ships the buffer in iteration order, and delivery
   // order feeds back into absorption results (which annotation reaches a

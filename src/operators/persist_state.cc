@@ -80,6 +80,11 @@ Status PipelinedHashJoin::LoadState(persist::SnapshotReader& r) {
 
 void MinShip::SaveState(persist::SnapshotWriter& w) const {
   w.raw().U64(since_flush_);
+  // Demotion state (snapshot v3+): a micro-checkpoint can land while the
+  // operator is demoted mid-drain, and recovery must resume with the same
+  // policy state for the replayed trajectory to stay bit-identical.
+  w.raw().Bool(demoted_);
+  w.raw().U64(demotions_);
   w.raw().U64(bsent_.size());
   for (const auto& [tuple, pv] : bsent_) {
     w.PutTuple(tuple);
@@ -96,6 +101,10 @@ void MinShip::SaveState(persist::SnapshotWriter& w) const {
 Status MinShip::LoadState(persist::SnapshotReader& r) {
   RECNET_CHECK(bsent_.empty() && pins_.empty());
   since_flush_ = static_cast<size_t>(r.raw().U64());
+  if (r.version() >= 3) {
+    demoted_ = r.raw().Bool();
+    demotions_ = r.raw().U64();
+  }
   uint64_t nsent = r.raw().Count(3);
   bsent_.reserve(nsent);
   for (uint64_t i = 0; i < nsent && r.raw().ok(); ++i) {

@@ -8,46 +8,57 @@ namespace persist {
 
 namespace {
 
-// Remapped-id space: 0 and 1 are the terminals, internal nodes follow.
-constexpr uint32_t kIdFalse = 0;
-constexpr uint32_t kIdTrue = 1;
-constexpr uint32_t kIdBias = 2;
+// Version-3 remapped-ref space mirrors the in-memory tagging: a ref is
+// (node id << 1) | complement, node id 0 is the single TRUE terminal, and
+// internal node ids are table position + 1. So kTrue encodes to 0 and
+// kFalse to 1, just like the live constants.
+constexpr uint32_t kIdTerminalNode = 0;
+constexpr uint32_t kIdBiasV3 = 1;
+// Version-2 space: plain node ids, two terminal ids, bias 2.
+constexpr uint32_t kIdFalseV2 = 0;
+constexpr uint32_t kIdTrueV2 = 1;
+constexpr uint32_t kIdBiasV2 = 2;
 
 }  // namespace
 
-uint32_t BddEncoder::Encode(bdd::NodeIndex root) {
-  if (root == bdd::kFalse) return kIdFalse;
-  if (root == bdd::kTrue) return kIdTrue;
-  auto found = id_of_.find(root);
-  if (found != id_of_.end()) return found->second;
+uint32_t BddEncoder::Encode(bdd::BddRef root) {
+  const uint32_t root_node = root >> 1;
+  const uint32_t root_c = root & 1u;
+  if (root_node == kIdTerminalNode) return root;  // kTrue -> 0, kFalse -> 1.
+  auto found = id_of_.find(root_node);
+  if (found != id_of_.end()) return (found->second << 1) | root_c;
 
-  auto mapped = [this](bdd::NodeIndex n) -> uint32_t {
-    if (n == bdd::kFalse) return kIdFalse;
-    if (n == bdd::kTrue) return kIdTrue;
-    return id_of_.at(n);
+  auto mapped = [this](bdd::BddRef n) -> uint32_t {
+    const uint32_t node = n >> 1;
+    const uint32_t id = node == kIdTerminalNode ? kIdTerminalNode
+                                                : id_of_.at(node);
+    return (id << 1) | (n & 1u);
   };
 
-  // Iterative post-order: a node is interned only after both children, so
-  // the table is topologically ordered and a decoder never sees a forward
+  // Iterative post-order over node indices (both polarities of a ref share
+  // one table entry): a node is interned only after both children, so the
+  // table is topologically ordered and a decoder never sees a forward
   // reference.
   std::vector<std::pair<bdd::NodeIndex, bool>> stack;
-  stack.emplace_back(root, false);
+  stack.emplace_back(root_node, false);
   while (!stack.empty()) {
     auto [n, expanded] = stack.back();
     stack.pop_back();
-    if (n <= bdd::kTrue || id_of_.find(n) != id_of_.end()) continue;
+    if (n == kIdTerminalNode || id_of_.find(n) != id_of_.end()) continue;
+    const bdd::BddRef ref = n << 1;  // Regular ref for this node.
     if (expanded) {
-      uint32_t id = static_cast<uint32_t>(nodes_.size()) + kIdBias;
-      nodes_.push_back(EncodedNode{mgr_->var_of(n), mapped(mgr_->low_of(n)),
-                                   mapped(mgr_->high_of(n))});
+      uint32_t id = static_cast<uint32_t>(nodes_.size()) + kIdBiasV3;
+      nodes_.push_back(EncodedNode{mgr_->var_of(ref),
+                                   mapped(mgr_->low_of(ref)),
+                                   mapped(mgr_->high_of(ref))});
       id_of_.emplace(n, id);
     } else {
       stack.emplace_back(n, true);
-      stack.emplace_back(mgr_->high_of(n), false);
-      stack.emplace_back(mgr_->low_of(n), false);
+      stack.emplace_back(mgr_->high_of(ref) >> 1, false);
+      stack.emplace_back(mgr_->low_of(ref) >> 1, false);
     }
   }
-  return id_of_.at(root);
+  return (id_of_.at(root_node) << 1) | root_c;
 }
 
 void BddEncoder::WriteNodeTable(Writer* w) const {
@@ -64,6 +75,7 @@ Status BddDecoder::ReadNodeTable(Reader* r) {
   if (!r->CanRead(static_cast<size_t>(count) * 12)) {
     return r->Check("bdd node table");
   }
+  const bool v3 = version_ >= 3;
   index_of_.reserve(count);
   protect_.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
@@ -71,24 +83,41 @@ Status BddDecoder::ReadNodeTable(Reader* r) {
     uint32_t low = r->U32();
     uint32_t high = r->U32();
     // Children must precede their parent, and the variable must be a real
-    // one (the terminal marker would trip the manager's invariants).
-    if (low >= i + kIdBias || high >= i + kIdBias || var == ~uint32_t{0}) {
+    // one (the terminal marker would trip the manager's invariants). In the
+    // v3 space a child's node id is its ref shifted right by one.
+    const bool dangling = v3 ? ((low >> 1) > i || (high >> 1) > i)
+                             : (low >= i + kIdBiasV2 || high >= i + kIdBiasV2);
+    if (dangling || var == ~uint32_t{0}) {
       r->Invalidate();
       break;
     }
-    bdd::NodeIndex lo = Resolve(low, r);
-    bdd::NodeIndex hi = Resolve(high, r);
-    bdd::NodeIndex idx = mgr_->MakeNodeForRestore(var, lo, hi);
-    index_of_.push_back(idx);
-    protect_.emplace_back(mgr_, idx);
+    bdd::BddRef lo = Resolve(low, r);
+    bdd::BddRef hi = Resolve(high, r);
+    // MakeNodeForRestore re-derives the canonical polarity, so both a v3
+    // table (already canonical) and a v2 table (plain nodes; e.g. its
+    // explicit ¬f subgraphs) intern to canonical tagged refs.
+    bdd::BddRef ref = mgr_->MakeNodeForRestore(var, lo, hi);
+    index_of_.push_back(ref);
+    protect_.emplace_back(mgr_, ref);
   }
   return r->Check("bdd node table");
 }
 
-bdd::NodeIndex BddDecoder::Resolve(uint32_t id, Reader* r) const {
-  if (id == kIdFalse) return bdd::kFalse;
-  if (id == kIdTrue) return bdd::kTrue;
-  size_t slot = id - kIdBias;
+bdd::BddRef BddDecoder::Resolve(uint32_t id, Reader* r) const {
+  if (version_ >= 3) {
+    const uint32_t node = id >> 1;
+    const uint32_t c = id & 1u;
+    if (node == kIdTerminalNode) return c == 0 ? bdd::kTrue : bdd::kFalse;
+    size_t slot = node - kIdBiasV3;
+    if (slot >= index_of_.size()) {
+      r->Invalidate();
+      return bdd::kFalse;
+    }
+    return index_of_[slot] ^ c;
+  }
+  if (id == kIdFalseV2) return bdd::kFalse;
+  if (id == kIdTrueV2) return bdd::kTrue;
+  size_t slot = id - kIdBiasV2;
   if (slot >= index_of_.size()) {
     r->Invalidate();
     return bdd::kFalse;
@@ -202,8 +231,8 @@ Prov SnapshotReader::GetProv() {
       return in_->Bool() ? Prov::True(ProvMode::kSet, mgr)
                          : Prov::False(ProvMode::kSet, mgr);
     case static_cast<uint8_t>(ProvMode::kAbsorption): {
-      bdd::NodeIndex idx = bdds_->Resolve(in_->U32(), in_);
-      return Prov::FromBdd(bdd::Bdd(mgr, idx));
+      bdd::BddRef ref = bdds_->Resolve(in_->U32(), in_);
+      return Prov::FromBdd(bdd::Bdd(mgr, ref));
     }
     case static_cast<uint8_t>(ProvMode::kRelative): {
       uint32_t nderiv = in_->U32();

@@ -17,19 +17,24 @@ namespace persist {
 
 // Serializes BDD roots against one shared node table: every root encoded
 // through one encoder contributes its reachable internal nodes exactly once,
-// children before parents, with manager-independent remapped ids (0 = FALSE,
-// 1 = TRUE, internal node i = table position i + 2). The table is emitted
-// separately from the sections referencing the roots, so a snapshot stores
-// the manager's live graph once no matter how many annotations share it —
-// the on-disk analogue of hash-consing.
+// children before parents, with manager-independent remapped refs mirroring
+// the in-memory tagging — (remapped node id << 1) | complement bit, node
+// id 0 the single TRUE terminal, internal node i = table position i + 1
+// (snapshot format version 3; version 2 stored plain node ids with two
+// terminal ids). The table is emitted separately from the sections
+// referencing the roots, so a snapshot stores the manager's live graph once
+// no matter how many annotations share it — the on-disk analogue of
+// hash-consing.
 class BddEncoder {
  public:
   explicit BddEncoder(const bdd::Manager* mgr) : mgr_(mgr) {}
 
-  // Returns the remapped id of `root`, interning its subgraph on first use.
-  uint32_t Encode(bdd::NodeIndex root);
+  // Returns the remapped tagged ref of `root`, interning its subgraph on
+  // first use. The complement bit of `root` round-trips through the low bit
+  // of the returned id.
+  uint32_t Encode(bdd::BddRef root);
 
-  // u32 node count, then (u32 var, u32 low id, u32 high id) per node in
+  // u32 node count, then (u32 var, u32 low ref, u32 high ref) per node in
   // table order. Children-before-parents, so a decoder interns in one pass.
   void WriteNodeTable(Writer* w) const;
 
@@ -43,6 +48,8 @@ class BddEncoder {
   };
 
   const bdd::Manager* mgr_;
+  // Keyed by node index (complement stripped): a root and its negation
+  // share one table entry, exactly as they share one stored node.
   std::unordered_map<bdd::NodeIndex, uint32_t> id_of_;
   std::vector<EncodedNode> nodes_;
 };
@@ -51,21 +58,31 @@ class BddEncoder {
 // reference on every interned node until the decoder is destroyed (fresh
 // nodes start unreferenced, and restore runs long enough that a GC could
 // otherwise reclaim a node before the annotation referencing it is built).
+//
+// `version` is the snapshot format version of the payload being decoded
+// (defaults to the current writer version, which in-memory micro-checkpoint
+// payloads always are). Version 2 tables — plain node ids, separate FALSE
+// and TRUE ids — decode through MakeNodeForRestore, whose canonical-polarity
+// normalization converts them to tagged refs on the fly.
 class BddDecoder {
  public:
-  explicit BddDecoder(bdd::Manager* mgr) : mgr_(mgr) {}
+  explicit BddDecoder(bdd::Manager* mgr, uint32_t version = kSnapshotVersion)
+      : mgr_(mgr), version_(version) {}
 
   Status ReadNodeTable(Reader* r);
 
-  // Live node index for a remapped id; trips `r`'s error flag on a dangling
+  // Live tagged ref for a remapped id; trips `r`'s error flag on a dangling
   // id (corrupt payload) and returns FALSE.
-  bdd::NodeIndex Resolve(uint32_t id, Reader* r) const;
+  bdd::BddRef Resolve(uint32_t id, Reader* r) const;
 
   bdd::Manager* manager() const { return mgr_; }
+  uint32_t version() const { return version_; }
 
  private:
   bdd::Manager* mgr_;
-  std::vector<bdd::NodeIndex> index_of_;  // By id - 2.
+  uint32_t version_;
+  // Live (possibly complemented) refs by table position.
+  std::vector<bdd::BddRef> index_of_;
   std::vector<bdd::Bdd> protect_;
 };
 
@@ -95,6 +112,9 @@ class SnapshotReader {
 
   Reader& raw() { return *in_; }
   Status Check(const char* what) const { return in_->Check(what); }
+  // Snapshot format version of the payload being decoded (operators with
+  // version-dependent state layouts branch on this).
+  uint32_t version() const { return bdds_->version(); }
 
   Value GetValue();
   Tuple GetTuple();

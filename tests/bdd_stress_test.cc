@@ -218,6 +218,53 @@ TEST(BddConcurrencyStress, SuperstepRoundsWithBarrierGc) {
   EXPECT_GT(m.gc_runs(), 0u);
 }
 
+// Complement-edge canonicity under contention: half the threads build f,
+// the other half build ¬f by pushing the negation through every operator
+// (De Morgan). Whichever side interns a node first, the tagged-ref pairing
+// must come out exact — thread t's result for expression e is bit-for-bit
+// the complement (low-bit flip) of the dual side's, which also means both
+// sides share one stored subgraph and the op caches never hold a
+// polarity-duplicated entry.
+TEST(BddConcurrencyStress, ConcurrentNegationPairsShareOneSubgraph) {
+  constexpr int kExprs = 30;
+  Manager m;
+  m.EnsureWorkerSlots(kThreads);
+  m.set_concurrent(true);
+  NodeIndex straight[kThreads / 2][kExprs];
+  NodeIndex negated[kThreads / 2][kExprs];
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Manager::SetThreadWorkerSlot(t);
+      const bool dual = (t % 2) != 0;
+      for (int e = 0; e < kExprs; ++e) {
+        NodeIndex r = BuildExpr(&m, 5000 + e, 30);
+        // The dual side negates at the end; Not is a tag flip, so the race
+        // is entirely in the shared BuildExpr interning below it.
+        if (dual) r = m.Not(r);
+        m.Ref(r);
+        // Decayed pointer, not `(dual ? negated : straight)[...]`: gcc's
+        // -fsanitize=bounds miscompiles a subscripted conditional over two
+        // array glvalues (wild row index on the false branch).
+        NodeIndex(*out)[kExprs] = dual ? negated : straight;
+        out[t / 2][e] = r;
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  m.set_concurrent(false);
+  for (int e = 0; e < kExprs; ++e) {
+    for (int half = 0; half < kThreads / 2; ++half) {
+      ASSERT_EQ(straight[half][e], straight[0][e]) << "expr " << e;
+      ASSERT_EQ(negated[half][e], negated[0][e]) << "expr " << e;
+      // Tagged-ref pairing: ¬f is exactly f with the complement bit
+      // flipped, never a separately interned subgraph.
+      ASSERT_EQ(negated[half][e], m.Not(straight[0][e])) << "expr " << e;
+      ASSERT_EQ(negated[half][e] ^ straight[0][e], 1u) << "expr " << e;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace bdd
 }  // namespace recnet

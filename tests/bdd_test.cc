@@ -312,6 +312,119 @@ TEST_P(BddPropertyTest, RandomExpressionsMatchTruthTables) {
 INSTANTIATE_TEST_SUITE_P(Seeds, BddPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+// ---------------------------------------------------------------------------
+// Complement-edge representation invariants.
+// ---------------------------------------------------------------------------
+
+// Builds a random absorption-shaped function: an Or of short products over a
+// small variable window (the repo's provenance workload shape).
+BddRef RandomFunction(Manager& mgr, Rng& rng, int terms) {
+  BddRef f = kFalse;
+  for (int t = 0; t < terms; ++t) {
+    Var base = static_cast<Var>(rng.NextBounded(12));
+    BddRef p = kTrue;
+    for (Var j = 0; j < 3; ++j) {
+      p = mgr.And(p, mgr.MakeVar(base + j));
+    }
+    f = mgr.Or(f, p);
+  }
+  return f;
+}
+
+TEST_F(BddTest, NotIsTagFlipWithoutTableTraffic) {
+  Rng rng(101);
+  BddRef f = RandomFunction(mgr_, rng, 8);
+  const uint64_t probes = mgr_.unique_probes();
+  const size_t nodes = mgr_.allocated_nodes();
+  BddRef g = f;
+  for (int i = 0; i < 1000; ++i) {
+    g = mgr_.Not(g);
+    // Involution as identity of refs, not just semantic equality.
+    if (i % 2 == 1) EXPECT_EQ(g, f);
+  }
+  EXPECT_EQ(mgr_.Not(f), f ^ 1u);
+  EXPECT_EQ(mgr_.unique_probes(), probes);
+  EXPECT_EQ(mgr_.allocated_nodes(), nodes);
+}
+
+TEST_F(BddTest, ThenEdgesAreAlwaysRegular) {
+  // The canonicity rule: complement bits live on else-edges and roots only;
+  // every interned node's then-edge is a regular (untagged) ref.
+  Rng rng(202);
+  std::vector<BddRef> roots;
+  for (int i = 0; i < 16; ++i) roots.push_back(RandomFunction(mgr_, rng, 6));
+  std::vector<BddRef> stack = roots;
+  while (!stack.empty()) {
+    BddRef f = stack.back();
+    stack.pop_back();
+    if (mgr_.IsTerminal(f)) continue;
+    const BddRef reg = f & ~1u;
+    EXPECT_EQ(mgr_.high_of(reg) & 1u, 0u)
+        << "complemented then-edge reachable from root";
+    stack.push_back(mgr_.low_of(reg));
+    stack.push_back(mgr_.high_of(reg));
+  }
+}
+
+TEST_F(BddTest, DeMorganDualHitsTheSameCacheEntries) {
+  Rng rng(303);
+  BddRef a = RandomFunction(mgr_, rng, 6);
+  BddRef b = RandomFunction(mgr_, rng, 6);
+  // Or is computed as ¬And(¬a, ¬b), so the forward pass fully populates the
+  // And cache for the dual call: re-deriving it must be pure cache hits with
+  // zero fresh nodes.
+  BddRef f = mgr_.Or(a, b);
+  const uint64_t hits = mgr_.cache_hits();
+  const size_t nodes = mgr_.allocated_nodes();
+  BddRef dual = mgr_.And(mgr_.Not(a), mgr_.Not(b));
+  EXPECT_EQ(dual, mgr_.Not(f));
+  EXPECT_GT(mgr_.cache_hits(), hits);
+  EXPECT_EQ(mgr_.allocated_nodes(), nodes);
+}
+
+TEST_F(BddTest, DiffOverComplementedOperandsSharesCache) {
+  Rng rng(404);
+  BddRef a = RandomFunction(mgr_, rng, 6);
+  BddRef b = RandomFunction(mgr_, rng, 6);
+  // Diff(a, b) = And(a, ¬b): the same tagged pair as Diff(¬b̄, b) etc.; no
+  // negation is ever materialized, so repeating over complemented operands
+  // is cache-hit-only after the first evaluation.
+  BddRef d = mgr_.Diff(mgr_.Not(a), mgr_.Not(b));
+  const uint64_t hits = mgr_.cache_hits();
+  const size_t nodes = mgr_.allocated_nodes();
+  EXPECT_EQ(mgr_.Diff(mgr_.Not(a), mgr_.Not(b)), d);
+  EXPECT_EQ(mgr_.And(mgr_.Not(a), b), d);  // Same And pair by definition.
+  EXPECT_GT(mgr_.cache_hits(), hits);
+  EXPECT_EQ(mgr_.allocated_nodes(), nodes);
+}
+
+// Randomized canonicity oracle: semantically equal functions built along
+// different operation paths must intern to the identical tagged ref. The
+// oracle is the set of satisfying assignments over kPropVars variables.
+class ComplementCanonicityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ComplementCanonicityTest, EquivalentFormsInternIdentically) {
+  Manager mgr;
+  Rng rng(GetParam());
+  for (int step = 0; step < 100; ++step) {
+    BddRef a = RandomFunction(mgr, rng, 1 + static_cast<int>(
+                                               rng.NextBounded(5)));
+    BddRef b = RandomFunction(mgr, rng, 1 + static_cast<int>(
+                                               rng.NextBounded(5)));
+    // Identity of refs across derivation paths (all are distinct recursion
+    // shapes before reduction):
+    EXPECT_EQ(mgr.Or(a, b), mgr.Not(mgr.And(mgr.Not(a), mgr.Not(b))));
+    EXPECT_EQ(mgr.Diff(a, b), mgr.And(a, mgr.Not(b)));
+    EXPECT_EQ(mgr.Not(mgr.Or(a, b)), mgr.And(mgr.Not(a), mgr.Not(b)));
+    EXPECT_EQ(mgr.And(a, mgr.Not(a)), kFalse);
+    EXPECT_EQ(mgr.Or(a, mgr.Not(a)), kTrue);
+    EXPECT_EQ(mgr.Not(mgr.Not(a)), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComplementCanonicityTest,
+                         ::testing::Values(11, 22, 33, 44));
+
 }  // namespace
 }  // namespace bdd
 }  // namespace recnet

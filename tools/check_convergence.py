@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""CI gate: every cell of a committed benchmark trajectory must converge.
+
+Scans the cell blocks of one or more benchmark JSON files (BENCH_fig07.json,
+BENCH_fig09.json, ...) and fails if any run records "converged": false or a
+nonzero aborted_runs. A cell that blows its drain budget means the committed
+trajectory no longer demonstrates the paper's result for that configuration —
+that should fail the build, not sit silently in the JSON.
+
+Usage: check_convergence.py BENCH_fig07.json [BENCH_fig09.json ...]
+Exit codes: 0 all cells converged, 1 non-converged cell(s), 2 bad input.
+"""
+
+import json
+import sys
+
+# Top-level keys whose values are lists of per-run cells. "meta"/"shards"
+# and scalar totals are skipped; unknown future list-of-dict blocks are
+# scanned too, so new sweeps are gated by default.
+_SKIP_KEYS = {"meta"}
+
+
+def iter_cells(doc):
+    for key, block in doc.items():
+        if key in _SKIP_KEYS or not isinstance(block, list):
+            continue
+        for i, cell in enumerate(block):
+            if isinstance(cell, dict):
+                yield key, i, cell
+
+
+def describe(cell):
+    parts = []
+    for k in ("series", "strategy", "x", "shards", "links", "nodes"):
+        if k in cell:
+            parts.append(f"{k}={cell[k]}")
+    return " ".join(parts) or "<unlabeled cell>"
+
+
+def main(paths):
+    if not paths:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = []
+    total = 0
+    for path in paths:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"error: cannot read {path}: {e}", file=sys.stderr)
+            return 2
+        cells = list(iter_cells(doc))
+        if not cells:
+            print(f"error: {path} contains no cell blocks", file=sys.stderr)
+            return 2
+        for block, i, cell in cells:
+            total += 1
+            converged = cell.get("converged", True)
+            aborted = cell.get("aborted_runs", 0)
+            if converged and not aborted:
+                continue
+            why = []
+            if not converged:
+                why.append("converged: false")
+            if aborted:
+                why.append(f"aborted_runs: {aborted}")
+            failures.append(f"{path} {block}[{i}] ({describe(cell)}): "
+                            + ", ".join(why))
+    if failures:
+        print(f"{len(failures)} non-converged cell(s) out of {total}:",
+              file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"all {total} cells converged")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
